@@ -1,0 +1,23 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every module regenerates the data behind one of the paper's tables or
+figures, prints the rows/series the paper reports, asserts the *shape*
+(who wins, by what factor, where the transitions fall), and uses
+pytest-benchmark to time the underlying primitive.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the series.
+"""
+
+from __future__ import annotations
+
+
+def print_series(title: str, rows: list[tuple], header: tuple[str, ...]) -> None:
+    """Print one figure's data series in a compact aligned table."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

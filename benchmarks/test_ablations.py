@@ -1,0 +1,170 @@
+"""Ablations over the design choices the paper (and DESIGN.md) call out.
+
+* stride choice: strides within the DCU/adjacent/streamer reach (≤4 lines)
+  are noise-prone; the paper's 7/11/13 primes are clean (§7.1);
+* training length: 3 iterations are necessary and sufficient (§A.8);
+* next-page prefetcher: disabling it removes the Table 1 lock/offset-1 row;
+* §8.2 defenses: tagged prefetcher and flush-on-switch kill the leak, at
+  measurably different costs.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.core.covert import CovertChannel
+from repro.core.variant1 import Variant1CrossProcess
+from repro.cpu.machine import Machine
+from repro.defenses.tagged_prefetcher import harden_machine
+from repro.mitigation.champsim_lite import ChampSimLite
+from repro.mitigation.traces import generate_trace, suite_by_name
+from repro.params import COFFEE_LAKE_I7_9700
+from repro.revng.page_boundary import PageBoundaryExperiment
+
+
+def test_ablation_stride_choice(benchmark):
+    """§7.1: strides beyond the companion prefetchers' reach are cleaner."""
+
+    def success_for(s1, s2, seed):
+        attack = Variant1CrossProcess(Machine(COFFEE_LAKE_I7_9700, seed=seed), s1, s2)
+        return sum(attack.run_round(i % 2).success for i in range(60)) / 60
+
+    def sweep():
+        return {
+            "paper strides 7/13": success_for(7, 13, 181),
+            "small strides 2/3": success_for(2, 3, 182),
+        }
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Ablation — stride choice vs success rate",
+        [(name, f"{rate * 100:.0f}%") for name, rate in rates.items()],
+        ("configuration", "success"),
+    )
+    assert rates["paper strides 7/13"] > rates["small strides 2/3"]
+    assert rates["paper strides 7/13"] >= 0.9
+
+
+def test_ablation_training_iterations(benchmark):
+    """§A.8: two loads never reach the threshold; three are enough."""
+    from repro.params import IPStrideParams, PAGE_SIZE
+    from repro.prefetch.base import LoadEvent
+    from repro.prefetch.ip_stride import IPStridePrefetcher
+    from repro.memsys.hierarchy import MemoryLevel
+
+    def confidence_after(n_loads: int) -> int:
+        pf = IPStridePrefetcher(IPStrideParams())
+        for i in range(n_loads):
+            event = LoadEvent(
+                ip=0x100, vaddr=0x5000 + i * 448, paddr=0x5000 + i * 448,
+                hit_level=MemoryLevel.DRAM,
+            )
+            pf.observe(event, lambda _v: None)
+        entry = pf.entry_for_ip(0x100)
+        return entry.confidence if entry else -1
+
+    results = benchmark.pedantic(
+        lambda: {n: confidence_after(n) for n in range(1, 6)}, rounds=1, iterations=1
+    )
+    print_series(
+        "Ablation — training loads vs confidence (threshold 2)",
+        [(n, conf, "armed" if conf >= 2 else "") for n, conf in results.items()],
+        ("loads", "confidence", "state"),
+    )
+    assert results[2] < 2 <= results[3]
+
+
+def test_ablation_next_page_prefetcher(benchmark):
+    """Table 1's lock/offset-1 row exists *because* of the next-page
+    prefetcher; turning it off removes the row."""
+    params_off = dataclasses.replace(
+        COFFEE_LAKE_I7_9700, enable_next_page_prefetcher=False
+    )
+
+    def run_both():
+        on = PageBoundaryExperiment(COFFEE_LAKE_I7_9700).run(max_offset=1)
+        off = PageBoundaryExperiment(params_off).run(max_offset=1)
+        return on, off
+
+    on, off = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lock_on = next(r for r in on if r.pool == "lock")
+    lock_off = next(r for r in off if r.pool == "lock")
+    print(
+        f"\nlock array, offset 1: prefetchable with next-page prefetcher: "
+        f"{lock_on.prefetchable}; without: {lock_off.prefetchable}"
+    )
+    assert lock_on.prefetchable
+    assert not lock_off.prefetchable
+
+
+def test_ablation_defenses_vs_attacks(benchmark):
+    """Security/performance matrix of the §8.2/§8.3 defenses."""
+
+    def evaluate():
+        rows = []
+        rng = np.random.default_rng(183)
+        symbols = [int(x) for x in rng.integers(5, 32, 30)]
+
+        # Baseline: vulnerable.
+        m = Machine(COFFEE_LAKE_I7_9700, seed=183)
+        v1 = sum(Variant1CrossProcess(m).run_round(i % 2).success for i in range(30)) / 30
+        cc = CovertChannel(Machine(COFFEE_LAKE_I7_9700, seed=184), 1).transmit(symbols)
+        rows.append(("no defense", f"{v1 * 100:.0f}%", f"{(1 - cc.error_rate) * 100:.0f}%"))
+
+        # Tagged prefetcher.
+        m = Machine(COFFEE_LAKE_I7_9700, seed=185)
+        harden_machine(m)
+        v1 = sum(Variant1CrossProcess(m).run_round(i % 2).success for i in range(30)) / 30
+        m2 = Machine(COFFEE_LAKE_I7_9700, seed=186)
+        harden_machine(m2)
+        cc = CovertChannel(m2, 1).transmit(symbols)
+        rows.append(("tagged table", f"{v1 * 100:.0f}%", f"{(1 - cc.error_rate) * 100:.0f}%"))
+
+        # Flush on switch (§8.3).
+        m = Machine(COFFEE_LAKE_I7_9700, seed=187)
+        m.flush_prefetcher_on_switch = True
+        v1 = sum(Variant1CrossProcess(m).run_round(i % 2).success for i in range(30)) / 30
+        m2 = Machine(COFFEE_LAKE_I7_9700, seed=188)
+        m2.flush_prefetcher_on_switch = True
+        cc = CovertChannel(m2, 1).transmit(symbols)
+        rows.append(("flush on switch", f"{v1 * 100:.0f}%", f"{(1 - cc.error_rate) * 100:.0f}%"))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_series(
+        "Ablation — defenses vs attack success",
+        rows,
+        ("defense", "V1 success", "covert delivery"),
+    )
+    baseline, tagged, flush = rows
+    assert float(baseline[1].rstrip("%")) >= 90
+    assert float(tagged[1].rstrip("%")) <= 55  # coin-flip or undecided
+    assert float(flush[1].rstrip("%")) <= 55
+    assert float(tagged[2].rstrip("%")) <= 10
+    assert float(flush[2].rstrip("%")) <= 10
+
+
+def test_ablation_disable_prefetcher_cost(benchmark):
+    """§8.2: disabling the prefetcher closes the channel at a performance
+    price the flush-based mitigation avoids."""
+    spec = suite_by_name("libquantum-like")
+    ips, addrs = generate_trace(spec, 40_000)
+
+    def evaluate():
+        on = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=True).run("x", ips, addrs)
+        off = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=False).run("x", ips, addrs)
+        flushed = ChampSimLite(
+            COFFEE_LAKE_I7_9700, prefetcher_enabled=True, flush_period_cycles=30_000
+        ).run("x", ips, addrs)
+        return on, off, flushed
+
+    on, off, flushed = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    slowdown_off = 1 - off.ipc / on.ipc
+    slowdown_flush = 1 - flushed.ipc / on.ipc
+    print(
+        f"\nlibquantum-like: disabling costs {slowdown_off * 100:.0f}% IPC, "
+        f"flushing costs {slowdown_flush * 100:.2f}%"
+    )
+    assert slowdown_off > 0.5  # "high performance overhead"
+    assert slowdown_flush < 0.02

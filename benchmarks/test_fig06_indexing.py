@@ -1,0 +1,23 @@
+"""Figure 6: IP-stride prefetcher trigger vs. matched low IP bits.
+
+Paper: access times drop below the 120-cycle threshold exactly when the
+low 8 bits of IP_2 match IP_1 — and stay low for any larger match (no tag).
+"""
+
+from benchmarks.conftest import print_series
+from repro.params import COFFEE_LAKE_I7_9700
+from repro.revng.indexing import IndexingExperiment
+
+
+def test_fig06_indexing(benchmark):
+    exp = IndexingExperiment(COFFEE_LAKE_I7_9700)
+    samples = benchmark.pedantic(lambda: exp.run(max_bits=16), rounds=1, iterations=1)
+    print_series(
+        "Figure 6 — access time vs #matched least-significant bits of IP",
+        [(s.matched_bits, s.access_time, "hit" if s.prefetched else "miss") for s in samples],
+        ("matched_bits", "access_time_cycles", "class"),
+    )
+    threshold = COFFEE_LAKE_I7_9700.llc_hit_threshold
+    for s in samples:
+        assert s.prefetched == (s.matched_bits >= 8), s
+        assert (s.access_time < threshold) == (s.matched_bits >= 8)

@@ -1,0 +1,49 @@
+"""Figure 7: confidence/stride update policy and the unconditional trigger.
+
+Paper (7a): after retraining starts with a random offset, phase-2 access #1
+still fires at the old stride st_1=7; #2 fires nothing; #3+ fire at st_2=5.
+Paper (7b): when phase 2 starts exactly st_2 after phase 1, the new stride
+fires one iteration earlier.
+"""
+
+from benchmarks.conftest import print_series
+from repro.params import COFFEE_LAKE_I7_9700
+from repro.revng.stride_policy import StrideUpdateExperiment
+
+
+def _rows(samples):
+    return [
+        (s.iteration, "st1" if s.st1_triggered else "-", "st2" if s.st2_triggered else "-")
+        for s in samples
+    ]
+
+
+def test_fig07a_random_offset(benchmark):
+    exp = StrideUpdateExperiment(COFFEE_LAKE_I7_9700)
+    samples = benchmark.pedantic(
+        lambda: exp.run(st_1=7, st_2=5, offset_lines=3), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 7a — phase-2 triggering (random offset between phases)",
+        _rows(samples),
+        ("iteration", "stride7", "stride5"),
+    )
+    flags = [(s.st1_triggered, s.st2_triggered) for s in samples]
+    assert flags[0] == (True, False)
+    assert flags[1] == (False, False)
+    assert flags[2] == (False, True)
+
+
+def test_fig07b_offset_equals_new_stride(benchmark):
+    exp = StrideUpdateExperiment(COFFEE_LAKE_I7_9700)
+    samples = benchmark.pedantic(
+        lambda: exp.run(st_1=7, st_2=5, offset_lines=5), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 7b — phase-2 triggering (phase 2 starts st_2 after phase 1)",
+        _rows(samples),
+        ("iteration", "stride7", "stride5"),
+    )
+    flags = [(s.st1_triggered, s.st2_triggered) for s in samples]
+    assert flags[0] == (True, False)
+    assert flags[1] == (False, True)  # fully trained one step earlier

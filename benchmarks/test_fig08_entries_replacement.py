@@ -1,0 +1,65 @@
+"""Figure 8: history-table capacity (8a) and replacement policy (8b).
+
+Paper (8a): with 26 trained IPs the first 2 can no longer trigger; with 30,
+the first 6 — the table holds 24 entries.
+Paper (8b): after refreshing IPs 1-8 and training 8 new ones, the evicted
+entries are the contiguous run 9-16: a Bit-PLRU-like policy, not FIFO.
+"""
+
+from benchmarks.conftest import print_series
+from repro.params import COFFEE_LAKE_I7_9700
+from repro.revng.entries import EntryCountExperiment
+from repro.revng.replacement_policy import ReplacementPolicyExperiment
+from repro.revng.sgx_interplay import SGXInterplayExperiment
+
+
+def test_fig08a_entry_count(benchmark):
+    exp = EntryCountExperiment(COFFEE_LAKE_I7_9700)
+
+    def run_both():
+        return {n: exp.run(n) for n in (26, 30)}
+
+    by_n = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for n, samples in by_n.items():
+        print_series(
+            f"Figure 8a — {n} trained IPs (access time per input)",
+            [(s.input_index, s.access_time, "hit" if s.triggered else "MISS") for s in samples],
+            ("input", "cycles", "class"),
+        )
+        evicted = EntryCountExperiment.evicted_inputs(samples)
+        expected_leading = set(range(1, n - 24 + 1))
+        assert expected_leading <= set(evicted)
+        # +1 allowed: probe-order reallocation artifact (DESIGN.md §4).
+        assert len(evicted) <= (n - 24) + 2
+    # Capacity conclusion: survivors ≈ 24 in both runs.
+    for n, samples in by_n.items():
+        assert sum(s.triggered for s in samples) >= 22
+
+
+def test_fig08b_replacement_policy(benchmark):
+    exp = ReplacementPolicyExperiment(COFFEE_LAKE_I7_9700)
+    samples = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print_series(
+        "Figure 8b — 32 IPs, first 8 refreshed, 8 new trained",
+        [(s.input_index, s.access_time, "hit" if s.triggered else "MISS") for s in samples],
+        ("input", "cycles", "class"),
+    )
+    evicted = set(ReplacementPolicyExperiment.evicted_inputs(samples))
+    assert evicted & set(range(1, 9)) == set()  # refreshed entries survive (not FIFO)
+    assert {9, 10, 11, 12, 13, 14, 15, 16} <= evicted  # contiguous run: Bit-PLRU-like
+    assert evicted <= set(range(9, 18))
+
+
+def test_sec46_sgx_interplay(benchmark):
+    result = benchmark.pedantic(
+        SGXInterplayExperiment(COFFEE_LAKE_I7_9700).run, rounds=1, iterations=1
+    )
+    print_series(
+        "§4.6 — prefetched line validity after enclave exit",
+        [
+            ("prefetched line", result.prefetched_line_latency),
+            ("untouched line", result.untouched_line_latency),
+        ],
+        ("line", "cycles"),
+    )
+    assert result.prefetched_survives_exit

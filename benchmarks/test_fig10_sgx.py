@@ -1,0 +1,61 @@
+"""Figure 10 / §5.4 / §A.8: the SGX side channel and covert channel.
+
+Paper (§7.2 / §A.8): with the enclave secret = 0, Time1 (the stride-3
+witness line, 3x8 = 24) reads above 200 cycles and Time2 (the stride-5
+witness, 5x8 = 40) below 50 — and vice versa; the attacker always learns
+the secret.  The covert variant transmits bits the same way with the
+branch removed.
+"""
+
+from benchmarks.conftest import print_series
+from repro.core.sgx_attack import SGXControlFlowAttack, SGXCovertChannel
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+def test_fig10_side_channel(benchmark):
+    def run_both():
+        rows = []
+        for secret in (0, 1):
+            attack = SGXControlFlowAttack(
+                Machine(COFFEE_LAKE_I7_9700, seed=190 + secret), secret=secret
+            )
+            result = attack.run_round()
+            rows.append((secret, result.time1, result.time2, result.inferred_secret))
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_series(
+        "Figure 10 / §A.8 — SGX side channel (Time1 = line 24, Time2 = line 40)",
+        rows,
+        ("secret", "Time1 (cycles)", "Time2 (cycles)", "inferred"),
+    )
+    for secret, time1, time2, inferred in rows:
+        assert inferred == secret
+        hot, cold = (time1, time2) if secret else (time2, time1)
+        assert hot < 50  # §A.8: "lower than 50 cycles"
+        assert cold > 200  # "higher than 200 cycles"
+
+
+def test_fig10_covert_channel(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=192)
+    channel = SGXCovertChannel(machine)
+    bits = [1, 0, 1, 1, 0, 0, 1, 0]
+    received = benchmark.pedantic(lambda: channel.transmit(bits), rounds=1, iterations=1)
+    print(f"\nSGX covert channel: sent {bits} received {received}")
+    assert received == bits
+
+
+def test_sgx_success_rate(benchmark):
+    def evaluate():
+        ok = 0
+        for seed in (193, 194):
+            attack = SGXControlFlowAttack(
+                Machine(COFFEE_LAKE_I7_9700, seed=seed), secret=seed % 2
+            )
+            ok += sum(attack.run_round().success for _ in range(50))
+        return ok
+
+    ok = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\nSGX extraction success: {ok}/100 rounds")
+    assert ok >= 95

@@ -1,0 +1,56 @@
+"""Figure 14b + §7.2: the cross-process covert channel.
+
+Paper: a 5-bit symbol per round encoded as the trained stride (the figure
+shows b'11110 = 30); single-entry bandwidth 833 bps at <6 % error; training
+all 24 entries approaches 20 kbps at >25 % error.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.core.covert import CovertChannel
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+def test_fig14b_stride_detection(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=143)
+    channel = CovertChannel(machine, n_entries=1)
+    report = benchmark.pedantic(lambda: channel.transmit([30]), rounds=1, iterations=1)
+    round_result = report.rounds[0]
+    print_series(
+        "Figure 14b — receiver's view (secret b'11110 = stride 30)",
+        [(line, "hit") for line in sorted(round_result.hot_lines)],
+        ("#cache set", "class"),
+    )
+    assert round_result.received_value == 30
+
+
+def test_single_entry_bandwidth_and_error(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=144)
+    channel = CovertChannel(machine, n_entries=1)
+    rng = np.random.default_rng(144)
+    symbols = [int(x) for x in rng.integers(5, 32, 200)]
+    report = benchmark.pedantic(lambda: channel.transmit(symbols), rounds=1, iterations=1)
+    print(
+        f"\nsingle-entry covert channel: {report.bandwidth_bps:.0f} bps, "
+        f"error rate {report.error_rate * 100:.1f}% "
+        f"(paper: 833 bps, < 6%)"
+    )
+    assert 700 <= report.bandwidth_bps <= 950
+    assert report.error_rate < 0.06
+
+
+def test_24_entry_bandwidth_and_error(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=145)
+    channel = CovertChannel(machine, n_entries=24)
+    rng = np.random.default_rng(145)
+    symbols = [int(x) for x in rng.integers(5, 32, 480)]
+    report = benchmark.pedantic(lambda: channel.transmit(symbols), rounds=1, iterations=1)
+    print(
+        f"\n24-entry covert channel: {report.bandwidth_bps / 1000:.1f} kbps, "
+        f"error rate {report.error_rate * 100:.1f}% "
+        f"(paper: close to 20 kbps, > 25%)"
+    )
+    assert 15_000 <= report.bandwidth_bps <= 22_000
+    assert report.error_rate > 0.25

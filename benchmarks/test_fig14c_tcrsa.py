@@ -1,0 +1,76 @@
+"""Figure 14c + §7.3: end-to-end key recovery from timing-constant RSA.
+
+Paper: per-bit PSC latencies alternate with the key bits (an 8-bit window
+b'01010101 in the figure); at most 5 iterations per bit at PSC's 82 %
+single-shot success rate; 1024 bits project to ≈188 minutes of wall clock.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.core.tc_rsa_attack import TimingConstantRSAAttack
+from repro.cpu.machine import Machine
+from repro.crypto.primes import RSAKey
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+def _key_with_alternating_window() -> RSAKey:
+    """A small real keypair whose exponent starts with ...01010101..."""
+    rng = np.random.default_rng(0)
+    from repro.crypto.primes import generate_keypair
+
+    for seed in range(200):
+        key = generate_keypair(64, np.random.default_rng(seed))
+        bits = [(key.d >> i) & 1 for i in range(key.d.bit_length() - 1, -1, -1)]
+        for start in range(len(bits) - 8):
+            if bits[start : start + 8] == [0, 1, 0, 1, 0, 1, 0, 1]:
+                return key
+    raise AssertionError("no key with a b'01010101 window found")
+
+
+def test_fig14c_bit_latencies(benchmark):
+    key = _key_with_alternating_window()
+    machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=146)
+    attack = TimingConstantRSAAttack(machine, key, sync_slip_prob=0.0)
+    votes = benchmark.pedantic(lambda: attack.observe_pass(0xC0FFEE), rounds=1, iterations=1)
+
+    bits = attack._true_bits(None)
+    window = next(
+        i for i in range(len(bits) - 8) if bits[i : i + 8] == [0, 1, 0, 1, 0, 1, 0, 1]
+    )
+    rows = [
+        (k + 1, bits[window + k], votes[window + k][1])
+        for k in range(8)
+    ]
+    print_series(
+        "Figure 14c — PSC latency per key bit (window b'01010101)",
+        rows,
+        ("#secret key bit", "true bit", "PSC latency (cycles)"),
+    )
+    threshold = machine.hit_threshold()
+    for _idx, bit, latency in rows:
+        # bit=1: the targeted load ran, the prefetcher no longer triggers.
+        assert (latency >= threshold) == bool(bit)
+
+
+def test_full_key_recovery_and_projection(benchmark):
+    from repro.crypto.primes import generate_keypair
+
+    key = generate_keypair(128, np.random.default_rng(77))
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=147)
+    attack = TimingConstantRSAAttack(machine, key)
+    result = benchmark.pedantic(
+        lambda: attack.recover_key_bits(ciphertext=0xC0FFEE), rounds=1, iterations=1
+    )
+    usable = sum(len(o.votes) for o in result.observations)
+    total = sum(o.attempts for o in result.observations)
+    print(
+        f"\nTC-RSA recovery: {len(result.true_bits)}-bit exponent, "
+        f"{result.bit_errors} bit errors after {result.passes} passes; "
+        f"PSC single-shot success {usable / total * 100:.0f}% (paper: 82%); "
+        f"projected wall clock for 1024 bits: "
+        f"{result.projected_minutes_for_bits():.0f} min (paper: 188 min)"
+    )
+    assert result.bit_errors <= 1
+    assert 0.72 <= usable / total <= 0.92
+    assert 150 <= result.projected_minutes_for_bits() <= 220

@@ -1,0 +1,52 @@
+"""Figure 15 + §7.4: tracking OpenSSL-RSA load timing via AfterImage-PSC.
+
+Paper: the poll-latency stream is flat while the victim idles and shows a
+characteristic *double miss* when the monitored load executes (one for the
+clobbered entry, one more because the stride must re-train, §4.2).
+"""
+
+from benchmarks.conftest import print_series
+from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim, VictimPhase
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+def _run(target: str, seed: int):
+    machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=seed)
+    victim_ctx = machine.new_thread("openssl-rsa")
+    victim = OpenSSLRSAVictim(machine, victim_ctx)
+    tracker = LoadTimingTracker(machine, victim, target=target)
+    return victim, tracker.track()
+
+
+def test_fig15_key_load_tracking(benchmark):
+    victim, samples = benchmark.pedantic(
+        lambda: _run("key-load", 151), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 15 (left) — PSC latency while tracking the key load",
+        [(s.poll_index, s.latency, s.victim_phase.value) for s in samples],
+        ("poll", "latency (cycles)", "victim phase"),
+    )
+    misses = [s.poll_index for s in samples if not s.prefetcher_triggered]
+    # Exactly the paper's two misses, at the key-load slice.
+    assert misses == [victim.idle_slices, victim.idle_slices + 1]
+
+
+def test_fig15_decrypt_tracking(benchmark):
+    victim, samples = benchmark.pedantic(
+        lambda: _run("decrypt", 152), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 15 (right) — PSC latency while tracking the multiply-add load",
+        [(s.poll_index, s.latency, s.victim_phase.value) for s in samples],
+        ("poll", "latency (cycles)", "victim phase"),
+    )
+    miss_polls = {s.poll_index for s in samples if not s.prefetcher_triggered}
+    decrypt_polls = {s.poll_index for s in samples if s.victim_phase is VictimPhase.DECRYPT}
+    idle_before = {s.poll_index for s in samples if s.poll_index < victim.idle_slices}
+    assert miss_polls  # decryption is visible
+    assert miss_polls & idle_before == set()  # quiet while idle
+    # Misses only during (or right after) the decryption phase.
+    allowed = decrypt_polls | {max(decrypt_polls) + 1, max(decrypt_polls) + 2}
+    assert miss_polls <= allowed

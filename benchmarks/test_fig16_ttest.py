@@ -1,0 +1,41 @@
+"""Figure 16: TVLA t-test with and without AfterImage's timing marker.
+
+Paper: sampling the power trace at the AfterImage-provided S-box cycle
+yields leakage t ≈ −18.8, far past the −4.5 threshold; sampling at random
+cycles fluctuates around −2 and never crosses it.
+"""
+
+from benchmarks.conftest import print_series
+from repro.analysis.ttest import LEAKAGE_THRESHOLD, TVLATest, tvla_sweep
+
+COUNTS = [25, 50, 100, 200, 400, 800]
+
+
+def test_fig16a_accurate_timing(benchmark):
+    test = TVLATest(seed=160)
+    results = benchmark.pedantic(
+        lambda: tvla_sweep(test, COUNTS, accurate_timing=True), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 16a — t-test with accurate (AfterImage) timing",
+        [(r.n_plaintexts, round(r.t_value, 1), "LEAKS" if r.leaks else "") for r in results],
+        ("#plaintexts", "t-value", "verdict"),
+    )
+    final = results[-1]
+    assert final.t_value < -10  # paper: −18.8 at full trace count
+    assert final.leaks
+    # Monotone-ish growth in magnitude with the trace budget.
+    assert abs(results[-1].t_value) > abs(results[0].t_value)
+
+
+def test_fig16b_random_timing(benchmark):
+    test = TVLATest(seed=161)
+    results = benchmark.pedantic(
+        lambda: tvla_sweep(test, COUNTS, accurate_timing=False), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 16b — t-test with randomly picked timing",
+        [(r.n_plaintexts, round(r.t_value, 1), "LEAKS" if r.leaks else "") for r in results],
+        ("#plaintexts", "t-value", "verdict"),
+    )
+    assert all(abs(r.t_value) < LEAKAGE_THRESHOLD for r in results)

@@ -1,0 +1,39 @@
+"""Table 1: prefetching across logical pages and physical page frames.
+
+Paper: the reclaimable pool (virtual pages sharing one physical frame)
+stays prefetchable at every offset; MAP_LOCKED pages are prefetchable only
+one page ahead (next-page prefetcher), not beyond.
+"""
+
+from benchmarks.conftest import print_series
+from repro.params import COFFEE_LAKE_I7_9700
+from repro.revng.page_boundary import PageBoundaryExperiment
+
+
+def test_table1_page_boundary(benchmark):
+    exp = PageBoundaryExperiment(COFFEE_LAKE_I7_9700)
+    rows = benchmark.pedantic(lambda: exp.run(max_offset=4), rounds=1, iterations=1)
+    print_series(
+        "Table 1 — prefetchability across page boundaries",
+        [
+            (
+                f"{r.virtual_page_offset} page",
+                r.pool,
+                "yes" if r.shares_physical_page else "no",
+                "yes" if r.prefetchable else "no",
+                r.access_time,
+            )
+            for r in rows
+        ],
+        ("virtual offset", "pool", "shares frame", "prefetchable", "cycles"),
+    )
+    for r in rows:
+        if r.pool == "recl":
+            assert r.prefetchable and r.shares_physical_page
+        elif r.virtual_page_offset == 1:
+            assert r.prefetchable and not r.shares_physical_page
+        else:
+            assert not r.prefetchable
+
+    # §4.3 narrative: the second access on a TLB-missing page activates.
+    assert exp.second_access_activates()

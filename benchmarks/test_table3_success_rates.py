@@ -1,0 +1,99 @@
+"""Table 3 / §7.2: attack success rates over 200 rounds per variant.
+
+Paper: Variant 1 cross-thread 99 %, Variant 1 cross-processes 97 %,
+Variant 2 (user-kernel) 91 %.  We assert the bands and the ordering
+(thread > process > kernel); absolute points depend on the calibrated
+noise model (DESIGN.md §5).
+"""
+
+import numpy as np
+
+from repro.analysis.success_rate import measure_success_rate
+from repro.core.variant1 import Variant1CrossProcess, Variant1CrossThread
+from repro.core.variant2 import Variant2UserKernel
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700
+
+ROUNDS = 200  # the paper's evaluation size
+
+
+def test_table3_variant1_cross_thread(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=171)
+    attack = Variant1CrossThread(machine)
+    rng = np.random.default_rng(171)
+
+    def evaluate():
+        return measure_success_rate(
+            "V1 cross-thread",
+            lambda _i: attack.run_round(int(rng.integers(0, 2))).success,
+            rounds=ROUNDS,
+        )
+
+    report = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\n{report.summary()}  (paper: 99%)")
+    assert report.success_rate >= 0.95
+
+
+def test_table3_variant1_cross_process(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=172)
+    attack = Variant1CrossProcess(machine)
+    rng = np.random.default_rng(172)
+
+    def evaluate():
+        return measure_success_rate(
+            "V1 cross-process",
+            lambda _i: attack.run_round(int(rng.integers(0, 2))).success,
+            rounds=ROUNDS,
+        )
+
+    report = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\n{report.summary()}  (paper: 97%)")
+    assert report.success_rate >= 0.92
+
+
+def test_table3_variant2_user_kernel(benchmark):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=173)
+    rng = np.random.default_rng(173)
+    attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
+    search = attack.find_target_index()
+    assert search.index == attack.true_target_index
+
+    def evaluate():
+        return measure_success_rate(
+            "V2 user-kernel",
+            lambda _i: attack.run_round().success,
+            rounds=ROUNDS,
+        )
+
+    report = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\n{report.summary()}  (paper: 91%)")
+    assert report.success_rate >= 0.85
+
+
+def test_table3_ordering(benchmark):
+    """Crossing a stronger isolation boundary costs accuracy: the kernel
+    variant trails both user-space variants (the paper's 99/97/91 shape)."""
+    rng = np.random.default_rng(174)
+
+    def evaluate():
+        at = Variant1CrossThread(Machine(COFFEE_LAKE_I7_9700, seed=174))
+        thread_rate = sum(at.run_round(i % 2).success for i in range(100)) / 100
+
+        ap = Variant1CrossProcess(Machine(COFFEE_LAKE_I7_9700, seed=175))
+        process_rate = sum(ap.run_round(i % 2).success for i in range(100)) / 100
+
+        mk = Machine(COFFEE_LAKE_I7_9700, seed=176)
+        ak = Variant2UserKernel(mk, secret_source=lambda: int(rng.integers(0, 2)))
+        ak.find_target_index()
+        kernel_rate = sum(ak.run_round().success for _ in range(100)) / 100
+        return thread_rate, process_rate, kernel_rate
+
+    thread_rate, process_rate, kernel_rate = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+    print(
+        f"\nordering: cross-thread {thread_rate:.2f} / cross-process {process_rate:.2f}"
+        f" / user-kernel {kernel_rate:.2f}"
+    )
+    assert thread_rate >= kernel_rate
+    assert process_rate >= kernel_rate

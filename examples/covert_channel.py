@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Cross-process covert channel through the IP-stride prefetcher (§5.3).
+
+The sender encodes 5 bits per round as a prefetcher stride; the receiver
+triggers the entry with an aliasing load and reads the stride back from
+the cache footprint.  Transmits an ASCII message and reports bandwidth and
+error rate for the single-entry and 24-entry configurations.
+
+Run:  python examples/covert_channel.py [--message "..."]
+"""
+
+import argparse
+
+from repro import COFFEE_LAKE_I7_9700, Machine
+from repro.core import CovertChannel, decode_text as decode, encode_text as encode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--message", default="the quick brown fox jumps over the lazy dog")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    symbols = encode(args.message)
+
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=args.seed)
+    channel = CovertChannel(machine, n_entries=1)
+    report = channel.transmit(symbols)
+    received = decode([r.received_value for r in report.rounds])
+    print("single-entry channel (the paper's 833 bps configuration)")
+    print(f"  sent:     {args.message!r}")
+    print(f"  received: {received!r}")
+    print(f"  bandwidth: {report.bandwidth_bps:.0f} bps   error: {report.error_rate * 100:.1f}%")
+    print()
+
+    machine24 = Machine(COFFEE_LAKE_I7_9700, seed=args.seed + 1)
+    channel24 = CovertChannel(machine24, n_entries=24)
+    padded = symbols + [31] * (-len(symbols) % 24)
+    report24 = channel24.transmit(padded)
+    received24 = decode([r.received_value for r in report24.rounds][: len(symbols)])
+    print("24-entry channel (the ~20 kbps ceiling, error-prone)")
+    print(f"  received: {received24!r}")
+    print(
+        f"  bandwidth: {report24.bandwidth_bps / 1000:.1f} kbps   "
+        f"error: {report24.error_rate * 100:.1f}%  (paper: >25%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

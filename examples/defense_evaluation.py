@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Evaluate the paper's defense options (§8.2-§8.3) against AfterImage.
+
+Four configurations face the same Variant-1 attacker and covert channel:
+
+1. no defense (the vulnerable baseline),
+2. the §8.3 clear-ip-prefetcher flush on every domain switch,
+3. a (asid, full-IP)-tagged history table (§8.2's hardware fix),
+4. an obliviously rewritten victim (§8.2's developer fix).
+
+Then the performance side: what each hardware option costs a streaming
+workload, via the ChampSim-lite IPC model.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+import numpy as np
+
+from repro import COFFEE_LAKE_I7_9700, PAGE_SIZE, Machine
+from repro.core import CovertChannel, TrainingGadget, Variant1CrossProcess
+from repro.defenses import ObliviousBranchVictim, harden_machine
+from repro.mitigation import ChampSimLite
+from repro.mitigation.traces import generate_trace, suite_by_name
+
+ROUNDS = 40
+
+
+def variant1_success(machine: Machine) -> float:
+    attack = Variant1CrossProcess(machine)
+    return sum(attack.run_round(i % 2).success for i in range(ROUNDS)) / ROUNDS
+
+
+def covert_delivery(machine: Machine) -> float:
+    rng = np.random.default_rng(1)
+    symbols = [int(x) for x in rng.integers(5, 32, ROUNDS)]
+    report = CovertChannel(machine, n_entries=1).transmit(symbols)
+    return 1 - report.error_rate
+
+
+def oblivious_leak(machine: Machine) -> float:
+    """Attack the oblivious victim; score by distinguishability."""
+    space = machine.new_address_space("victim")
+    vctx = machine.new_thread("victim", space)
+    actx = machine.new_thread("attacker")
+    machine.context_switch(actx)
+    data = machine.new_buffer(space, PAGE_SIZE)
+    victim = ObliviousBranchVictim(machine, vctx, data)
+    gadget = TrainingGadget(machine, actx, victim.if_ip, victim.else_ip)
+    coin = np.random.default_rng(2)
+    correct = 0
+    for i in range(ROUNDS):
+        bit = i % 2
+        machine.context_switch(actx)
+        gadget.train()
+        machine.context_switch(vctx)
+        victim.run(bit, 20)
+        machine.context_switch(actx)
+        if_conf, else_conf = gadget.confidences()
+        # Best-effort guess: whichever entry looks disturbed.
+        if (if_conf or 0) < (else_conf or 0):
+            guess = 1
+        elif (else_conf or 0) < (if_conf or 0):
+            guess = 0
+        else:
+            guess = int(coin.integers(0, 2))  # both disturbed: no information
+        correct += guess == bit
+    return correct / ROUNDS
+
+
+def main() -> None:
+    print("security: Variant-1 success / covert-channel delivery (40 rounds)\n")
+    rows = []
+
+    baseline = Machine(COFFEE_LAKE_I7_9700, seed=90)
+    rows.append(("no defense", variant1_success(baseline),
+                 covert_delivery(Machine(COFFEE_LAKE_I7_9700, seed=91))))
+
+    flushing = Machine(COFFEE_LAKE_I7_9700, seed=92)
+    flushing.flush_prefetcher_on_switch = True
+    flushing2 = Machine(COFFEE_LAKE_I7_9700, seed=93)
+    flushing2.flush_prefetcher_on_switch = True
+    rows.append(("clear-ip-prefetcher (§8.3)", variant1_success(flushing),
+                 covert_delivery(flushing2)))
+
+    tagged = Machine(COFFEE_LAKE_I7_9700, seed=94)
+    harden_machine(tagged)
+    tagged2 = Machine(COFFEE_LAKE_I7_9700, seed=95)
+    harden_machine(tagged2)
+    rows.append(("tagged history table (§8.2)", variant1_success(tagged),
+                 covert_delivery(tagged2)))
+
+    for name, v1, cc in rows:
+        print(f"  {name:30s} V1 {v1 * 100:5.1f}%   covert {cc * 100:5.1f}%")
+
+    obl = oblivious_leak(Machine(COFFEE_LAKE_I7_9700.quiet(), seed=96))
+    print(f"  {'oblivious victim (§8.2)':30s} V1 {obl * 100:5.1f}%   (coin-flip = 50%)")
+
+    print("\nperformance on a streaming workload (libquantum-like):")
+    spec = suite_by_name("libquantum-like")
+    ips, addrs = generate_trace(spec, 40_000)
+    on = ChampSimLite(COFFEE_LAKE_I7_9700).run("x", ips, addrs).ipc
+    off = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=False).run("x", ips, addrs).ipc
+    flushed = ChampSimLite(COFFEE_LAKE_I7_9700, flush_period_cycles=30_000).run(
+        "x", ips, addrs
+    ).ipc
+    print(f"  prefetcher on:        IPC {on:.3f}")
+    print(f"  flush every 10 us:    IPC {flushed:.3f}  ({(1 - flushed / on) * 100:.2f}% cost)")
+    print(f"  prefetcher disabled:  IPC {off:.3f}  ({(1 - off / on) * 100:.0f}% cost)")
+    print("  tagged table:         IPC as baseline (owner entries unaffected)")
+    print("\nconclusion: the paper's flush (or a tagged table) closes the channel")
+    print("for ~0.7% — disabling the prefetcher costs orders of magnitude more.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Variant 2 end-to-end: spying on a kernel branch from user space (§5.2).
+
+1. The kernel exposes the paper's Listing 7 vulnerable syscall, whose
+   secret-dependent branch loads from user-shared memory.
+2. The attacker locates the hidden kernel load's prefetcher index with the
+   256-candidate IP search (KASLR does not disturb the low 8 IP bits).
+3. It then leaks the branch direction of every subsequent syscall.
+
+Also demonstrates the Figure 1 pattern: inferring which Bluetooth packet
+type another user sent, from the kernel's per-type statistics load.
+
+Run:  python examples/kernel_spy.py
+"""
+
+import numpy as np
+
+from repro import COFFEE_LAKE_I7_9700, PAGE_SIZE, Machine
+from repro.core import Variant2UserKernel
+from repro.kernel import BluetoothTxSyscall, Kernel
+
+
+def spy_on_vulnerable_syscall() -> None:
+    rng = np.random.default_rng(11)
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=11)
+    attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
+
+    print("== Variant 2: the vulnerable syscall (Listing 7) ==")
+    result = attack.find_target_index()
+    print(
+        f"IP search: found index {result.index:#04x} "
+        f"(truth: {attack.true_target_index:#04x}) "
+        f"after {result.syscalls_used} syscalls"
+    )
+
+    rounds = [attack.run_round() for _ in range(20)]
+    for i, r in enumerate(rounds):
+        mark = "ok" if r.success else "WRONG"
+        print(
+            f"  call {i:2d}: kernel branch {'taken' if r.true_taken else 'not taken'}"
+            f" -> leaked {'taken' if r.inferred_taken else 'not taken'} [{mark}]"
+        )
+    rate = sum(r.success for r in rounds) / len(rounds)
+    print(f"success rate over {len(rounds)} calls: {rate * 100:.0f}% (paper: 91%)\n")
+
+
+def spy_on_bluetooth() -> None:
+    print("== Figure 1 pattern: which HCI packet type did the user send? ==")
+    machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=12)
+    kernel = Kernel(machine)
+    bluetooth = BluetoothTxSyscall(kernel)
+    user = machine.new_thread("bt-user")
+    spy = machine.new_thread("spy")
+    machine.context_switch(spy)
+
+    # Train one prefetcher entry per switch arm, each with its own stride.
+    trains = {}
+    for pkt in bluetooth.PACKET_TYPES:
+        buf = machine.new_buffer(spy.space, PAGE_SIZE)
+        machine.warm_buffer_tlb(spy, buf)
+        ip = 0x770000 + (bluetooth.case_ips[pkt] - 0x770000) % 256
+        for i in range(3):
+            machine.load(spy, ip, buf.line_addr(i * 7))
+        trains[pkt] = ip
+
+    machine.context_switch(user)
+    secret_pkt = "HCI_SCODATA_PKT"
+    bluetooth.send_frame(user, secret_pkt)
+    machine.context_switch(spy)
+
+    disturbed = [
+        pkt
+        for pkt, ip in trains.items()
+        if (entry := machine.ip_stride.entry_for_ip(ip)) is None or entry.confidence < 2
+    ]
+    print(f"user secretly sent: {secret_pkt}")
+    print(f"spy's verdict (disturbed entries): {disturbed}")
+    assert disturbed == [secret_pkt]
+
+
+if __name__ == "__main__":
+    spy_on_vulnerable_syscall()
+    spy_on_bluetooth()

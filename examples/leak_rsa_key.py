@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""End-to-end RSA key recovery from a timing-constant ladder (paper §6.2).
+
+The victim decrypts with a real Montgomery-ladder engine whose two branch
+directions perform identical work (the MbedTLS timing-constant pattern of
+the paper's Figures 3-4) — yet the operand-preparation loads sit at
+different IPs, which AfterImage-PSC distinguishes bit by bit.
+
+Run:  python examples/leak_rsa_key.py [--bits 128]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import COFFEE_LAKE_I7_9700, Machine
+from repro.core import TimingConstantRSAAttack
+from repro.crypto import generate_keypair
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bits", type=int, default=128, help="RSA modulus size")
+    parser.add_argument("--seed", type=int, default=7, help="simulation seed")
+    args = parser.parse_args()
+
+    key = generate_keypair(args.bits, np.random.default_rng(args.seed))
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=args.seed)
+    attack = TimingConstantRSAAttack(machine, key)
+
+    print(f"victim: timing-constant Montgomery ladder, {key.modulus_bits}-bit modulus")
+    print(f"private exponent: {key.private_exponent_bits} bits")
+    print("attacking via AfterImage-PSC (train -> sched_yield -> check per bit)...")
+
+    ciphertext = key.encrypt(0x5EC5E7)
+    result = attack.recover_key_bits(ciphertext)
+
+    usable = sum(len(obs.votes) for obs in result.observations)
+    total = sum(obs.attempts for obs in result.observations)
+    print()
+    print(f"passes over the key:       {result.passes}")
+    print(f"PSC single-shot success:   {usable / total * 100:.0f}% (paper: 82%)")
+    print(f"bit errors:                {result.bit_errors}")
+    print(f"recovered d == true d:     {result.recovered_exponent == key.d}")
+    print(f"simulated attack time:     {result.simulated_seconds * 1e3:.1f} ms")
+    print(
+        "projected wall clock for a 1024-bit key on the paper's testbed: "
+        f"{result.projected_minutes_for_bits():.0f} minutes (paper: 188)"
+    )
+    if result.exact:
+        message = pow(ciphertext, result.recovered_exponent, key.n)
+        print(f"decrypting the ciphertext with the stolen key: {message:#x}")
+
+
+if __name__ == "__main__":
+    main()

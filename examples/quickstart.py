@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: leak one secret-dependent branch with AfterImage.
+
+Builds a simulated Coffee Lake machine, puts a victim process with the
+paper's Listing 1 branch on it, and leaks the branch direction from a
+separate attacker process using the Listing 6 gadget + Flush+Reload
+(AfterImage-Cache, Variant 1 cross-process).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import COFFEE_LAKE_I7_9700, Machine
+from repro.core import Variant1CrossProcess
+
+
+def main() -> None:
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=2023)
+    attack = Variant1CrossProcess(machine, s1_lines=7, s2_lines=13)
+
+    print("AfterImage Variant 1 (cross-process, Flush+Reload)")
+    print(f"machine: {machine.params.name} ({machine.params.microarchitecture})")
+    print(f"victim if-path load IP:   {attack.victim.if_ip:#x}")
+    print(f"victim else-path load IP: {attack.victim.else_ip:#x}")
+    print(f"gadget aliases:           {attack.gadget.if_ip:#x} / {attack.gadget.else_ip:#x}")
+    print()
+
+    secret = [1, 0, 1, 1, 0, 0, 1, 0]
+    leaked = []
+    for round_index, bit in enumerate(secret):
+        result = attack.run_round(bit)
+        leaked.append(result.inferred_bit)
+        print(
+            f"round {round_index}: victim took {'if' if bit else 'else'}-path, "
+            f"hot lines {result.hot_lines} -> leaked bit {result.inferred_bit}"
+        )
+
+    print()
+    print(f"secret bits: {secret}")
+    print(f"leaked bits: {leaked}")
+    correct = sum(a == b for a, b in zip(secret, leaked))
+    print(f"accuracy: {correct}/{len(secret)}")
+
+
+if __name__ == "__main__":
+    main()

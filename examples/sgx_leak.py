@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Extracting an enclave secret through the shared prefetcher (§5.4, §A.8).
+
+The enclave's loop stride depends on its secret (3 vs 5 cache lines over a
+buffer shared with the untrusted zone).  The untrusted attacker flushes the
+buffer, makes the ECALL, and times the two candidate prefetched lines
+(3x8 = line 24 and 5x8 = line 40): whichever is cached names the stride —
+and the secret.  No Prime+Probe or Flush+Reload of the enclave's own
+memory is needed.
+
+Run:  python examples/sgx_leak.py
+"""
+
+from repro import COFFEE_LAKE_I7_9700, Machine
+from repro.core import SGXControlFlowAttack
+
+
+def main() -> None:
+    for secret in (0, 1):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=18 + secret)
+        attack = SGXControlFlowAttack(machine, secret=secret)
+        result = attack.run_round()
+        print(f"enclave secret = {secret}")
+        print(
+            f"  Time1 (line {attack.check_line_if_set}, stride-3 witness):   "
+            f"{result.time1:4d} cycles"
+        )
+        print(
+            f"  Time2 (line {attack.check_line_if_clear}, stride-5 witness): "
+            f"{result.time2:4d} cycles"
+        )
+        print(f"  attacker infers secret = {result.inferred_secret}  "
+              f"[{'correct' if result.success else 'WRONG'}]")
+
+        rounds = [attack.run_round() for _ in range(100)]
+        rate = sum(r.success for r in rounds) / len(rounds)
+        print(f"  success over 100 rounds: {rate * 100:.0f}%\n")
+
+    print(
+        "the same mechanism with the branch removed is the SGX covert channel:\n"
+        "an in-enclave sender picks the stride; the untrusted receiver reads it."
+    )
+
+
+if __name__ == "__main__":
+    main()

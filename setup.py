@@ -1,0 +1,6 @@
+"""Setup shim: lets `pip install -e . --no-use-pep517` work on machines
+without the `wheel` package (this environment is offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""AfterImage (ASPLOS 2023) reproduction library.
+
+Leaking control-flow data and tracking load operations via the (simulated)
+Intel IP-stride hardware prefetcher — Chen, Pei & Carlson, ASPLOS 2023.
+
+Quick start::
+
+    from repro import Machine, COFFEE_LAKE_I7_9700
+    from repro.core import Variant1CrossProcess
+
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=1)
+    attack = Variant1CrossProcess(machine)
+    result = attack.run_round(secret_bit=1)
+    assert result.inferred_bit == 1
+
+Package map (see DESIGN.md for the full inventory):
+
+============  =======================================================
+``params``    machine presets (paper Table 2) and model knobs
+``memsys``    caches, replacement policies, sliced LLC
+``mmu``       page tables, TLB, ASLR, buffers
+``prefetch``  IP-stride prefetcher (paper §4) + DCU/adjacent/streamer
+``cpu``       the simulated machine, contexts, scheduler
+``kernel``    syscalls, privilege domain, victim patterns
+``sgx``       enclave model
+``channels``  Flush+Reload, Prime+Probe, eviction sets, PSC
+``crypto``    RSA (ladder / timing-constant), AES, power model
+``core``      the AfterImage attacks (variants 1/2, covert, SGX,
+              TC-RSA key recovery, load-timing tracker)
+``revng``     reverse-engineering microbenchmarks (Figs 6-8, Table 1)
+``analysis``  TVLA t-test, success-rate harness
+``mitigation``  clear-ip-prefetcher cost models (§8.3)
+============  =======================================================
+"""
+
+from repro.cpu.machine import Machine
+from repro.params import (
+    CACHE_LINE_SIZE,
+    COFFEE_LAKE_I7_9700,
+    DEFAULT_MACHINE,
+    HASWELL_I7_4770,
+    LINES_PER_PAGE,
+    PAGE_SIZE,
+    MachineParams,
+    preset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineParams",
+    "preset",
+    "HASWELL_I7_4770",
+    "COFFEE_LAKE_I7_9700",
+    "DEFAULT_MACHINE",
+    "CACHE_LINE_SIZE",
+    "PAGE_SIZE",
+    "LINES_PER_PAGE",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Analysis utilities: TVLA leakage t-test and attack success-rate harness."""
+
+from repro.analysis.success_rate import SuccessRateReport, measure_success_rate
+from repro.analysis.ttest import TTestResult, TVLATest, tvla_sweep
+
+__all__ = [
+    "TVLATest",
+    "TTestResult",
+    "tvla_sweep",
+    "SuccessRateReport",
+    "measure_success_rate",
+]

@@ -1,0 +1,57 @@
+"""Success-rate harness for the paper's §7.2 evaluation (Table 3 bands)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SuccessRateReport:
+    """Aggregate of repeated attack rounds."""
+
+    name: str
+    successes: int = 0
+    failures: int = 0
+    undecided: int = 0
+    details: list[object] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return self.successes + self.failures + self.undecided
+
+    @property
+    def success_rate(self) -> float:
+        if self.rounds == 0:
+            raise ValueError("no rounds recorded")
+        return self.successes / self.rounds
+
+    def record(self, success: bool | None, detail: object = None) -> None:
+        if success is None:
+            self.undecided += 1
+        elif success:
+            self.successes += 1
+        else:
+            self.failures += 1
+        if detail is not None:
+            self.details.append(detail)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.success_rate * 100:.1f}% "
+            f"({self.successes}/{self.rounds} rounds, {self.undecided} undecided)"
+        )
+
+
+def measure_success_rate(
+    name: str,
+    run_round: Callable[[int], bool | None],
+    rounds: int = 200,
+) -> SuccessRateReport:
+    """Run ``run_round(round_index)`` ``rounds`` times (the paper uses 200)."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    report = SuccessRateReport(name=name)
+    for index in range(rounds):
+        report.record(run_round(index))
+    return report

@@ -1,0 +1,30 @@
+"""Secret-extraction channels.
+
+Two families, mirroring the paper's §2.3 "Observe Secret" step:
+
+* Classic cache primitives — :class:`FlushReload`, :class:`PrimeProbe`
+  (with slice-aware eviction-set construction) and :class:`FlushFlush` —
+  used by the AfterImage-Cache flow.
+* :class:`PrefetcherStatusCheck` (PSC, §6.1) — the paper's novel,
+  cache-primitive-independent extraction method used by AfterImage-PSC.
+"""
+
+from repro.channels.eviction_sets import EvictionSet, EvictionSetBuilder
+from repro.channels.flush_flush import FlushFlush
+from repro.channels.flush_reload import FlushReload, ReloadSample
+from repro.channels.prime_probe import PrimeProbe, ProbeSample
+from repro.channels.psc import PrefetcherStatusCheck, PSCObservation
+from repro.channels.thresholds import classify_hit
+
+__all__ = [
+    "FlushReload",
+    "ReloadSample",
+    "PrimeProbe",
+    "ProbeSample",
+    "FlushFlush",
+    "EvictionSet",
+    "EvictionSetBuilder",
+    "PrefetcherStatusCheck",
+    "PSCObservation",
+    "classify_hit",
+]

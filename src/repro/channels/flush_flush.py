@@ -1,0 +1,57 @@
+"""Flush+Flush (Gruss et al., DIMVA 2016).
+
+Instead of reloading, the attacker re-flushes: ``clflush`` of a cached line
+takes longer than of an uncached one.  Included for completeness of the
+cache-primitive family the paper surveys in §3.1; the AfterImage variants
+use Flush+Reload / Prime+Probe / PSC.
+
+The simulator models the clflush timing difference directly: flushing a
+resident line costs the LLC round trip, flushing a non-resident one returns
+early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.mmu.buffer import Buffer
+
+#: clflush latency (cycles) when the line was resident vs. not.
+FLUSH_HIT_CYCLES = 44
+FLUSH_MISS_CYCLES = 30
+#: Classification threshold between the two.
+FLUSH_THRESHOLD = 37
+
+
+@dataclass(frozen=True)
+class FlushSample:
+    line: int
+    latency: int
+
+    @property
+    def was_cached(self) -> bool:
+        return self.latency >= FLUSH_THRESHOLD
+
+
+class FlushFlush:
+    """Flush+Flush over one shared buffer."""
+
+    def __init__(self, machine: Machine, ctx: ThreadContext, shared: Buffer) -> None:
+        self.machine = machine
+        self.ctx = ctx
+        self.shared = shared
+
+    def flush_timed(self, line: int) -> FlushSample:
+        """Flush one line, returning the (noisy) flush latency."""
+        vaddr = self.shared.line_addr(line)
+        resident = self.machine.is_cached(self.ctx, vaddr)
+        self.machine.clflush(self.ctx, vaddr)
+        ideal = FLUSH_HIT_CYCLES if resident else FLUSH_MISS_CYCLES
+        latency = self.machine.measured_latency(ideal)
+        return FlushSample(line=line, latency=latency)
+
+    def sweep(self) -> list[FlushSample]:
+        """Timed flush of every line of the shared buffer."""
+        return [self.flush_timed(line) for line in range(self.shared.n_lines)]

@@ -1,0 +1,100 @@
+"""Flush+Reload (Yarom & Falkner, USENIX Security 2014) on the simulator.
+
+Requires memory shared between attacker and victim (``MAP_SHARED`` pages, a
+shared library, or the kernel's view of user memory).  The attacker flushes
+the shared lines, lets the victim run, then reloads each line and classifies
+by latency: a fast reload means the victim (or the prefetcher it triggered)
+touched the line.
+
+Two details come straight from the paper's artifact appendix (§A.6):
+
+* the reload sweep visits lines in a Fisher-Yates-shuffled order, so the
+  reload loads themselves never exhibit a constant stride that would train
+  the IP-stride prefetcher and contaminate the measurement;
+* the reload instruction's IP must not alias the monitored prefetcher
+  entries — the constructor rejects such placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.thresholds import classify_hit
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.mmu.buffer import Buffer
+from repro.params import LINES_PER_PAGE
+from repro.utils.bits import low_bits
+
+
+@dataclass(frozen=True)
+class ReloadSample:
+    """Measured reload of one cache line."""
+
+    line: int
+    latency: int
+    hit: bool
+
+
+class FlushReload:
+    """Flush+Reload over one shared buffer."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        shared: Buffer,
+        reload_ip: int,
+        avoid_ip_indexes: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        if low_bits(reload_ip, machine.params.prefetcher.index_bits) in avoid_ip_indexes:
+            raise ValueError(
+                f"reload IP {reload_ip:#x} aliases a monitored prefetcher entry; "
+                "move the reload loop (paper §A.6 uses mfence + shuffled order "
+                "precisely to keep the measurement from perturbing the entry)"
+            )
+        self.machine = machine
+        self.ctx = ctx
+        self.shared = shared
+        self.reload_ip = reload_ip
+        self._rng = np.random.default_rng(int(machine.rng.integers(0, 2**63 - 1)))
+
+    def flush(self, page: int | None = None) -> None:
+        """clflush the shared lines (one page, or the whole buffer)."""
+        lines = self._page_lines(page)
+        for line in lines:
+            self.machine.clflush(self.ctx, self.shared.line_addr(line))
+
+    def reload(self, page: int | None = None) -> list[ReloadSample]:
+        """Timed reload of the shared lines in shuffled order.
+
+        Results are returned in ascending line order regardless of visit
+        order (the visit order only exists to avoid training the prefetcher).
+        """
+        lines = self._page_lines(page)
+        order = list(lines)
+        self._rng.shuffle(order)
+        threshold = self.machine.hit_threshold()
+        samples = {}
+        for line in order:
+            latency = self.machine.load(
+                self.ctx, self.reload_ip, self.shared.line_addr(line), fenced=True
+            )
+            samples[line] = ReloadSample(
+                line=line, latency=latency, hit=classify_hit(latency, threshold)
+            )
+        return [samples[line] for line in lines]
+
+    def hit_lines(self, page: int | None = None) -> list[int]:
+        """Convenience: reload and return only the lines that hit."""
+        return [sample.line for sample in self.reload(page) if sample.hit]
+
+    def _page_lines(self, page: int | None) -> list[int]:
+        if page is None:
+            return list(range(self.shared.n_lines))
+        first = page * LINES_PER_PAGE
+        if not 0 <= page < self.shared.n_pages:
+            raise IndexError(f"page {page} outside shared buffer")
+        return list(range(first, first + LINES_PER_PAGE))

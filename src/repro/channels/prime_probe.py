@@ -1,0 +1,97 @@
+"""Prime+Probe (Osvik et al. 2006; Liu et al. 2015) on the simulated LLC.
+
+No shared memory required: the attacker fills ("primes") chosen LLC sets
+with its own lines, schedules the victim, then re-accesses ("probes") the
+same lines.  High probe latency means the victim — or a prefetch the victim
+triggered — displaced the attacker's data from that set.
+
+The reported measurement matches the paper's Figure 13a/13b y-axis: the
+difference between each set's probe time and its prime-phase baseline
+("the time taken, between the probing phase and priming phase, to access
+each MES of the cache set").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channels.eviction_sets import EvictionSet
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """Prime/probe timing for one monitored cache set."""
+
+    set_ordinal: int
+    prime_latency: int
+    probe_latency: int
+
+    @property
+    def delta(self) -> int:
+        """Probe minus prime total latency — the Figure 13a/13b y-value."""
+        return self.probe_latency - self.prime_latency
+
+
+class PrimeProbe:
+    """Prime+Probe over an ordered list of eviction sets.
+
+    The ordinal of each eviction set is the caller's plotting coordinate
+    (for the paper's figures: the line index inside the observed page).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        eviction_sets: list[EvictionSet],
+        probe_ip: int,
+    ) -> None:
+        if not eviction_sets:
+            raise ValueError("need at least one eviction set")
+        self.machine = machine
+        self.ctx = ctx
+        self.eviction_sets = eviction_sets
+        self.probe_ip = probe_ip
+        self._prime_latencies: list[int] | None = None
+
+    def prime(self) -> None:
+        """Fill every monitored set with attacker lines, recording baselines.
+
+        Each set is traversed twice so that the attacker's lines end up
+        most-recently-used in the LRU order; the *second* pass (all hits in
+        the steady state) is the baseline latency.
+        """
+        baselines = []
+        for es in self.eviction_sets:
+            for vaddr in es.addresses:
+                self.machine.load(self.ctx, self.probe_ip, vaddr, fenced=True)
+            total = 0
+            for vaddr in es.addresses:
+                total += self.machine.load(self.ctx, self.probe_ip, vaddr, fenced=True)
+            baselines.append(total)
+        self._prime_latencies = baselines
+
+    def probe(self) -> list[ProbeSample]:
+        """Timed traversal of every monitored set (requires a prior prime)."""
+        if self._prime_latencies is None:
+            raise RuntimeError("probe() before prime(); call prime() first")
+        samples = []
+        for ordinal, es in enumerate(self.eviction_sets):
+            total = 0
+            for vaddr in es.addresses:
+                total += self.machine.load(self.ctx, self.probe_ip, vaddr, fenced=True)
+            samples.append(
+                ProbeSample(
+                    set_ordinal=ordinal,
+                    prime_latency=self._prime_latencies[ordinal],
+                    probe_latency=total,
+                )
+            )
+        self._prime_latencies = None
+        return samples
+
+    def victim_touched_sets(self, samples: list[ProbeSample], min_delta: int) -> list[int]:
+        """Ordinals whose probe-prime delta indicates victim activity."""
+        return [sample.set_ordinal for sample in samples if sample.delta >= min_delta]

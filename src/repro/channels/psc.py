@@ -1,0 +1,142 @@
+"""Prefetcher Status Checking (PSC) — the paper's §6.1 contribution.
+
+PSC extracts the secret *without any cache primitive*: the attacker trains
+an IP-stride entry with a known stride, lets the victim run, then continues
+its own strided sequence by one more load and times the would-be prefetch
+target:
+
+* **hit**  → the entry still held (confidence ≥ 2, stride intact), so the
+  prefetch fired → the victim did **not** execute the aliased load;
+* **miss** → the victim's aliased load rewrote the stride and reset the
+  confidence to 1, so no prefetch fired → the victim **did** execute it.
+
+Only one destination address is timed per observation, which is why the
+paper reports PSC to be faster than Flush+Reload / Prime+Probe and immune
+to cache-primitive-focused defenses (§6.1, §8.1).
+
+After a disturbed observation the attacker's own sequence needs two more
+loads before the entry is confident again — the "two misses" visible in the
+paper's Figure 15 (§7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channels.thresholds import classify_hit
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.mmu.buffer import Buffer
+from repro.params import CACHE_LINE_SIZE, LINES_PER_PAGE
+from repro.utils.bits import low_bits
+
+
+@dataclass(frozen=True)
+class PSCObservation:
+    """One prefetcher-status check."""
+
+    latency: int
+    prefetcher_triggered: bool
+
+    @property
+    def victim_executed(self) -> bool:
+        """Did a victim load alias our entry since the previous check?"""
+        return not self.prefetcher_triggered
+
+
+class PrefetcherStatusCheck:
+    """Train-and-poll monitor for one IP-stride prefetcher entry.
+
+    ``train_ip`` is the attacker's local load whose low 8 bits alias the
+    victim load under observation.  The monitor walks an arithmetic
+    progression of addresses with period ``stride_lines`` inside ``buffer``
+    so that, when undisturbed, every check load itself keeps the entry's
+    confidence saturated (§6.3: "we always access current_address + N in
+    the detection phase to guarantee that the prefetcher status will not be
+    reset by us").
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        train_ip: int,
+        buffer: Buffer,
+        stride_lines: int,
+        probe_ip: int | None = None,
+    ) -> None:
+        if stride_lines <= 0:
+            raise ValueError(f"stride_lines must be positive, got {stride_lines}")
+        # One page must fit a 3-load retrain plus a check and its target,
+        # or the progression could run off the buffer mid-check.
+        if (4 * stride_lines + 1) > LINES_PER_PAGE:
+            raise ValueError(
+                f"stride of {stride_lines} lines needs more than one page per "
+                f"training run; use a stride of at most {(LINES_PER_PAGE - 1) // 4} lines"
+            )
+        self.machine = machine
+        self.ctx = ctx
+        self.train_ip = train_ip
+        self.buffer = buffer
+        self.stride_lines = stride_lines
+        self.stride_bytes = stride_lines * CACHE_LINE_SIZE
+        if probe_ip is None:
+            probe_ip = train_ip + 1  # different low bits by construction
+        index_bits = machine.params.prefetcher.index_bits
+        if low_bits(probe_ip, index_bits) == low_bits(train_ip, index_bits):
+            raise ValueError("probe IP must not alias the trained entry")
+        self.probe_ip = probe_ip
+        self._next_line = 0
+
+    def train(self, iterations: int = 4) -> None:
+        """(Re)train the monitored entry with the configured stride.
+
+        Three iterations are the minimum for the confidence to reach the
+        prefetch threshold (§A.8); the default of four saturates it.
+        """
+        if iterations < 3:
+            raise ValueError("need at least 3 training loads to reach the threshold")
+        for _ in range(iterations):
+            self._ensure_capacity()
+            vaddr = self.buffer.line_addr(self._next_line)
+            self.machine.warm_tlb(self.ctx, vaddr)
+            self.machine.load(self.ctx, self.train_ip, vaddr)
+            self._next_line += self.stride_lines
+
+    def check(self) -> PSCObservation:
+        """One PSC poll: continue the pattern by one load, time the target."""
+        self._ensure_capacity()
+        vaddr = self.buffer.line_addr(self._next_line)
+        target = vaddr + self.stride_bytes
+        self.machine.warm_tlb(self.ctx, vaddr)
+        self.machine.warm_tlb(self.ctx, target)
+        # The target must be uncached beforehand, or a stale line would
+        # masquerade as a prefetch.
+        self.machine.clflush(self.ctx, target)
+        self.machine.load(self.ctx, self.train_ip, vaddr)
+        self._next_line += self.stride_lines
+        latency = self.machine.load(self.ctx, self.probe_ip, target, fenced=True)
+        hit = classify_hit(latency, self.machine.hit_threshold())
+        return PSCObservation(latency=latency, prefetcher_triggered=hit)
+
+    def _ensure_capacity(self) -> None:
+        """Keep the progression (including its prefetch target) inside one
+        page; jump to the next page and retrain when it would cross.
+
+        A physical page boundary breaks the stride (the next page's frame
+        is unrelated, §4.3), so continuing blindly would read back as a
+        false "victim executed".  The paper's attacker sizes its training
+        region the same way.
+        """
+        line_in_page = self._next_line % LINES_PER_PAGE
+        if line_in_page + 2 * self.stride_lines < LINES_PER_PAGE:
+            return
+        next_page = self._next_line // LINES_PER_PAGE + 1
+        if (next_page + 1) * LINES_PER_PAGE * CACHE_LINE_SIZE > self.buffer.size:
+            next_page = 0
+        self._next_line = next_page * LINES_PER_PAGE
+        for _ in range(3):
+            vaddr = self.buffer.line_addr(self._next_line)
+            self.machine.warm_tlb(self.ctx, vaddr)
+            self.machine.load(self.ctx, self.train_ip, vaddr)
+            self._next_line += self.stride_lines

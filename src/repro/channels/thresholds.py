@@ -1,0 +1,17 @@
+"""Latency classification.
+
+The paper uses a single LLC-hit threshold: "an Access Time higher than 120
+cycles means that the prefetcher has not been triggered to prefetch the
+address into cache" (caption of Fig. 6).  All channels classify against the
+machine's configured threshold so the noise model and the classifier stay
+consistent.
+"""
+
+from __future__ import annotations
+
+
+def classify_hit(latency: int, threshold: int) -> bool:
+    """True when ``latency`` indicates the line was served by a cache level."""
+    if latency <= 0:
+        raise ValueError(f"latency must be positive, got {latency}")
+    return latency < threshold

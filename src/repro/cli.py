@@ -1,0 +1,299 @@
+"""Command-line interface: run any of the paper's experiments.
+
+Installed as the ``afterimage`` console script::
+
+    afterimage list
+    afterimage fig06 [--machine i7-9700]
+    afterimage table3 --rounds 200
+    afterimage rsa --bits 128
+    afterimage mitigation
+    afterimage covert --entries 24
+
+Each subcommand prints the corresponding figure/table series, like the
+benchmark suite, but without pytest in the loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.params import MachineParams, preset
+
+
+def _table(rows: list[tuple], header: tuple[str, ...]) -> None:
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+# ---------------------------------------------------------------------- #
+# Subcommands                                                             #
+# ---------------------------------------------------------------------- #
+
+
+def cmd_fig06(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.revng.indexing import IndexingExperiment
+
+    samples = IndexingExperiment(params, seed=args.seed).run()
+    _table(
+        [(s.matched_bits, s.access_time, "hit" if s.prefetched else "miss") for s in samples],
+        ("matched_bits", "cycles", "class"),
+    )
+
+
+def cmd_fig07(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.revng.stride_policy import StrideUpdateExperiment
+
+    for label, offset in (("7a (random offset)", 3), ("7b (offset = st_2)", 5)):
+        print(f"Figure {label}:")
+        samples = StrideUpdateExperiment(params, seed=args.seed).run(offset_lines=offset)
+        _table(
+            [
+                (s.iteration, "st1" if s.st1_triggered else "-", "st2" if s.st2_triggered else "-")
+                for s in samples
+            ],
+            ("iteration", "stride7", "stride5"),
+        )
+        print()
+
+
+def cmd_table1(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.revng.page_boundary import PageBoundaryExperiment
+
+    rows = PageBoundaryExperiment(params, seed=args.seed).run()
+    _table(
+        [
+            (
+                f"{r.virtual_page_offset} page",
+                r.pool,
+                "yes" if r.shares_physical_page else "no",
+                "yes" if r.prefetchable else "no",
+            )
+            for r in rows
+        ],
+        ("virtual offset", "pool", "shares frame", "prefetchable"),
+    )
+
+
+def cmd_fig08(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.revng.entries import EntryCountExperiment
+    from repro.revng.replacement_policy import ReplacementPolicyExperiment
+
+    entries = EntryCountExperiment(params, seed=args.seed)
+    for n in (26, 30):
+        evicted = entries.evicted_inputs(entries.run(n))
+        print(f"Figure 8a, {n} inputs: evicted {evicted}")
+    replacement = ReplacementPolicyExperiment(params, seed=args.seed)
+    print(f"Figure 8b: evicted {replacement.evicted_inputs(replacement.run())}")
+
+
+def cmd_variant1(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.core.variant1 import Variant1CrossProcess, Variant1CrossThread
+    from repro.cpu.machine import Machine
+
+    cls = Variant1CrossThread if args.mode == "thread" else Variant1CrossProcess
+    attack = cls(Machine(params, seed=args.seed))
+    rng = np.random.default_rng(args.seed)
+    successes = 0
+    for index in range(args.rounds):
+        bit = int(rng.integers(0, 2))
+        result = attack.run_round(bit)
+        successes += result.success
+        if index < 10:
+            print(f"round {index}: secret {bit} -> leaked {result.inferred_bit}")
+    print(f"success rate: {successes}/{args.rounds} = {successes / args.rounds * 100:.1f}%")
+
+
+def cmd_variant2(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.core.variant2 import Variant2UserKernel
+    from repro.cpu.machine import Machine
+
+    rng = np.random.default_rng(args.seed)
+    attack = Variant2UserKernel(
+        Machine(params, seed=args.seed), secret_source=lambda: int(rng.integers(0, 2))
+    )
+    search = attack.find_target_index()
+    if not search.found:
+        print("IP search failed; try another --seed")
+        sys.exit(1)
+    print(
+        f"IP search: index {search.index:#04x} "
+        f"(truth {attack.true_target_index:#04x}) in {search.syscalls_used} syscalls"
+    )
+    successes = sum(attack.run_round().success for _ in range(args.rounds))
+    print(f"success rate: {successes}/{args.rounds} = {successes / args.rounds * 100:.1f}%")
+
+
+def cmd_covert(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.core.covert import CovertChannel
+    from repro.cpu.machine import Machine
+
+    channel = CovertChannel(Machine(params, seed=args.seed), n_entries=args.entries)
+    rng = np.random.default_rng(args.seed)
+    n = args.rounds * args.entries
+    symbols = [int(x) for x in rng.integers(5, 32, n)]
+    report = channel.transmit(symbols)
+    print(
+        f"{args.entries}-entry channel: {report.bandwidth_bps:.0f} bps, "
+        f"error rate {report.error_rate * 100:.1f}% over {report.n_rounds} symbols"
+    )
+
+
+def cmd_rsa(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.core.tc_rsa_attack import TimingConstantRSAAttack
+    from repro.cpu.machine import Machine
+    from repro.crypto.primes import generate_keypair
+
+    key = generate_keypair(args.bits, np.random.default_rng(args.seed))
+    attack = TimingConstantRSAAttack(Machine(params, seed=args.seed), key)
+    result = attack.recover_key_bits(key.encrypt(0x5EC5E7))
+    usable = sum(len(o.votes) for o in result.observations)
+    total = sum(o.attempts for o in result.observations)
+    print(f"exponent bits: {len(result.true_bits)}  passes: {result.passes}")
+    print(f"PSC single-shot success: {usable / total * 100:.0f}% (paper: 82%)")
+    print(f"bit errors: {result.bit_errors}  exact: {result.exact}")
+    print(f"projected 1024-bit wall clock: {result.projected_minutes_for_bits():.0f} min")
+
+
+def cmd_sgx(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.core.sgx_attack import SGXControlFlowAttack
+    from repro.cpu.machine import Machine
+
+    for secret in (0, 1):
+        attack = SGXControlFlowAttack(Machine(params, seed=args.seed + secret), secret=secret)
+        result = attack.run_round()
+        print(
+            f"secret {secret}: Time1 {result.time1} / Time2 {result.time2} cycles "
+            f"-> inferred {result.inferred_secret}"
+        )
+
+
+def cmd_ttest(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.analysis.ttest import TVLATest, tvla_sweep
+
+    counts = [25, 50, 100, 200, 400, 800]
+    accurate = tvla_sweep(TVLATest(seed=args.seed), counts, accurate_timing=True)
+    random_t = tvla_sweep(TVLATest(seed=args.seed + 1), counts, accurate_timing=False)
+    _table(
+        [
+            (a.n_plaintexts, round(a.t_value, 1), round(r.t_value, 1))
+            for a, r in zip(accurate, random_t)
+        ],
+        ("#plaintexts", "t accurate", "t random"),
+    )
+
+
+def cmd_mitigation(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.mitigation.analytical import MitigationCostModel
+    from repro.mitigation.study import MitigationStudy
+
+    print(f"analytic upper bound: {MitigationCostModel().overhead_percent():.2f}% (paper <7.3%)")
+    study = MitigationStudy(params, n_instructions=args.instructions, seed=args.seed)
+    results = study.run_suite()
+    _table(
+        [
+            (r.name, f"{r.prefetch_speedup:.2f}x", f"{r.flush_overhead * 100:.2f}%")
+            for r in results
+        ],
+        ("workload", "pf speedup", "flush overhead"),
+    )
+    top8 = study.top_prefetch_sensitive(results)
+    print(f"top-8 average: {study.average_overhead(top8) * 100:.2f}% (paper 0.7%)")
+    print(f"overall:       {study.average_overhead(results) * 100:.2f}% (paper 0.2%)")
+
+
+def cmd_report(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.analysis.report import generate_report
+
+    markdown = generate_report(params, seed=args.seed, rounds=args.rounds, quick=args.quick)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output}")
+    else:
+        print(markdown)
+
+
+def cmd_tracker(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim
+    from repro.cpu.machine import Machine
+
+    machine = Machine(params.quiet(), seed=args.seed)
+    victim = OpenSSLRSAVictim(machine, machine.new_thread("openssl"))
+    samples = LoadTimingTracker(machine, victim, target=args.target).track()
+    _table(
+        [(s.poll_index, s.latency, s.victim_phase.value) for s in samples],
+        ("poll", "cycles", "phase"),
+    )
+
+
+_COMMANDS: dict[str, tuple[Callable, str]] = {
+    "fig06": (cmd_fig06, "Figure 6: IP indexing microbenchmark"),
+    "fig07": (cmd_fig07, "Figure 7: stride update policy"),
+    "table1": (cmd_table1, "Table 1: page-boundary behaviour"),
+    "fig08": (cmd_fig08, "Figure 8: capacity and replacement"),
+    "variant1": (cmd_variant1, "Variant 1 attack (--mode thread|process)"),
+    "variant2": (cmd_variant2, "Variant 2 user-kernel attack with IP search"),
+    "covert": (cmd_covert, "Covert channel (--entries 1..24)"),
+    "rsa": (cmd_rsa, "TC-RSA key recovery via PSC"),
+    "sgx": (cmd_sgx, "SGX control-flow extraction"),
+    "tracker": (cmd_tracker, "Figure 15: OpenSSL load tracking"),
+    "ttest": (cmd_ttest, "Figure 16: TVLA t-test"),
+    "mitigation": (cmd_mitigation, "Section 8.3: mitigation cost study"),
+    "report": (cmd_report, "Run headline experiments, emit a markdown report"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="afterimage", description="AfterImage (ASPLOS 2023) reproduction experiments"
+    )
+    parser.add_argument("--machine", default="i7-9700", help="i7-4770 or i7-9700")
+    parser.add_argument("--seed", type=int, default=2023)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_text) in _COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        if name in ("variant1", "variant2", "covert"):
+            cmd.add_argument("--rounds", type=int, default=100)
+        if name == "variant1":
+            cmd.add_argument("--mode", choices=("thread", "process"), default="process")
+        if name == "covert":
+            cmd.add_argument("--entries", type=int, default=1)
+        if name == "rsa":
+            cmd.add_argument("--bits", type=int, default=128)
+        if name == "tracker":
+            cmd.add_argument("--target", choices=("key-load", "decrypt"), default="key-load")
+        if name == "mitigation":
+            cmd.add_argument("--instructions", type=int, default=60_000)
+        if name == "report":
+            cmd.add_argument("--rounds", type=int, default=100)
+            cmd.add_argument("--quick", action="store_true")
+            cmd.add_argument("-o", "--output", default=None)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command in (None, "list"):
+            for name, (_fn, help_text) in _COMMANDS.items():
+                print(f"{name:12s} {help_text}")
+            return 0
+        params = preset(args.machine)
+        _COMMANDS[args.command][0](params, args)
+    except BrokenPipeError:  # e.g. `afterimage fig06 | head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""AfterImage — the paper's primary contribution.
+
+Attack building blocks and end-to-end attacks:
+
+* :class:`TrainingGadget` — the Listing 6 mistraining gadget.
+* :class:`Variant1CrossThread` / :class:`Variant1CrossProcess` — §5.1
+  control-flow leakage via Prime+Probe / Flush+Reload.
+* :class:`Variant2UserKernel` + :class:`IPSearcher` — §5.2 user→kernel
+  leakage with the 8-bit IP-search technique.
+* :class:`CovertChannel` — §5.3 cross-process covert channel.
+* :class:`SGXControlFlowAttack` — §5.4 enclave secret extraction.
+* :class:`TimingConstantRSAAttack` — §6.2 end-to-end key recovery via PSC.
+* :class:`LoadTimingTracker` — §6.3 load-operation timing for power attacks.
+"""
+
+from repro.core.covert import CovertChannel, CovertRoundResult, decode_text, encode_text
+from repro.core.detect import detect_stride, detect_stride_pairs, hot_pairs
+from repro.core.gadget import TrainingGadget
+from repro.core.ip_search import IPSearcher, IPSearchResult
+from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim, TrackerSample
+from repro.core.sgx_attack import SGXControlFlowAttack, SGXCovertChannel
+from repro.core.switch_leak import SwitchCaseLeak, SwitchLeakResult
+from repro.core.tc_rsa_attack import BitObservation, TimingConstantRSAAttack
+from repro.core.variant1 import (
+    BranchLoadVictim,
+    RoundResult,
+    Variant1CrossProcess,
+    Variant1CrossThread,
+)
+from repro.core.variant2 import Variant2UserKernel
+
+__all__ = [
+    "TrainingGadget",
+    "BranchLoadVictim",
+    "RoundResult",
+    "Variant1CrossThread",
+    "Variant1CrossProcess",
+    "Variant2UserKernel",
+    "IPSearcher",
+    "IPSearchResult",
+    "CovertChannel",
+    "CovertRoundResult",
+    "encode_text",
+    "decode_text",
+    "SGXControlFlowAttack",
+    "SGXCovertChannel",
+    "SwitchCaseLeak",
+    "SwitchLeakResult",
+    "TimingConstantRSAAttack",
+    "BitObservation",
+    "LoadTimingTracker",
+    "OpenSSLRSAVictim",
+    "TrackerSample",
+    "detect_stride",
+    "detect_stride_pairs",
+    "hot_pairs",
+]

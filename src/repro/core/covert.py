@@ -1,0 +1,267 @@
+"""Cross-process covert channel over the IP-stride prefetcher (paper §5.3).
+
+The stride *is* the message: the sender trains an entry (whose index the
+receiver aliases) with a stride encoding up to 5 secret bits — strides are
+observed at cache-line granularity and capped at 2 KiB = 32 lines (paper
+footnote 5).  The receiver then accesses one line of the shared page and
+reloads the page; the distance from its access to the extra hit is the
+transmitted value.
+
+Bandwidth model (§7.2): a symbol round is dominated not by the handful of
+loads but by the sender/receiver rendezvous — tens of ~100 µs scheduling
+periods per round on a real CFS kernel.  With the paper's observed ~6 ms
+round the single-entry channel carries 5 bits/round ≈ 833 bps; training all
+24 entries per round lifts the ceiling to ≈ 20 kbps but exposes every entry
+to the switch traffic, pushing the error rate past 25 % (the switch path's
+IP allocations evict trained entries from the full table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.flush_reload import FlushReload
+from repro.cpu.machine import Machine
+from repro.cpu.scheduler import DEFAULT_QUANTUM_CYCLES
+from repro.params import LINES_PER_PAGE, PAGE_SIZE
+from repro.utils.bits import low_bits
+
+#: Scheduling periods consumed per symbol round by the sender/receiver
+#: rendezvous (sched_yield ping-pong + retry margin) — calibrated to the
+#: artifact's observed ~6 ms round; see DESIGN.md §5.
+RENDEZVOUS_QUANTA = 60
+
+#: Smallest usable stride: 1..4-line strides collide with the reach of the
+#: DCU/adjacent/streamer prefetchers (§7.1), so the 5-bit alphabet is 5..31
+#: for noise-free operation; the full 1..31 alphabet is allowed but noisy.
+MIN_CLEAN_STRIDE = 5
+
+
+@dataclass
+class CovertRoundResult:
+    """One transmitted symbol."""
+
+    sent_value: int
+    received_value: int | None
+    hot_lines: list[int] = field(default_factory=list)
+
+    @property
+    def correct(self) -> bool:
+        return self.received_value == self.sent_value
+
+
+@dataclass
+class CovertChannelReport:
+    """Aggregate statistics over a transmission."""
+
+    rounds: list[CovertRoundResult]
+    cycles: int
+    frequency_hz: float
+    bits_per_round: int = 5
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def error_rate(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return sum(1 for r in self.rounds if not r.correct) / len(self.rounds)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    @property
+    def bandwidth_bps(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.bits_per_round * self.n_rounds / self.seconds
+
+
+def encode_text(message: str) -> list[int]:
+    """Pack text into the channel's clean 5-bit alphabet.
+
+    Base-27 coding: ``a``-``z`` → 5-30, space → 31 — all within the
+    [5, 31] range that clears the companion prefetchers' reach.
+    """
+    symbols = []
+    for ch in message.lower():
+        if ch == " ":
+            symbols.append(31)
+        elif "a" <= ch <= "z":
+            symbols.append(MIN_CLEAN_STRIDE + ord(ch) - ord("a"))
+        else:
+            raise ValueError(f"unencodable character {ch!r} (a-z and space only)")
+    return symbols
+
+
+def decode_text(symbols: list[int | None]) -> str:
+    """Inverse of :func:`encode_text`; lost symbols decode to ``?``."""
+    out = []
+    for value in symbols:
+        if value == 31:
+            out.append(" ")
+        elif value is not None and MIN_CLEAN_STRIDE <= value <= 30:
+            out.append(chr(ord("a") + value - MIN_CLEAN_STRIDE))
+        else:
+            out.append("?")
+    return "".join(out)
+
+
+class CovertChannel:
+    """Sender/receiver pair in separate processes sharing one page."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        n_entries: int = 1,
+        sender_code_base: int = 0x0066_0000,
+    ) -> None:
+        if not 1 <= n_entries <= machine.params.prefetcher.n_entries:
+            raise ValueError(
+                f"n_entries must be in [1, {machine.params.prefetcher.n_entries}]"
+            )
+        self.machine = machine
+        self.n_entries = n_entries
+        self.sender_ctx = machine.new_thread("covert-sender")
+        self.receiver_ctx = machine.new_thread("covert-receiver")
+        shared = machine.new_buffer(
+            self.sender_ctx.space, n_entries * PAGE_SIZE, name="covert-shared"
+        )
+        self.shared_sender = shared
+        self.shared_receiver = machine.share_buffer(
+            shared, self.receiver_ctx.space, name="covert-shared"
+        )
+        base = machine.aslr.randomize_base(sender_code_base)
+        # 0x101 spacing: distinct low-8 index per entry, realistic gaps.
+        self.entry_ips = [base + 0x101 * k for k in range(n_entries)]
+        index_bits = machine.params.prefetcher.index_bits
+        self._entry_indexes = {low_bits(ip, index_bits) for ip in self.entry_ips}
+        assert len(self._entry_indexes) == n_entries, "entry IPs must not alias each other"
+        reload_ip = base + 0x10_0000
+        while low_bits(reload_ip, index_bits) in self._entry_indexes:
+            reload_ip += 1
+        self.flush_reload = FlushReload(
+            machine,
+            self.receiver_ctx,
+            self.shared_receiver,
+            reload_ip,
+            avoid_ip_indexes=self._entry_indexes,
+        )
+        # Receiver-side trigger loads: one per entry, aliasing the sender's.
+        self.trigger_ips = list(self.entry_ips)
+        machine.warm_buffer_tlb(self.sender_ctx, self.shared_sender)
+        machine.warm_buffer_tlb(self.receiver_ctx, self.shared_receiver)
+
+    # ------------------------------------------------------------------ #
+
+    def send_symbols(self, values: list[int]) -> None:
+        """Sender: train one entry per value (stride = value, in lines)."""
+        if len(values) != self.n_entries:
+            raise ValueError(f"need {self.n_entries} symbols, got {len(values)}")
+        for value in values:
+            if not 1 <= value < 32:
+                raise ValueError(f"symbol {value} outside the 5-bit alphabet [1, 31]")
+        for k, value in enumerate(values):
+            self.machine.warm_tlb(self.sender_ctx, self.shared_sender.page_line_addr(k, 0))
+            for i in range(3):
+                vaddr = self.shared_sender.page_line_addr(k, (i * value) % LINES_PER_PAGE)
+                self.machine.load(self.sender_ctx, self.entry_ips[k], vaddr)
+
+    def receive_symbols(self, trigger_line: int = 0) -> list[tuple[int | None, list[int]]]:
+        """Receiver: flush, trigger each entry once, locate the stride."""
+        results: list[tuple[int | None, list[int]]] = []
+        for k in range(self.n_entries):
+            page_first = k * LINES_PER_PAGE
+            self.flush_reload.flush(page=k)
+            vaddr = self.shared_receiver.page_line_addr(k, trigger_line)
+            self.machine.warm_tlb(self.receiver_ctx, vaddr)
+            self.machine.load(self.receiver_ctx, self.trigger_ips[k], vaddr)
+            hits = [
+                line - page_first for line in self.flush_reload.hit_lines(page=k)
+            ]
+            value = self._decode(hits, trigger_line)
+            results.append((value, hits))
+        return results
+
+    @staticmethod
+    def _decode(hits: list[int], trigger_line: int) -> int | None:
+        """Distance from the trigger line to the (non-adjacent) extra hit."""
+        candidates = [
+            line - trigger_line
+            for line in hits
+            if line != trigger_line and abs(line - trigger_line) > 2
+        ]
+        if len(candidates) == 1 and 1 <= candidates[0] < 32:
+            return candidates[0]
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def transmit_reliable(
+        self, symbols: list[int], repetitions: int = 3
+    ) -> CovertChannelReport:
+        """Repetition-coded transmission for the error-prone configurations.
+
+        The paper notes the 24-entry channel's error rate exceeds 25 %
+        (§7.2); a simple repetition code trades its raw ~20 kbps for
+        dependable goodput.  Losses are *slot-correlated* — the switch path
+        evicts a deterministic (Bit-PLRU) subset of the trained entries —
+        so each repetition interleaves: the symbol stream is rotated, which
+        maps every symbol to a different entry each time.  Decoding is a
+        majority over the successful receptions (erasures don't vote).
+        The returned report's bandwidth is the *net* goodput: decoded bits
+        over total simulated time.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be positive")
+        start_cycles = self.machine.cycles
+        votes: list[list[int]] = [[] for _ in symbols]
+        for repetition in range(repetitions):
+            shift = (repetition * 11) % len(symbols)
+            rotated = symbols[shift:] + symbols[:shift]
+            raw = self.transmit(rotated)
+            for position, round_result in enumerate(raw.rounds):
+                original = (position + shift) % len(symbols)
+                if round_result.received_value is not None:
+                    votes[original].append(round_result.received_value)
+        rounds = []
+        for sent, received_votes in zip(symbols, votes):
+            if received_votes:
+                decoded = max(set(received_votes), key=received_votes.count)
+            else:
+                decoded = None
+            rounds.append(
+                CovertRoundResult(sent_value=sent, received_value=decoded)
+            )
+        return CovertChannelReport(
+            rounds=rounds,
+            cycles=self.machine.cycles - start_cycles,
+            frequency_hz=self.machine.params.frequency_hz,
+        )
+
+    def transmit(self, symbols: list[int]) -> CovertChannelReport:
+        """Full transmission: symbols are sent ``n_entries`` per round."""
+        if len(symbols) % self.n_entries:
+            raise ValueError(f"symbol count must be a multiple of {self.n_entries}")
+        start_cycles = self.machine.cycles
+        rounds: list[CovertRoundResult] = []
+        for start in range(0, len(symbols), self.n_entries):
+            batch = symbols[start : start + self.n_entries]
+            self.machine.context_switch(self.sender_ctx)
+            self.send_symbols(batch)
+            self.machine.context_switch(self.receiver_ctx)
+            received = self.receive_symbols()
+            for sent, (value, hits) in zip(batch, received):
+                rounds.append(
+                    CovertRoundResult(sent_value=sent, received_value=value, hot_lines=hits)
+                )
+            # Rendezvous overhead: the dominant cost of a round (§7.2).
+            self.machine.advance(RENDEZVOUS_QUANTA * DEFAULT_QUANTUM_CYCLES)
+        return CovertChannelReport(
+            rounds=rounds,
+            cycles=self.machine.cycles - start_cycles,
+            frequency_hz=self.machine.params.frequency_hz,
+        )

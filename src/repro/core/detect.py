@@ -1,0 +1,58 @@
+"""Stride detection in channel observations.
+
+After the victim runs, the attacker's channel yields a set of "hot" lines
+(cache hits for Flush+Reload, high probe-prime deltas for Prime+Probe).
+The secret is encoded as the *distance* between the victim's demand line
+and its prefetched companion; these helpers find that distance, tolerant of
+stray noise lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def hot_pairs(hot_lines: Sequence[int], stride: int) -> list[tuple[int, int]]:
+    """All pairs of hot lines exactly ``stride`` apart."""
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    present = set(hot_lines)
+    return [(line, line + stride) for line in sorted(present) if line + stride in present]
+
+
+def detect_stride(hot_lines: Sequence[int], candidate_strides: Sequence[int]) -> int | None:
+    """The candidate stride best supported by ``hot_lines``.
+
+    Scoring exploits the full microarchitectural signature of a victim
+    access at line ``a``: the demand line ``a`` itself, the prefetched line
+    ``a + stride`` and — because the demand access missed to DRAM — the
+    buddy line ``a ^ 1`` fetched by the adjacent (DPL) prefetcher.  An
+    anchored triple scores higher than a bare pair, so stray noise pairs
+    (context-switch traffic that happens to land ``stride`` lines apart)
+    lose against the real pattern.  Returns ``None`` when no candidate
+    matches or the best score is tied — callers treat that as a failed
+    round and retry, as the paper's repeated rounds do.
+    """
+    present = set(hot_lines)
+    best_stride: int | None = None
+    best_score = 0
+    tie = False
+    for stride in candidate_strides:
+        score = 0
+        for a, _b in hot_pairs(hot_lines, stride):
+            pair_score = 2 + (1 if (a ^ 1) in present else 0)
+            score = max(score, pair_score)
+        if score > best_score:
+            best_stride, best_score, tie = stride, score, False
+        elif score == best_score and score > 0:
+            tie = True
+    if tie or best_score == 0:
+        return None
+    return best_stride
+
+
+def detect_stride_pairs(
+    hot_lines: Sequence[int], candidate_strides: Sequence[int]
+) -> dict[int, list[tuple[int, int]]]:
+    """Map of candidate stride → its matching hot-line pairs (diagnostics)."""
+    return {s: hot_pairs(hot_lines, s) for s in candidate_strides}

@@ -1,0 +1,104 @@
+"""The AfterImage training gadget (paper Listing 6).
+
+Two local load instructions whose IPs are NOP-padded to alias the victim's
+if-path and else-path loads in the prefetcher's 8-bit index, each trained
+with its own distinctive stride (S1 / S2).  After training, both prefetcher
+entries sit at saturated confidence, so whichever victim load executes
+triggers a prefetch at *its* stride — encoding the branch direction in the
+cache (AfterImage-Cache) or in the entry's subsequent state
+(AfterImage-PSC).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.code import CodeRegion
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.utils.bits import low_bits
+
+#: Default strides, in cache lines.  The paper trains with 7, 11 and 13:
+#: larger than the 4-line reach of the DCU/adjacent/streamer prefetchers and
+#: uncommon (prime) so they stand out against noise (§7.1).
+DEFAULT_S1 = 7
+DEFAULT_S2 = 13
+
+
+class TrainingGadget:
+    """Mistrain the IP-stride prefetcher for a victim's two branch loads."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        if_target_ip: int,
+        else_target_ip: int,
+        s1_lines: int = DEFAULT_S1,
+        s2_lines: int = DEFAULT_S2,
+        gadget_base: int = 0x0060_0000,
+    ) -> None:
+        index_bits = machine.params.prefetcher.index_bits
+        if low_bits(if_target_ip, index_bits) == low_bits(else_target_ip, index_bits):
+            raise ValueError(
+                "victim's if/else loads alias the same prefetcher entry; "
+                "the two directions cannot be distinguished"
+            )
+        if s1_lines == s2_lines:
+            raise ValueError("S1 and S2 must differ to encode the branch direction")
+        for stride in (s1_lines, s2_lines):
+            if not 0 < stride * CACHE_LINE_SIZE <= machine.params.prefetcher.max_stride_bytes:
+                raise ValueError(f"stride of {stride} lines is outside the prefetcher's range")
+
+        self.machine = machine
+        self.ctx = ctx
+        self.s1_lines = s1_lines
+        self.s2_lines = s2_lines
+        self.code = CodeRegion(gadget_base, aslr=machine.aslr, name="gadget")
+        self.if_ip = self.code.place_aliasing("gadget_if_load", if_target_ip, index_bits)
+        self.else_ip = self.code.place_aliasing("gadget_else_load", else_target_ip, index_bits)
+        # One private page per load keeps the two training sequences from
+        # interfering (and from confusing the streamer prefetcher).
+        self.train_if = machine.new_buffer(ctx.space, PAGE_SIZE, name="gadget-train-if")
+        self.train_else = machine.new_buffer(ctx.space, PAGE_SIZE, name="gadget-train-else")
+        machine.warm_buffer_tlb(ctx, self.train_if)
+        machine.warm_buffer_tlb(ctx, self.train_else)
+
+    @property
+    def monitored_indexes(self) -> frozenset[int]:
+        """Prefetcher indexes this gadget occupies (others must avoid them)."""
+        index_bits = self.machine.params.prefetcher.index_bits
+        return frozenset({low_bits(self.if_ip, index_bits), low_bits(self.else_ip, index_bits)})
+
+    def train(self, iterations: int = 3) -> None:
+        """Execute the Listing 6 loop: strided loads for both entries.
+
+        Three iterations are the minimum to reach the prefetch threshold
+        (confidence 2); the paper uses 3–4 (§9.2 contrasts this with the
+        ~26000-cycle BPU mistraining of Spectre).
+        """
+        if iterations < 3:
+            raise ValueError("need at least 3 iterations to reach the prefetch threshold")
+        max_iterations = (self.train_if.n_lines - 1) // max(self.s1_lines, self.s2_lines) + 1
+        if iterations > max_iterations:
+            raise ValueError(
+                f"{iterations} iterations would wrap the training page and break "
+                f"the stride; maximum here is {max_iterations}"
+            )
+        # A process switch flushed our TLB; re-touch the training pages so
+        # every training load is visible to the prefetcher (a TLB-missing
+        # load would be skipped per §4.3).
+        self.machine.warm_tlb(self.ctx, self.train_if.base)
+        self.machine.warm_tlb(self.ctx, self.train_else.base)
+        for i in range(iterations):
+            self.machine.load(self.ctx, self.if_ip, self.train_if.line_addr(i * self.s1_lines))
+            self.machine.load(self.ctx, self.else_ip, self.train_else.line_addr(i * self.s2_lines))
+
+    def confidences(self) -> tuple[int | None, int | None]:
+        """(if-entry, else-entry) confidence — white-box helper for tests."""
+        pf = self.machine.ip_stride
+        if_entry = pf.entry_for_ip(self.if_ip)
+        else_entry = pf.entry_for_ip(self.else_ip)
+        return (
+            if_entry.confidence if if_entry is not None else None,
+            else_entry.confidence if else_entry is not None else None,
+        )

@@ -1,0 +1,166 @@
+"""Tracking load-operation timing in OpenSSL-RSA via PSC (paper §6.3).
+
+Power attacks need to know *when* the interesting operation (key load, AES
+S-box, RSA multiply-add) happens so the power trace can be sampled at the
+right cycle.  AfterImage provides that marker: the attacker trains the
+entry aliasing the interesting load once, then polls the prefetcher status
+at fine granularity (one ``sched_yield()`` per victim work slice).  The
+poll latency stream (Figure 15) is flat-low while the victim is idle and
+shows a characteristic double miss when the monitored load executes — one
+miss for the clobbered entry, one more because the entry needs a full
+retraining step before it triggers again (§4.2's update policy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.channels.psc import PrefetcherStatusCheck
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE
+from repro.utils.bits import low_bits
+
+
+class VictimPhase(enum.Enum):
+    """Lifecycle of one OpenSSL-RSA decryption."""
+
+    IDLE = "idle"
+    KEY_LOAD = "key-load"
+    DECRYPT = "decrypt"
+    DONE = "done"
+
+
+class OpenSSLRSAVictim:
+    """Phased RSA victim: idle → key load → decrypt → idle.
+
+    ``work_slice()`` advances one scheduling slice; the key-load slice
+    performs the byte-wise private-key loads (one IP), and each decrypt
+    slice performs one multiply-add's operand load (another IP).  Those two
+    IPs are the §6.3 tracking targets.
+    """
+
+    KEY_LOAD_OFFSET = 0x31C6
+    DECRYPT_OFFSET = 0x3852
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        idle_slices: int = 6,
+        decrypt_slices: int = 8,
+        key_lines: int = 16,
+    ) -> None:
+        self.machine = machine
+        self.ctx = ctx
+        code = machine.code_region(0x0041_0000, name="openssl-libcrypto")
+        self.key_load_ip = code.place("rsa_key_load", self.KEY_LOAD_OFFSET)
+        self.decrypt_ip = code.place("rsa_multiply_add_load", self.DECRYPT_OFFSET)
+        self.key_buffer = machine.new_buffer(ctx.space, PAGE_SIZE, name="rsa-key")
+        self.work_buffer = machine.new_buffer(ctx.space, PAGE_SIZE, name="rsa-work")
+        self.idle_slices = idle_slices
+        self.decrypt_slices = decrypt_slices
+        self.key_lines = key_lines
+        self._slice = 0
+        self.phase_log: list[VictimPhase] = []
+
+    @property
+    def total_slices(self) -> int:
+        return 2 * self.idle_slices + 1 + self.decrypt_slices
+
+    def phase_of_slice(self, index: int) -> VictimPhase:
+        if index < self.idle_slices:
+            return VictimPhase.IDLE
+        if index == self.idle_slices:
+            return VictimPhase.KEY_LOAD
+        if index <= self.idle_slices + self.decrypt_slices:
+            return VictimPhase.DECRYPT
+        if index < self.total_slices:
+            return VictimPhase.IDLE
+        return VictimPhase.DONE
+
+    def work_slice(self) -> VictimPhase:
+        """Run one scheduling slice of victim work."""
+        phase = self.phase_of_slice(self._slice)
+        self.phase_log.append(phase)
+        if phase is VictimPhase.KEY_LOAD:
+            for i in range(self.key_lines):
+                vaddr = self.key_buffer.line_addr(i)
+                self.machine.warm_tlb(self.ctx, vaddr)
+                self.machine.load(self.ctx, self.key_load_ip, vaddr)
+        elif phase is VictimPhase.DECRYPT:
+            step = self._slice - self.idle_slices - 1
+            vaddr = self.work_buffer.line_addr((5 * step) % self.work_buffer.n_lines)
+            self.machine.warm_tlb(self.ctx, vaddr)
+            self.machine.load(self.ctx, self.decrypt_ip, vaddr)
+        else:
+            self.machine.advance(20_000)  # idle compute
+        self._slice += 1
+        return phase
+
+
+@dataclass(frozen=True)
+class TrackerSample:
+    """One PSC poll of the tracker."""
+
+    poll_index: int
+    latency: int
+    prefetcher_triggered: bool
+    victim_phase: VictimPhase
+
+
+class LoadTimingTracker:
+    """Fine-grained PSC polling of one victim load IP (Figure 15)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        victim: OpenSSLRSAVictim,
+        target: str = "key-load",
+        stride_lines: int = 7,
+    ) -> None:
+        if target not in ("key-load", "decrypt"):
+            raise ValueError(f"target must be 'key-load' or 'decrypt', got {target!r}")
+        self.machine = machine
+        self.victim = victim
+        self.target = target
+        target_ip = victim.key_load_ip if target == "key-load" else victim.decrypt_ip
+        self.attacker_ctx = machine.new_thread("tracker-attacker")
+        machine.context_switch(self.attacker_ctx)
+        train_buffer = machine.new_buffer(
+            self.attacker_ctx.space, 32 * PAGE_SIZE, name="tracker-train"
+        )
+        index_bits = machine.params.prefetcher.index_bits
+        train_ip = 0x0069_0000
+        train_ip += (target_ip - train_ip) % (1 << index_bits)
+        assert low_bits(train_ip, index_bits) == low_bits(target_ip, index_bits)
+        self.psc = PrefetcherStatusCheck(
+            machine, self.attacker_ctx, train_ip, train_buffer, stride_lines
+        )
+
+    def track(self) -> list[TrackerSample]:
+        """Poll once per victim slice for a full victim run.
+
+        §6.3: "instead of training the prefetcher before each detection, we
+        solely mistrain it before the victim runs" — the poll loads keep the
+        entry alive by construction; only the victim's target load disturbs
+        it.
+        """
+        self.machine.context_switch(self.attacker_ctx)
+        self.psc.train()
+        samples: list[TrackerSample] = []
+        for poll in range(self.victim.total_slices):
+            self.machine.context_switch(self.victim.ctx)  # sched_yield()
+            phase = self.victim.work_slice()
+            self.machine.context_switch(self.attacker_ctx)
+            observation = self.psc.check()
+            samples.append(
+                TrackerSample(
+                    poll_index=poll,
+                    latency=observation.latency,
+                    prefetcher_triggered=observation.prefetcher_triggered,
+                    victim_phase=phase,
+                )
+            )
+        return samples

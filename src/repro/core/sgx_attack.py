@@ -1,0 +1,130 @@
+"""AfterImage against SGX (paper §5.4, Figure 10, §A.8).
+
+The enclave's secret selects its loop stride (3 vs 5 lines over a buffer it
+shares with the untrusted zone).  The untrusted attacker flushes the
+buffer, performs the ECALL, then times exactly two lines:
+
+* line 24 = 3 × 8 — the last prefetch if the stride was 3,
+* line 40 = 5 × 8 — the last prefetch if the stride was 5.
+
+Neither line is demand-touched by the other stride's loop (24 is not a
+multiple of 5 within reach; 40 is not a multiple of 3 within reach), so
+whichever is cached names the stride — and hence the secret.  The same
+mechanism with the branch removed is the SGX covert channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channels.thresholds import classify_hit
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE
+from repro.sgx.enclave import StrideSecretEnclave
+from repro.utils.bits import low_bits
+
+
+@dataclass(frozen=True)
+class SGXRoundResult:
+    """One enclave observation (Figure 10's Time1/Time2)."""
+
+    time1: int  # latency of line stride_if_set * 8
+    time2: int  # latency of line stride_if_clear * 8
+    inferred_secret: int | None
+    true_secret: int
+
+    @property
+    def success(self) -> bool:
+        return self.inferred_secret == self.true_secret
+
+
+class SGXCovertChannel:
+    """The §5.4 covert variant: the enclave *wants* to exfiltrate.
+
+    "The in-enclave thread can train the prefetcher with two alternative
+    strides to represent 1 or 0.  The receiver in the untrusted zone can
+    access the prefetched cache line to determine if the relevant stride
+    (X1 or X2 in Figure 10) is triggered."  Implemented by rebuilding the
+    sender enclave per bit; the receiving side is identical to the side
+    channel's check.
+    """
+
+    def __init__(self, machine: Machine, seed_base: int = 0) -> None:
+        self.machine = machine
+        self._seed_base = seed_base
+        self._bits_sent = 0
+
+    def send_and_receive(self, bit: int) -> int | None:
+        """Transmit one bit out of the enclave; returns the received bit."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        attack = SGXControlFlowAttack(self.machine, secret=bit)
+        self._bits_sent += 1
+        result = attack.run_round()
+        return result.inferred_secret
+
+    def transmit(self, bits: list[int]) -> list[int | None]:
+        """Transmit a bit string; returns what the untrusted zone decoded."""
+        return [self.send_and_receive(bit) for bit in bits]
+
+
+class SGXControlFlowAttack:
+    """Untrusted-zone attacker against :class:`StrideSecretEnclave`."""
+
+    def __init__(self, machine: Machine, secret: int) -> None:
+        self.machine = machine
+        self.enclave = StrideSecretEnclave(machine, secret=secret)
+        self.attacker_ctx = machine.new_thread("untrusted-zone")
+        machine.context_switch(self.attacker_ctx)
+        self.buffer = machine.new_buffer(
+            self.attacker_ctx.space, PAGE_SIZE, name="sgx-shared-buffer"
+        )
+        machine.warm_buffer_tlb(self.attacker_ctx, self.buffer)
+        index_bits = machine.params.prefetcher.index_bits
+        enclave_index = low_bits(self.enclave.load_ip, index_bits)
+        probe_ip = 0x0073_0000
+        while low_bits(probe_ip, index_bits) == enclave_index:
+            probe_ip += 1
+        self.probe_ip = probe_ip
+        s_if = StrideSecretEnclave.STRIDE_IF_SECRET_SET
+        s_else = StrideSecretEnclave.STRIDE_IF_SECRET_CLEAR
+        n = StrideSecretEnclave.N_TRAIN_LOADS
+        self.check_line_if_set = s_if * n  # 24
+        self.check_line_if_clear = s_else * n  # 40
+
+    def run_round(self) -> SGXRoundResult:
+        """Flush → ECALL → time the two candidate prefetched lines."""
+        self.machine.context_switch(self.attacker_ctx)
+        for line in range(self.buffer.n_lines):
+            self.machine.clflush(self.attacker_ctx, self.buffer.line_addr(line))
+        self.enclave.run(self.attacker_ctx, self.buffer)
+        # The EEXIT switch flushed our TLB; re-warm so the timed probes
+        # measure cache residency, not a page walk.
+        self.machine.warm_buffer_tlb(self.attacker_ctx, self.buffer)
+        time1 = self.machine.load(
+            self.attacker_ctx,
+            self.probe_ip,
+            self.buffer.line_addr(self.check_line_if_set),
+            fenced=True,
+        )
+        time2 = self.machine.load(
+            self.attacker_ctx,
+            self.probe_ip + 8,
+            self.buffer.line_addr(self.check_line_if_clear),
+            fenced=True,
+        )
+        threshold = self.machine.hit_threshold()
+        hit1 = classify_hit(time1, threshold)
+        hit2 = classify_hit(time2, threshold)
+        if hit1 and not hit2:
+            inferred: int | None = 1
+        elif hit2 and not hit1:
+            inferred = 0
+        else:
+            inferred = None
+        return SGXRoundResult(
+            time1=time1,
+            time2=time2,
+            inferred_secret=inferred,
+            true_secret=self.enclave.secret,
+        )

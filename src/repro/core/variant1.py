@@ -1,0 +1,250 @@
+"""AfterImage Variant 1 (paper §5.1): cross-thread / cross-process leakage.
+
+Observation 1 of the paper: an IP-stride entry trained by IP1 is triggered
+by any IP2 sharing its low 8 bits — even across threads or processes on the
+same logical core, and even when IP2 presents a brand-new stride.
+
+The attacker mistrains the prefetcher with the Listing 6 gadget (stride S1
+aliasing the victim's if-path load, S2 aliasing the else-path load), lets
+the victim execute its secret-dependent branch, and recovers the branch
+direction from which stride's footprint appears:
+
+* cross-thread (same address space): Prime+Probe over the 64 cache sets of
+  the victim's data page — Figures 13a/13b;
+* cross-process: Flush+Reload over a shared page — Figure 13c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.eviction_sets import EvictionSetBuilder
+from repro.channels.flush_reload import FlushReload
+from repro.channels.prime_probe import PrimeProbe, ProbeSample
+from repro.core.detect import detect_stride
+from repro.core.gadget import TrainingGadget
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.mmu.buffer import Buffer
+from repro.params import LINES_PER_PAGE, PAGE_SIZE
+from repro.utils.bits import low_bits
+from repro.utils.rng import derive_rng
+
+#: Default victim image base (pre-ASLR).
+VICTIM_TEXT_BASE = 0x0040_0000
+
+#: Offsets of the two branch-direction loads in the victim image
+#: (arbitrary, but with distinct low-8 IP bits).
+VICTIM_IF_OFFSET = 0x8E6
+VICTIM_ELSE_OFFSET = 0x93A
+
+#: Probe/prime delta (cycles) treated as "this set was touched by the
+#: victim".  A genuine victim (or prefetch) insertion cascades through the
+#: primed set's LRU stack, re-missing most of its ways (~12 x the
+#: DRAM-vs-LLC gap >> 2000 cycles), while measurement spikes only shift a
+#: set's total by a few hundred cycles; the threshold sits between the two.
+PROBE_DELTA_THRESHOLD = 1000
+
+
+class BranchLoadVictim:
+    """The paper's Listing 1: one branch-dependent load per invocation.
+
+    ``run(secret_bit, line)`` models::
+
+        if (secret) char temp0 = array[address];   // load at if_ip
+        else        char temp1 = array[address];   // load at else_ip
+    """
+
+    def __init__(self, machine: Machine, ctx: ThreadContext, data: Buffer) -> None:
+        self.machine = machine
+        self.ctx = ctx
+        self.data = data
+        code = machine.code_region(VICTIM_TEXT_BASE, name="victim-text")
+        self.if_ip = code.place("victim_if_load", VICTIM_IF_OFFSET)
+        self.else_ip = code.place("victim_else_load", VICTIM_ELSE_OFFSET)
+        index_bits = machine.params.prefetcher.index_bits
+        assert low_bits(self.if_ip, index_bits) != low_bits(self.else_ip, index_bits)
+
+    def run(self, secret_bit: int, line: int) -> None:
+        """Execute the branch for ``secret_bit``, loading ``data[line]``.
+
+        The data page is TLB-warmed first — the paper's threat model
+        assumes victim pages are TLB-resident (§2.2), as they are for
+        streaming applications.
+        """
+        if secret_bit not in (0, 1):
+            raise ValueError(f"secret bit must be 0 or 1, got {secret_bit}")
+        vaddr = self.data.line_addr(line)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        ip = self.if_ip if secret_bit else self.else_ip
+        self.machine.load(self.ctx, ip, vaddr)
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one attack round."""
+
+    true_bit: int
+    inferred_bit: int | None
+    victim_line: int
+    hot_lines: list[int] = field(default_factory=list)
+    probe_samples: list[ProbeSample] | None = None
+
+    @property
+    def success(self) -> bool:
+        return self.inferred_bit == self.true_bit
+
+
+class _Variant1Base:
+    """Shared round bookkeeping for the two Variant 1 deployments."""
+
+    def __init__(self, machine: Machine, s1_lines: int, s2_lines: int) -> None:
+        self.machine = machine
+        self.s1_lines = s1_lines
+        self.s2_lines = s2_lines
+        self._line_rng = derive_rng(machine.rng, "variant1-lines")
+
+    def _pick_line(self, line: int | None) -> int:
+        """Victim line for this round, leaving room for the larger stride."""
+        limit = LINES_PER_PAGE - max(self.s1_lines, self.s2_lines) - 1
+        if line is None:
+            return int(self._line_rng.integers(0, limit))
+        if not 0 <= line <= limit:
+            raise ValueError(f"victim line must be in [0, {limit}]")
+        return line
+
+    def _infer(self, hot_lines: list[int]) -> int | None:
+        stride = detect_stride(hot_lines, [self.s1_lines, self.s2_lines])
+        if stride == self.s1_lines:
+            return 1
+        if stride == self.s2_lines:
+            return 0
+        return None
+
+
+class Variant1CrossThread(_Variant1Base):
+    """Same address space, Prime+Probe extraction (Figures 13a/13b).
+
+    The attacker sandbox-executes in the victim's address space (the
+    paper's first case, also assumed by many transient-execution attacks),
+    so it can compute eviction sets for the victim page directly.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        s1_lines: int = 7,
+        s2_lines: int = 13,
+        es_pool_pages: int = 12288,
+    ) -> None:
+        super().__init__(machine, s1_lines, s2_lines)
+        space = machine.new_address_space("victim-process")
+        self.victim_ctx = machine.new_thread("victim-thread", space)
+        self.attacker_ctx = machine.new_thread("attacker-thread", space)
+        data = machine.new_buffer(space, PAGE_SIZE, name="victim-array")
+        self.victim = BranchLoadVictim(machine, self.victim_ctx, data)
+        machine.context_switch(self.attacker_ctx)
+        self.gadget = TrainingGadget(
+            machine, self.attacker_ctx, self.victim.if_ip, self.victim.else_ip,
+            s1_lines, s2_lines,
+        )
+        builder = EvictionSetBuilder(machine, self.attacker_ctx, pool_pages=es_pool_pages)
+        eviction_sets = builder.build_for_page(self.attacker_ctx, data.base)
+        probe_ip = self._non_aliasing_ip(0x0070_0000)
+        for es in eviction_sets:
+            for vaddr in es.addresses:
+                machine.warm_tlb(self.attacker_ctx, vaddr)
+        self.prime_probe = PrimeProbe(machine, self.attacker_ctx, eviction_sets, probe_ip)
+
+    def _non_aliasing_ip(self, base: int) -> int:
+        index_bits = self.machine.params.prefetcher.index_bits
+        ip = base
+        while low_bits(ip, index_bits) in self.gadget.monitored_indexes:
+            ip += 1
+        return ip
+
+    def run_round(self, secret_bit: int, line: int | None = None) -> RoundResult:
+        """One observation round: train → prime → victim → probe → classify."""
+        line = self._pick_line(line)
+        self.machine.context_switch(self.attacker_ctx)
+        self.gadget.train()
+        self.prime_probe.prime()
+        self.machine.context_switch(self.victim_ctx)
+        self.victim.run(secret_bit, line)
+        self.machine.context_switch(self.attacker_ctx)
+        samples = self.prime_probe.probe()
+        hot = [s.set_ordinal for s in samples if s.delta >= PROBE_DELTA_THRESHOLD]
+        return RoundResult(
+            true_bit=secret_bit,
+            inferred_bit=self._infer(hot),
+            victim_line=line,
+            hot_lines=hot,
+            probe_samples=samples,
+        )
+
+
+class Variant1CrossProcess(_Variant1Base):
+    """Separate address spaces, Flush+Reload over a shared page (Fig. 13c).
+
+    The shared page models a shared library page (the paper creates it with
+    ``mmap(MAP_SHARED)``, §7.1).  Prime+Probe is *not* used here: the paper
+    found context-switch noise touches over half the eviction sets (§5.1);
+    the same effect is visible in this model if one swaps the channel.
+    """
+
+    def __init__(self, machine: Machine, s1_lines: int = 7, s2_lines: int = 13) -> None:
+        super().__init__(machine, s1_lines, s2_lines)
+        self.victim_ctx = machine.new_thread("victim-process")
+        self.attacker_ctx = machine.new_thread("attacker-process")
+        shared_victim = machine.new_buffer(
+            self.victim_ctx.space, PAGE_SIZE, name="shared-lib-page"
+        )
+        self.shared_attacker = machine.share_buffer(
+            Buffer(shared_victim.mapping), self.attacker_ctx.space, name="shared-lib-page"
+        )
+        self.victim = BranchLoadVictim(machine, self.victim_ctx, shared_victim)
+        machine.context_switch(self.attacker_ctx)
+        self.gadget = TrainingGadget(
+            machine, self.attacker_ctx, self.victim.if_ip, self.victim.else_ip,
+            s1_lines, s2_lines,
+        )
+        reload_ip = 0x0071_0000
+        index_bits = machine.params.prefetcher.index_bits
+        while low_bits(reload_ip, index_bits) in self.gadget.monitored_indexes:
+            reload_ip += 1
+        self.flush_reload = FlushReload(
+            machine,
+            self.attacker_ctx,
+            self.shared_attacker,
+            reload_ip,
+            avoid_ip_indexes=self.gadget.monitored_indexes,
+        )
+        machine.warm_buffer_tlb(self.attacker_ctx, self.shared_attacker)
+
+    def run_round(self, secret_bit: int, line: int | None = None) -> RoundResult:
+        """One observation round: train → flush → victim → reload → classify."""
+        line = self._pick_line(line)
+        self.machine.context_switch(self.attacker_ctx)
+        self.gadget.train()
+        self.flush_reload.flush()
+        self.machine.context_switch(self.victim_ctx)
+        self.victim.run(secret_bit, line)
+        self.machine.context_switch(self.attacker_ctx)
+        hot = self.flush_reload.hit_lines()
+        return RoundResult(
+            true_bit=secret_bit,
+            inferred_bit=self._infer(hot),
+            victim_line=line,
+            hot_lines=hot,
+        )
+
+    def reload_samples(self, secret_bit: int, line: int | None = None):
+        """Run a round but return the raw reload samples (Figure 13c data)."""
+        line = self._pick_line(line)
+        self.machine.context_switch(self.attacker_ctx)
+        self.gadget.train()
+        self.flush_reload.flush()
+        self.machine.context_switch(self.victim_ctx)
+        self.victim.run(secret_bit, line)
+        self.machine.context_switch(self.attacker_ctx)
+        return self.flush_reload.reload()

@@ -1,0 +1,22 @@
+"""Execution substrate: the simulated machine, thread contexts, scheduler.
+
+`Machine` wires the MMU, cache hierarchy and prefetchers into the load path
+and owns the global cycle clock.  All contexts run on the *same logical
+core* — the paper's threat model — so they share the caches, the TLB and,
+crucially, the IP-stride prefetcher table.
+"""
+
+from repro.cpu.code import CodeRegion, match_low_bits
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.cpu.scheduler import Scheduler
+from repro.cpu.timing import TimingModel
+
+__all__ = [
+    "Machine",
+    "ThreadContext",
+    "Scheduler",
+    "CodeRegion",
+    "match_low_bits",
+    "TimingModel",
+]

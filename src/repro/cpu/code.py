@@ -1,0 +1,77 @@
+"""Instruction-pointer bookkeeping for simulated code.
+
+A victim binary or attacker gadget is modeled as a :class:`CodeRegion`: a
+base address (optionally slid by ASLR, page-aligned, so its low 12 bits are
+stable) plus named load instructions at fixed offsets.  The attacker's core
+preparation step — "generate a local version of the targeted load
+instructions [that] masquerade as the target loads" (paper §2.3) — is
+:func:`match_low_bits`, which places a gadget load so its IP agrees with the
+victim's in the low 8 bits.
+"""
+
+from __future__ import annotations
+
+from repro.mmu.aslr import Aslr
+from repro.utils.bits import low_bits
+
+
+def match_low_bits(region_base: int, target_ip: int, n_bits: int = 8) -> int:
+    """Smallest IP >= ``region_base`` sharing ``target_ip``'s low ``n_bits``.
+
+    This is the "IP offset using NOPs" trick of the paper's Listing 2: pad a
+    local load with NOPs until its address aliases the victim's prefetcher
+    entry.
+    """
+    modulus = 1 << n_bits
+    return region_base + ((target_ip - region_base) % modulus)
+
+
+class CodeRegion:
+    """Named load instructions laid out from a (possibly ASLR-slid) base."""
+
+    def __init__(self, base_ip: int, aslr: Aslr | None = None, name: str = "code") -> None:
+        self.name = name
+        self.requested_base = base_ip
+        self.base = aslr.randomize_base(base_ip) if aslr is not None else base_ip
+        self._labels: dict[str, int] = {}
+
+    def place(self, label: str, offset: int) -> int:
+        """Register a load instruction at ``base + offset``; returns its IP."""
+        if label in self._labels:
+            raise ValueError(f"label {label!r} already placed in region {self.name!r}")
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        ip = self.base + offset
+        self._labels[label] = ip
+        return ip
+
+    def place_aliasing(self, label: str, target_ip: int, n_bits: int = 8) -> int:
+        """Register a load whose IP aliases ``target_ip`` in the low ``n_bits``.
+
+        Successive calls for the same target land 256 bytes apart, mirroring
+        NOP-padded copies of the gadget load.
+        """
+        candidate = match_low_bits(self.base, target_ip, n_bits)
+        while candidate in self._labels.values():
+            candidate += 1 << n_bits
+        if label in self._labels:
+            raise ValueError(f"label {label!r} already placed in region {self.name!r}")
+        self._labels[label] = candidate
+        return candidate
+
+    def ip(self, label: str) -> int:
+        """IP of a previously placed load."""
+        if label not in self._labels:
+            raise KeyError(f"no load labeled {label!r} in region {self.name!r}")
+        return self._labels[label]
+
+    def labels(self) -> dict[str, int]:
+        """Copy of the label → IP map."""
+        return dict(self._labels)
+
+    def low_bits_of(self, label: str, n_bits: int = 8) -> int:
+        """The prefetcher-visible index bits of a placed load."""
+        return low_bits(self.ip(label), n_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CodeRegion({self.name!r}, base={self.base:#x}, loads={len(self._labels)})"

@@ -1,0 +1,26 @@
+"""Thread/process contexts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mmu.address_space import AddressSpace
+
+
+@dataclass
+class ThreadContext:
+    """An execution context scheduled on the simulated logical core.
+
+    Two threads of one process share an :class:`AddressSpace`; two processes
+    have distinct spaces; the kernel context is privileged and uses the
+    machine's kernel space with global pages.
+    """
+
+    name: str
+    space: AddressSpace
+    privileged: bool = False
+    #: Cycles this context has been scheduled for (bookkeeping for benches).
+    cpu_cycles: int = field(default=0, repr=False)
+
+    def same_address_space(self, other: "ThreadContext") -> bool:
+        return self.space is other.space

@@ -1,0 +1,355 @@
+"""The simulated machine: one logical core and its shared memory subsystem.
+
+The `Machine` owns the global cycle clock and the load path:
+
+``load(ctx, ip, vaddr)`` → TLB translate → cache-hierarchy access →
+prefetcher observation → prefetch fills → noisy measured latency.
+
+Two modelling rules from the paper are enforced here rather than in the
+prefetcher itself:
+
+* a TLB-missing access does **not** update prefetcher state (§4.3);
+* a context switch flushes non-global TLB entries and injects the switch's
+  memory traffic into the caches *and* the prefetcher table (the noise the
+  paper blames for cross-process Prime+Probe degradation, §5.1, and for the
+  24-entry covert channel's >25 % error rate, §7.2) — but never flushes the
+  IP-stride table, unless the §8.3 mitigation is enabled.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.code import CodeRegion
+from repro.cpu.context import ThreadContext
+from repro.cpu.timing import TimingModel
+from repro.memsys.hierarchy import CacheHierarchy, MemoryLevel
+from repro.mmu.address_space import AddressSpace
+from repro.mmu.aslr import Aslr
+from repro.mmu.buffer import Buffer
+from repro.mmu.page_table import PhysicalMemory
+from repro.mmu.tlb import TLB
+from repro.params import CACHE_LINE_SIZE, PAGE_SIZE, DEFAULT_MACHINE, MachineParams
+from repro.prefetch.adjacent import AdjacentPrefetcher
+from repro.prefetch.base import LoadEvent, Prefetcher
+from repro.prefetch.dcu import DCUPrefetcher
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.streamer import StreamerPrefetcher
+from repro.utils.rng import derive_rng, make_rng
+
+#: Cycle cost of a clflush instruction (order of an LLC round trip).
+CLFLUSH_CYCLES = 40
+
+#: Fixed architectural cost of a context switch, before memory noise.
+CONTEXT_SWITCH_CYCLES = 1500
+
+#: Cost of the proposed clear-ip-prefetcher instruction: one cycle per
+#: history entry (paper §8.3 assumes C_clear = 24).
+CLEAR_PREFETCHER_CYCLES_PER_ENTRY = 1
+
+
+class Machine:
+    """A simulated Intel machine (one logical core's view)."""
+
+    def __init__(self, params: MachineParams = DEFAULT_MACHINE, seed: int | None = None) -> None:
+        self.params = params
+        self.rng = make_rng(seed)
+        self._timing = TimingModel(params.noise, derive_rng(self.rng, "timing"))
+        self._os_rng = derive_rng(self.rng, "os")
+        self.physical = PhysicalMemory(derive_rng(self.rng, "frames"))
+        self.aslr = Aslr(derive_rng(self.rng, "aslr"), enabled=params.aslr_enabled)
+        self.kaslr = Aslr(derive_rng(self.rng, "kaslr"), enabled=params.aslr_enabled)
+        self.hierarchy = CacheHierarchy(params)
+        self.tlb = TLB(params.tlb_entries, params.page_walk_latency)
+        self.ip_stride = IPStridePrefetcher(
+            params.prefetcher, enable_next_page=params.enable_next_page_prefetcher
+        )
+        self.noise_prefetchers: list[Prefetcher] = []
+        if params.enable_dcu_prefetcher:
+            self.noise_prefetchers.append(DCUPrefetcher())
+        if params.enable_adjacent_prefetcher:
+            self.noise_prefetchers.append(AdjacentPrefetcher())
+        if params.enable_streamer_prefetcher:
+            self.noise_prefetchers.append(StreamerPrefetcher())
+
+        self.kernel_space = AddressSpace(
+            "kernel", self.physical, aslr=self.kaslr, global_pages=True
+        )
+        # The kernel working set touched by switch/IRQ paths.  It must be
+        # large: a tiny pool would revisit the same lines every switch, so a
+        # single page that happens to be slice-hash-equivalent to a victim
+        # page would poison the same monitored cache sets on every round.  4 MiB
+        # approximates a kernel steady-state working set.
+        self._switch_noise = Buffer(
+            self.kernel_space.mmap(1024 * PAGE_SIZE, locked=True, name="switch-noise")
+        )
+        # The context-switch path is fixed code: its load IPs are chosen
+        # once per boot and hit the same prefetcher indexes every switch.
+        self._switch_path_ips = [
+            int(self._os_rng.integers(0, 1 << 30))
+            for _ in range(params.noise.switch_fixed_ips)
+        ]
+        self.cycles = 0
+        self.context_switches = 0
+        self.timer_interrupts = 0
+        self.current: ThreadContext | None = None
+        #: §8.3 mitigation: execute clear-ip-prefetcher on every domain switch.
+        self.flush_prefetcher_on_switch = False
+        #: Timer-interrupt period (~100 µs tick).  Each tick runs a short
+        #: kernel IRQ path whose loads add background cache/prefetcher noise;
+        #: long-running measurement phases therefore see more disturbance
+        #: than short ones, as on real hardware.
+        self.timer_period_cycles = 300_000
+        self._next_timer = self.timer_period_cycles
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers                                                #
+    # ------------------------------------------------------------------ #
+
+    def new_address_space(self, name: str) -> AddressSpace:
+        """Create a fresh user address space (one per process)."""
+        return AddressSpace(name, self.physical, aslr=self.aslr)
+
+    def new_thread(
+        self, name: str, space: AddressSpace | None = None, privileged: bool = False
+    ) -> ThreadContext:
+        """Create a context; without ``space``, a private one is created."""
+        if space is None:
+            space = self.new_address_space(f"{name}-space")
+        return ThreadContext(name=name, space=space, privileged=privileged)
+
+    def kernel_context(self, name: str = "kernel") -> ThreadContext:
+        """A privileged context running in the shared kernel address space."""
+        return ThreadContext(name=name, space=self.kernel_space, privileged=True)
+
+    def new_buffer(
+        self,
+        space: AddressSpace,
+        n_bytes: int,
+        locked: bool = False,
+        populate: bool = True,
+        name: str = "buf",
+    ) -> Buffer:
+        """mmap a buffer into ``space`` (see AddressSpace.mmap semantics)."""
+        return Buffer(space.mmap(n_bytes, locked=locked, populate=populate, name=name))
+
+    def share_buffer(self, buffer: Buffer, space: AddressSpace, name: str | None = None) -> Buffer:
+        """Map ``buffer``'s physical pages into another space (MAP_SHARED)."""
+        return Buffer(space.map_shared(buffer.mapping, name=name))
+
+    def code_region(self, base_ip: int, name: str = "code", kernel: bool = False) -> CodeRegion:
+        """A code image slid by (K)ASLR when enabled."""
+        aslr = self.kaslr if kernel else self.aslr
+        return CodeRegion(base_ip, aslr=aslr, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def load(self, ctx: ThreadContext, ip: int, vaddr: int, fenced: bool = False) -> int:
+        """Execute a load at instruction ``ip``; returns measured latency.
+
+        ``fenced=True`` models a measurement load bracketed by ``mfence``
+        (and/or issued from a pointer-chase): the hardware prefetchers
+        neither observe it nor act on it.  The paper's artifact reloads
+        exactly this way (§A.6: shuffled order + mfence, "the memory
+        barrier may prevent prefetching from taking place"), and careful
+        Prime+Probe implementations traverse eviction sets as linked lists
+        for the same reason.
+        """
+        self._maybe_timer_interrupt()
+        translation = self.tlb.translate(ctx.space, vaddr)
+        result = self.hierarchy.access(translation.paddr)
+        if not fenced:
+            event = LoadEvent(
+                ip=ip,
+                vaddr=vaddr,
+                paddr=translation.paddr,
+                hit_level=result.level,
+                asid=ctx.space.asid,
+            )
+            if translation.tlb_hit:
+                self._feed_prefetchers(ctx, event)
+            else:
+                # §4.3: a TLB-missing first touch creates the translation but
+                # leaves the prefetcher state untouched — only the next-page
+                # prefetcher may carry a pattern across.
+                for request in self.ip_stride.observe_tlb_miss(event):
+                    self.hierarchy.insert_prefetch(request.paddr)
+        latency = self._timing.measured(translation.latency + result.latency)
+        self._charge(ctx, latency)
+        return latency
+
+    def _feed_prefetchers(self, ctx: ThreadContext, event: LoadEvent) -> None:
+        def translate(vaddr: int) -> int | None:
+            try:
+                return ctx.space.translate(vaddr)
+            except KeyError:
+                return None
+
+        for prefetcher in (self.ip_stride, *self.noise_prefetchers):
+            for request in prefetcher.observe(event, translate):
+                self.hierarchy.insert_prefetch(request.paddr)
+
+    def clflush(self, ctx: ThreadContext, vaddr: int) -> None:
+        """Flush the line holding ``vaddr`` from the whole hierarchy."""
+        paddr = ctx.space.translate(vaddr)
+        self.hierarchy.clflush(paddr)
+        self._charge(ctx, CLFLUSH_CYCLES)
+
+    def flush_buffer(self, ctx: ThreadContext, buffer: Buffer) -> None:
+        """clflush every line of ``buffer`` (the Flush stage of F+R)."""
+        for vaddr in buffer.lines():
+            self.clflush(ctx, vaddr)
+
+    def warm_tlb(self, ctx: ThreadContext, vaddr: int) -> None:
+        """Install a translation without memory-system side effects."""
+        self.tlb.warm(ctx.space, vaddr)
+
+    def warm_buffer_tlb(self, ctx: ThreadContext, buffer: Buffer) -> None:
+        """TLB-warm every page of ``buffer`` (the paper's threat-model state)."""
+        for page in range(buffer.n_pages):
+            self.warm_tlb(ctx, buffer.page_line_addr(page, 0))
+
+    def advance(self, cycles: int) -> None:
+        """Account for non-memory compute time."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance by negative cycles: {cycles}")
+        self.cycles += cycles
+        if self.current is not None:
+            self.current.cpu_cycles += cycles
+
+    def _charge(self, ctx: ThreadContext, cycles: int) -> None:
+        self.cycles += cycles
+        ctx.cpu_cycles += cycles
+
+    # ------------------------------------------------------------------ #
+    # Context switching                                                   #
+    # ------------------------------------------------------------------ #
+
+    def context_switch(self, to_ctx: ThreadContext) -> None:
+        """Switch the logical core to ``to_ctx``.
+
+        Same-address-space switches (threads of one process) keep the TLB;
+        cross-space switches flush non-global entries.  Both kinds run the
+        kernel's switch path, whose loads pollute the caches and the
+        prefetcher table.
+        """
+        from_ctx = self.current
+        if from_ctx is to_ctx:
+            return
+        self.context_switches += 1
+        self.cycles += CONTEXT_SWITCH_CYCLES
+        cross_space = from_ctx is not None and not from_ctx.same_address_space(to_ctx)
+        if cross_space:
+            self.tlb.flush(keep_global=True)
+        # Cross-process switches run the heavier mm-switch path with
+        # data-dependent kernel activity; same-space (thread) switches only
+        # replay the fixed switch code.
+        variable_ips = self.params.noise.switch_variable_ips if cross_space else 0
+        self._inject_switch_noise(variable_ips)
+        if self.flush_prefetcher_on_switch:
+            self.run_prefetcher_clear()
+        self.current = to_ctx
+
+    def run_prefetcher_clear(self) -> None:
+        """Execute the proposed privileged clear-ip-prefetcher instruction."""
+        self.cycles += CLEAR_PREFETCHER_CYCLES_PER_ENTRY * self.params.prefetcher.n_entries
+        self.ip_stride.clear()
+
+    def _maybe_timer_interrupt(self) -> None:
+        """Run the kernel timer-IRQ path when the tick has elapsed.
+
+        The IRQ handler touches a few kernel lines and executes one load at
+        an effectively random kernel IP; with probability 1/256 that IP
+        aliases (and clobbers) a trained prefetcher entry.  A backlog of
+        elapsed ticks (e.g. after a long ``advance``) fires only once: the
+        table's disturbance saturates, and the entries the backlogged ticks
+        would have clobbered are retrained before the next observation
+        anyway.
+        """
+        if self.params.noise.switch_fixed_ips == 0:
+            # Quiet machines (reverse-engineering benches) take no IRQs.
+            self._next_timer = self.cycles + self.timer_period_cycles
+            return
+        if self.cycles < self._next_timer:
+            return
+        self.timer_interrupts += 1
+        self._next_timer = self.cycles + self.timer_period_cycles
+        n_lines = self._switch_noise.n_lines
+        for _ in range(8):
+            line = int(self._os_rng.integers(0, n_lines))
+            self.hierarchy.access(self.kernel_space.translate(self._switch_noise.line_addr(line)))
+        # Which IRQ handler ran is data-dependent: one variable-IP load.
+        self._kernel_prefetcher_noise([int(self._os_rng.integers(0, 1 << 30))])
+
+    def _inject_switch_noise(self, variable_ips: int) -> None:
+        """Model the switch path's own memory traffic.
+
+        Cache pollution: random lines of kernel memory are touched.
+        Prefetcher pollution: the fixed switch-path IPs replay (occupying
+        their slots, learning nothing — their data addresses vary), plus
+        ``variable_ips`` loads at effectively random IPs, each with a 1/256
+        chance of aliasing a trained entry.
+        """
+        noise = self.params.noise
+        n_lines = self._switch_noise.n_lines
+        for _ in range(noise.switch_cache_lines):
+            line = int(self._os_rng.integers(0, n_lines))
+            paddr = self.kernel_space.translate(self._switch_noise.line_addr(line))
+            self.hierarchy.access(paddr)
+        # Switch-path code loops over task/mm state, so each fixed IP issues
+        # several loads per switch: a re-allocated fixed entry immediately
+        # reaches confidence 1 and is no longer a preferred eviction victim.
+        # (This is what makes a full-table covert channel lose ~6 of its 24
+        # trained entries per switch — the paper's >25 % error rate, §7.2.)
+        ips = [ip for ip in self._switch_path_ips for _ in range(2)] + [
+            int(self._os_rng.integers(0, 1 << 30)) for _ in range(variable_ips)
+        ]
+        self._kernel_prefetcher_noise(ips)
+
+    def _kernel_prefetcher_noise(self, ips: list[int]) -> None:
+        """Kernel loads (random data lines) at the given IPs."""
+        n_lines = self._switch_noise.n_lines
+        for ip in ips:
+            line = int(self._os_rng.integers(0, n_lines))
+            vaddr = self._switch_noise.line_addr(line)
+            event = LoadEvent(
+                ip=ip,
+                vaddr=vaddr,
+                paddr=self.kernel_space.translate(vaddr),
+                hit_level=MemoryLevel.LLC,
+                asid=self.kernel_space.asid,
+            )
+            for request in self.ip_stride.observe(event, lambda _vaddr: None):
+                self.hierarchy.insert_prefetch(request.paddr)
+
+    # ------------------------------------------------------------------ #
+    # Inspection                                                          #
+    # ------------------------------------------------------------------ #
+
+    def cached_level(self, ctx: ThreadContext, vaddr: int) -> MemoryLevel | None:
+        """Highest cache level holding ``vaddr`` (non-mutating debug helper)."""
+        return self.hierarchy.contains(ctx.space.translate(vaddr))
+
+    def is_cached(self, ctx: ThreadContext, vaddr: int) -> bool:
+        return self.cached_level(ctx, vaddr) is not None
+
+    def measured_latency(self, ideal: int) -> int:
+        """Apply the timing-noise model to an ideal latency (for channels
+        that time non-load operations, e.g. Flush+Flush)."""
+        return self._timing.measured(ideal)
+
+    def hit_threshold(self) -> int:
+        """Measured-latency threshold separating cache hits from DRAM misses."""
+        return self.params.llc_hit_threshold
+
+    def seconds(self) -> float:
+        """Wall-clock equivalent of the elapsed cycle count."""
+        return self.cycles / self.params.frequency_hz
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine({self.params.name}, cycles={self.cycles})"
+
+
+def line_of(vaddr: int) -> int:
+    """Cache-line number of a virtual address (convenience for experiments)."""
+    return vaddr // CACHE_LINE_SIZE

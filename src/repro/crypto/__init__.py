@@ -1,0 +1,31 @@
+"""Cryptographic victim applications.
+
+Real RSA and AES implementations whose *load-instruction structure* mirrors
+the code the paper attacks: the Montgomery-ladder / timing-constant RSA
+engines of MbedTLS (paper Figures 3–4) and a table-based AES whose first
+round S-box lookups drive the power-analysis t-test (Figure 16).
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.power_model import PowerModel, PowerTraceParams
+from repro.crypto.primes import generate_keypair, generate_prime, is_probable_prime, RSAKey
+from repro.crypto.rsa import (
+    MontgomeryLadderVictim,
+    SquareAndMultiplyVictim,
+    TimingConstantLadderVictim,
+    montgomery_ladder_modexp,
+)
+
+__all__ = [
+    "AES128",
+    "PowerModel",
+    "PowerTraceParams",
+    "RSAKey",
+    "generate_keypair",
+    "generate_prime",
+    "is_probable_prime",
+    "montgomery_ladder_modexp",
+    "MontgomeryLadderVictim",
+    "TimingConstantLadderVictim",
+    "SquareAndMultiplyVictim",
+]

@@ -1,0 +1,178 @@
+"""Table-based AES-128 (FIPS-197).
+
+A complete, tested implementation: the power-analysis experiment (paper
+Figure 16) needs the real first-round S-box outputs ``SBOX[pt[i] ^ k[i]]``,
+because those are the values whose Hamming weight leaks on the power rail.
+Encryption and decryption are both provided; tests check the FIPS-197 and
+NIST-SP800-38A vectors.
+"""
+
+from __future__ import annotations
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Compute the AES S-box and its inverse from GF(2^8) arithmetic."""
+    # Multiplicative inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(a: int) -> int:
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        b = inverse(value)
+        transformed = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            transformed ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        transformed &= 0xFF
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits — the standard first-order power-leakage model."""
+    return bin(value).count("1")
+
+
+class AES128:
+    """AES with a 128-bit key.  State is column-major, as in FIPS-197."""
+
+    BLOCK_SIZE = 16
+    N_ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """Expand to 11 round keys of 16 bytes each."""
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for round_index in range(11):
+            flat = []
+            for word in words[4 * round_index : 4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    def first_round_sbox_outputs(self, plaintext: bytes) -> list[int]:
+        """``SBOX[pt[i] ^ key[i]]`` for each byte — the Figure 16 leak target."""
+        self._check_block(plaintext)
+        return [SBOX[p ^ k] for p, k in zip(plaintext, self._round_keys[0])]
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        self._check_block(plaintext)
+        state = [p ^ k for p, k in zip(plaintext, self._round_keys[0])]
+        for round_index in range(1, self.N_ROUNDS):
+            state = [SBOX[b] for b in state]
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_keys[round_index])]
+        state = [SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_keys[10])]
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        self._check_block(ciphertext)
+        state = [c ^ k for c, k in zip(ciphertext, self._round_keys[10])]
+        state = self._inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        for round_index in range(self.N_ROUNDS - 1, 0, -1):
+            state = [b ^ k for b, k in zip(state, self._round_keys[round_index])]
+            state = self._inv_mix_columns(state)
+            state = self._inv_shift_rows(state)
+            state = [INV_SBOX[b] for b in state]
+        state = [b ^ k for b, k in zip(state, self._round_keys[0])]
+        return bytes(state)
+
+    @staticmethod
+    def _check_block(block: bytes) -> None:
+        if len(block) != AES128.BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> list[int]:
+        out = list(state)
+        for row in range(1, 4):
+            cells = [state[row + 4 * col] for col in range(4)]
+            cells = cells[row:] + cells[:row]
+            for col in range(4):
+                out[row + 4 * col] = cells[col]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> list[int]:
+        out = list(state)
+        for row in range(1, 4):
+            cells = [state[row + 4 * col] for col in range(4)]
+            cells = cells[-row:] + cells[:-row]
+            for col in range(4):
+                out[row + 4 * col] = cells[col]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            out[4 * col + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            out[4 * col + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            out[4 * col + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _gmul(a[0], 14) ^ _gmul(a[1], 11) ^ _gmul(a[2], 13) ^ _gmul(a[3], 9)
+            out[4 * col + 1] = _gmul(a[0], 9) ^ _gmul(a[1], 14) ^ _gmul(a[2], 11) ^ _gmul(a[3], 13)
+            out[4 * col + 2] = _gmul(a[0], 13) ^ _gmul(a[1], 9) ^ _gmul(a[2], 14) ^ _gmul(a[3], 11)
+            out[4 * col + 3] = _gmul(a[0], 11) ^ _gmul(a[1], 13) ^ _gmul(a[2], 9) ^ _gmul(a[3], 14)
+        return out

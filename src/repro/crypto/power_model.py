@@ -1,0 +1,85 @@
+"""Cycle-level power-trace model for the Figure 16 t-test experiment.
+
+The paper collects cycle-accurate power traces of AES on a Rocket Chip
+(RISC-V) via PrimePower; we substitute the standard first-order CMOS
+leakage model the TVLA literature assumes: at the cycle where the
+first-round S-box outputs are written back, the instantaneous power is
+proportional to their total Hamming weight, riding on Gaussian measurement
+noise plus unrelated switching activity.
+
+AfterImage's contribution to the power attack is *when to sample* (paper
+§6.3): an attacker who knows the S-box cycle extracts the leaking sample;
+one who guesses randomly mostly samples noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.aes import AES128, hamming_weight
+
+
+@dataclass(frozen=True)
+class PowerTraceParams:
+    """Shape and noise of one simulated power trace."""
+
+    n_samples: int = 400
+    sbox_cycle: int = 57
+    #: Power units contributed per Hamming-weight bit at the leak cycle.
+    hw_scale: float = 1.0
+    #: Std-dev of Gaussian measurement noise per sample.
+    noise_sigma: float = 24.0
+    #: Std-dev of unrelated switching activity (data-independent).
+    activity_sigma: float = 6.0
+    #: Baseline (static) power level.
+    baseline: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sbox_cycle < self.n_samples:
+            raise ValueError("sbox_cycle must fall inside the trace")
+
+
+class PowerModel:
+    """Generate power traces of AES-128 encryptions."""
+
+    def __init__(self, aes: AES128, params: PowerTraceParams, rng: np.random.Generator) -> None:
+        self.aes = aes
+        self.params = params
+        self._rng = rng
+
+    def trace(self, plaintext: bytes) -> np.ndarray:
+        """One power trace for encrypting ``plaintext``."""
+        p = self.params
+        trace = p.baseline + self._rng.normal(0.0, p.noise_sigma, size=p.n_samples)
+        trace += np.abs(self._rng.normal(0.0, p.activity_sigma, size=p.n_samples))
+        leak = sum(hamming_weight(b) for b in self.aes.first_round_sbox_outputs(plaintext))
+        trace[p.sbox_cycle] += p.hw_scale * leak
+        return trace
+
+    def traces(self, plaintexts: list[bytes]) -> np.ndarray:
+        """Stack of traces, one row per plaintext."""
+        if not plaintexts:
+            raise ValueError("need at least one plaintext")
+        return np.vstack([self.trace(pt) for pt in plaintexts])
+
+    def random_plaintext(self) -> bytes:
+        return bytes(int(b) for b in self._rng.integers(0, 256, size=16))
+
+    def low_weight_plaintext(self, search_rounds: int = 4096) -> bytes:
+        """A fixed plaintext whose first-round S-box outputs have *low* total
+        Hamming weight, so the fixed-vs-random t statistic comes out
+        negative, matching the sign convention of the paper's Figure 16
+        (leakage ≈ −18.8 against a −4.5 threshold)."""
+        best: bytes | None = None
+        best_weight = 10**9
+        for _ in range(search_rounds):
+            candidate = self.random_plaintext()
+            weight = sum(
+                hamming_weight(b) for b in self.aes.first_round_sbox_outputs(candidate)
+            )
+            if weight < best_weight:
+                best, best_weight = candidate, weight
+        assert best is not None
+        return best

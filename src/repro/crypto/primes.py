@@ -1,0 +1,108 @@
+"""Prime generation and RSA key material (pure Python, no external crypto)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(n: int, rng: np.random.Generator, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random witnesses."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + int(rng.integers(0, min(n - 4, 2**62)))
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: np.random.Generator) -> int:
+    """Generate a random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError(f"need at least 8 bits, got {bits}")
+    while True:
+        chunks = [int(rng.integers(0, 2**32)) for _ in range((bits + 31) // 32)]
+        candidate = 0
+        for chunk in chunks:
+            candidate = (candidate << 32) | chunk
+        candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1  # exact bit length, odd
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAKey:
+    """An RSA keypair.  ``d`` is the private exponent AfterImage recovers."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def modulus_bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def private_exponent_bits(self) -> int:
+        return self.d.bit_length()
+
+    def encrypt(self, message: int) -> int:
+        if not 0 <= message < self.n:
+            raise ValueError("message out of range for modulus")
+        return pow(message, self.e, self.n)
+
+    def decrypt(self, ciphertext: int) -> int:
+        if not 0 <= ciphertext < self.n:
+            raise ValueError("ciphertext out of range for modulus")
+        return pow(ciphertext, self.d, self.n)
+
+
+def generate_keypair(bits: int = 512, rng: np.random.Generator | None = None) -> RSAKey:
+    """Generate an RSA keypair with a ``bits``-bit modulus.
+
+    512-bit keys keep the simulated end-to-end attack fast; the paper's
+    1024-bit figure is reproduced by projection (DESIGN.md §5).
+    """
+    if rng is None:
+        rng = np.random.default_rng(2023)
+    if bits < 32 or bits % 2:
+        raise ValueError(f"modulus bits must be even and >= 32, got {bits}")
+    e = 65537
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return RSAKey(n=p * q, e=e, d=d, p=p, q=q)

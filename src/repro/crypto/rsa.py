@@ -1,0 +1,203 @@
+"""RSA modular-exponentiation victims with the paper's load structure.
+
+Three engines over real bignum arithmetic:
+
+* :class:`SquareAndMultiplyVictim` — the classic leaky baseline (the
+  multiply only happens for 1-bits; trivially timing-leaky).
+* :class:`MontgomeryLadderVictim` — the MbedTLS Montgomery-Ladder engine of
+  the paper's Figure 3: both branch directions call ``multiply_add`` so the
+  *timing* is balanced, but the operand-preparation loads before the call
+  sit at different IPs in the two directions.
+* :class:`TimingConstantLadderVictim` — the ``X->s = s`` / ``X->s = -s``
+  timing-constant pattern of Figure 4 layered on the ladder.
+
+All three expose a *stepper* interface (one key bit per step) so attack
+code can interleave with the victim exactly the way ``sched_yield()``-based
+synchronization does in the paper's §6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.code import CodeRegion
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.mmu.buffer import Buffer
+
+#: Cycles a ~512-bit modular multiply-add costs the victim (compute model).
+MULTIPLY_ADD_CYCLES = 4_000
+
+
+def montgomery_ladder_modexp(base: int, exponent: int, modulus: int) -> int:
+    """Pure (victim-free) Montgomery-ladder ``base**exponent % modulus``.
+
+    The reference the simulated victims are tested against.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    r0, r1 = 1, base % modulus
+    for i in range(exponent.bit_length() - 1, -1, -1):
+        if (exponent >> i) & 1:
+            r0 = r0 * r1 % modulus
+            r1 = r1 * r1 % modulus
+        else:
+            r1 = r0 * r1 % modulus
+            r0 = r0 * r0 % modulus
+    return r0
+
+
+@dataclass
+class _LadderState:
+    """In-flight exponentiation state, advanced one key bit per step."""
+
+    base: int
+    exponent: int
+    modulus: int
+    bit_index: int  # next bit to process (MSB first)
+    r0: int = 1
+    r1: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.bit_index < 0
+
+    def current_bit(self) -> int:
+        return (self.exponent >> self.bit_index) & 1
+
+
+class _RsaVictimBase:
+    """Shared plumbing: code layout, operand buffer, stepper protocol."""
+
+    #: Offsets of the branch-direction loads inside the victim image.  The
+    #: concrete values are arbitrary; what matters is that the two loads
+    #: have *different* low-8 IP bits (they are distinct instructions).
+    IF_LOAD_OFFSET = 0x1528
+    ELSE_LOAD_OFFSET = 0x15D4
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        code: CodeRegion,
+        operands: Buffer,
+        if_label: str = "rsa_if_load",
+        else_label: str = "rsa_else_load",
+    ) -> None:
+        self.machine = machine
+        self.ctx = ctx
+        self.code = code
+        self.operands = operands
+        self.if_load_ip = code.place(if_label, self.IF_LOAD_OFFSET)
+        self.else_load_ip = code.place(else_label, self.ELSE_LOAD_OFFSET)
+        self._state: _LadderState | None = None
+        self._steps = 0
+        machine.warm_buffer_tlb(ctx, operands)
+
+    # -- stepper protocol ------------------------------------------------ #
+
+    def start(self, base: int, exponent: int, modulus: int) -> None:
+        """Begin an exponentiation; bits are consumed MSB-first by step()."""
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        self._state = _LadderState(
+            base=base % modulus,
+            exponent=exponent,
+            modulus=modulus,
+            bit_index=exponent.bit_length() - 1,
+            r1=base % modulus,
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._state is not None and not self._state.done
+
+    def step(self) -> bool:
+        """Process one key bit; returns False when the exponent is consumed."""
+        state = self._state
+        if state is None:
+            raise RuntimeError("step() before start()")
+        if state.done:
+            return False
+        self._consume_bit(state, state.current_bit())
+        state.bit_index -= 1
+        self._steps += 1
+        return not state.done
+
+    def result(self) -> int:
+        """Final value once all bits are processed."""
+        state = self._state
+        if state is None or not state.done:
+            raise RuntimeError("exponentiation not finished")
+        return state.r0
+
+    def run_to_completion(self) -> int:
+        while self.step():
+            pass
+        return self.result()
+
+    def modexp(self, base: int, exponent: int, modulus: int) -> int:
+        """Convenience: full exponentiation with side effects."""
+        self.start(base, exponent, modulus)
+        return self.run_to_completion()
+
+    # -- hooks ------------------------------------------------------------ #
+
+    def _consume_bit(self, state: _LadderState, bit: int) -> None:
+        raise NotImplementedError
+
+    def _operand_load(self, ip: int) -> None:
+        """One operand-preparation load at the branch direction's IP."""
+        vaddr = self.operands.line_addr(self._steps % self.operands.n_lines)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        self.machine.load(self.ctx, ip, vaddr)
+
+
+class SquareAndMultiplyVictim(_RsaVictimBase):
+    """Leaky baseline: the multiply (and its operand load) only runs for 1s."""
+
+    def _consume_bit(self, state: _LadderState, bit: int) -> None:
+        state.r0 = state.r0 * state.r0 % state.modulus
+        self.machine.advance(MULTIPLY_ADD_CYCLES)
+        if bit:
+            self._operand_load(self.if_load_ip)
+            state.r0 = state.r0 * state.base % state.modulus
+            self.machine.advance(MULTIPLY_ADD_CYCLES)
+
+
+class MontgomeryLadderVictim(_RsaVictimBase):
+    """Figure 3: both directions multiply, each preceded by its own load."""
+
+    def _consume_bit(self, state: _LadderState, bit: int) -> None:
+        if bit:
+            self._operand_load(self.if_load_ip)
+            state.r0 = state.r0 * state.r1 % state.modulus
+            state.r1 = state.r1 * state.r1 % state.modulus
+        else:
+            self._operand_load(self.else_load_ip)
+            state.r1 = state.r0 * state.r1 % state.modulus
+            state.r0 = state.r0 * state.r0 % state.modulus
+        # Both paths: multiply_add(); clflush(); — identical timing.
+        self.machine.advance(2 * MULTIPLY_ADD_CYCLES)
+
+
+class TimingConstantLadderVictim(MontgomeryLadderVictim):
+    """Figure 4's ``X->s = ±s`` conditional-negation pattern on the ladder.
+
+    The sign fix-up adds one more direction-dependent load per bit, at IPs
+    further down the function — the number of loads per direction stays
+    equal (the engine remains timing-constant), but their IPs differ, which
+    is all AfterImage needs (paper §2.1).
+    """
+
+    SIGN_IF_OFFSET = 0x1688
+    SIGN_ELSE_OFFSET = 0x1730
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.sign_if_ip = self.code.place("rsa_sign_if_load", self.SIGN_IF_OFFSET)
+        self.sign_else_ip = self.code.place("rsa_sign_else_load", self.SIGN_ELSE_OFFSET)
+
+    def _consume_bit(self, state: _LadderState, bit: int) -> None:
+        super()._consume_bit(state, bit)
+        self._operand_load(self.sign_if_ip if bit else self.sign_else_ip)

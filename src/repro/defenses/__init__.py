@@ -1,0 +1,32 @@
+"""Defense options from the paper's §8.1-§8.2, implemented as ablations.
+
+The paper's §8.3 flush-on-switch mitigation lives in the core model
+(:attr:`repro.cpu.Machine.flush_prefetcher_on_switch` +
+:mod:`repro.mitigation`).  This package implements the *other* options the
+paper discusses, so their security/performance trade-offs can be measured
+rather than argued:
+
+* :class:`TaggedIPStridePrefetcher` — augment the history table with a
+  full-IP tag and a process-context (ASID) tag: no aliasing, no sharing.
+* :func:`disable_ip_stride_prefetcher` — the blunt instrument; its
+  performance cost is measured with ChampSim-lite.
+* :class:`ObliviousBranchVictim` — rewrite the victim so both branch
+  directions execute the same loads (developer-side defense).
+* :class:`PerformanceCounterDetector` — a sampling detector watching for
+  prefetcher-training bursts; demonstrates §8.1's point that realistic
+  sampling periods miss AfterImage's 3-4-load training.
+"""
+
+from repro.defenses.detector import DetectorReport, PerformanceCounterDetector
+from repro.defenses.oblivious import ObliviousBranchVictim
+from repro.defenses.tagged_prefetcher import TaggedIPStridePrefetcher, harden_machine
+from repro.defenses.toggles import disable_ip_stride_prefetcher
+
+__all__ = [
+    "TaggedIPStridePrefetcher",
+    "harden_machine",
+    "disable_ip_stride_prefetcher",
+    "ObliviousBranchVictim",
+    "PerformanceCounterDetector",
+    "DetectorReport",
+]

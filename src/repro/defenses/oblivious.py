@@ -1,0 +1,48 @@
+"""Developer-side defense: secret-independent load structure (paper §8.2).
+
+"Redesigning the application by the developer to avoid secret-dependent
+branches can also prevent this issue.  Similarly, oblivious execution
+removes any control flow and most data dependencies."
+
+:class:`ObliviousBranchVictim` is the Listing 1 victim rewritten that way:
+*both* direction loads execute on every invocation, and the result is
+selected arithmetically.  AfterImage sees both entries disturbed every
+round regardless of the secret — zero information.  The costs the paper
+notes (extra work per call) are visible in the cycle count.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.mmu.buffer import Buffer
+from repro.core.variant1 import VICTIM_ELSE_OFFSET, VICTIM_IF_OFFSET, VICTIM_TEXT_BASE
+
+
+class ObliviousBranchVictim:
+    """Listing 1, obliviously rewritten: both loads run, a mask selects.
+
+    Drop-in replacement for
+    :class:`~repro.core.variant1.BranchLoadVictim`; the same attack
+    infrastructure runs against it and learns nothing.
+    """
+
+    def __init__(self, machine: Machine, ctx: ThreadContext, data: Buffer) -> None:
+        self.machine = machine
+        self.ctx = ctx
+        self.data = data
+        code = machine.code_region(VICTIM_TEXT_BASE, name="oblivious-victim")
+        self.if_ip = code.place("victim_if_load", VICTIM_IF_OFFSET)
+        self.else_ip = code.place("victim_else_load", VICTIM_ELSE_OFFSET)
+
+    def run(self, secret_bit: int, line: int) -> None:
+        """Execute *both* loads; the secret only selects the result."""
+        if secret_bit not in (0, 1):
+            raise ValueError(f"secret bit must be 0 or 1, got {secret_bit}")
+        vaddr = self.data.line_addr(line)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        # temp0 = array[address]; temp1 = array[address];
+        # result = (-secret & temp0) | ((secret - 1) & temp1)
+        self.machine.load(self.ctx, self.if_ip, vaddr)
+        self.machine.load(self.ctx, self.else_ip, vaddr)
+        self.machine.advance(4)  # the constant-time select arithmetic

@@ -1,0 +1,42 @@
+"""Blunt defenses: turning prefetchers off (paper §8.2's first option)."""
+
+from __future__ import annotations
+
+from repro.cpu.machine import Machine
+from repro.params import IPStrideParams
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
+
+
+class _NullPrefetcher(Prefetcher):
+    """A disabled IP-stride prefetcher: observes nothing, fetches nothing."""
+
+    name = "ip-stride-disabled"
+
+    def __init__(self, params: IPStrideParams) -> None:
+        self.params = params
+        self.prefetches_issued = 0
+
+    def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
+        return []
+
+    def observe_tlb_miss(self, event: LoadEvent) -> list[PrefetchRequest]:
+        return []
+
+    def entry_for_ip(self, ip: int):
+        return None
+
+    @property
+    def occupancy(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+def disable_ip_stride_prefetcher(machine: Machine) -> None:
+    """§8.2: "A straightforward defense is to disable the IP-stride
+    prefetcher to prevent possible security risks with high performance
+    overhead."  The overhead side is quantified by the prefetch-off
+    configuration of :mod:`repro.mitigation.champsim_lite` (3-6x IPC loss
+    on streaming workloads)."""
+    machine.ip_stride = _NullPrefetcher(machine.params.prefetcher)  # type: ignore[assignment]

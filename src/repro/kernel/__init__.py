@@ -1,0 +1,17 @@
+"""Kernel substrate: syscall dispatch, privilege switching, victim patterns.
+
+Variant 2 of AfterImage (paper §5.2) crosses the user-kernel boundary: the
+IP-stride prefetcher's entries survive privilege-mode switches, so a
+syscall's branch-dependent load triggers an entry trained in user space.
+"""
+
+from repro.kernel.patterns import BatteryPropertySyscall, BluetoothTxSyscall
+from repro.kernel.syscalls import Kernel, SyscallRecord, VulnerableSyscall
+
+__all__ = [
+    "Kernel",
+    "SyscallRecord",
+    "VulnerableSyscall",
+    "BluetoothTxSyscall",
+    "BatteryPropertySyscall",
+]

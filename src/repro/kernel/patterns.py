@@ -1,0 +1,89 @@
+"""Real-world vulnerable kernel code patterns from the paper's Figures 1–2.
+
+Both are switches whose controlling value derives from user data, with a
+load (a statistics-counter or property-field access) at a distinct IP in
+each case arm — exactly the branch-dependent-load shape AfterImage leaks.
+They serve as richer victims for examples and integration tests: leaking
+*which arm ran* reveals the user's packet type / queried battery property.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.context import ThreadContext
+from repro.kernel.syscalls import Kernel
+
+
+class BluetoothTxSyscall:
+    """Figure 1: ``hci_send_frame``-style switch over the HCI packet type.
+
+    Each case increments a different ``hdev->stat`` counter, i.e. performs a
+    load/store at a case-specific IP and offset.
+    """
+
+    PACKET_TYPES = ("HCI_COMMAND_PKT", "HCI_ACLDATA_PKT", "HCI_SCODATA_PKT")
+
+    def __init__(self, kernel: Kernel, text_offset: int = 0x2470) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        # hdev->stat lives in one kernel cache line per counter.
+        self._stats = self.machine.new_buffer(
+            self.machine.kernel_space, 4096, locked=True, name="hdev-stat"
+        )
+        self.case_ips = {
+            pkt: kernel.text.place(f"bt_stat_{pkt}", text_offset + 0x40 * i)
+            for i, pkt in enumerate(self.PACKET_TYPES)
+        }
+        self.counters = {pkt: 0 for pkt in self.PACKET_TYPES}
+        self.number = kernel.register(self._handler)
+
+    def send_frame(self, user_ctx: ThreadContext, packet_type: str) -> None:
+        """User sends one HCI frame; the kernel updates the matching stat."""
+        if packet_type not in self.case_ips:
+            raise ValueError(f"unknown packet type {packet_type!r}")
+        self.kernel.syscall(user_ctx, self.number, packet_type)
+
+    def _handler(self, packet_type: str) -> int:
+        slot = self.PACKET_TYPES.index(packet_type)
+        vaddr = self._stats.line_addr(slot)
+        self.machine.warm_tlb(self.kernel.ctx, vaddr)
+        self.machine.load(self.kernel.ctx, self.case_ips[packet_type], vaddr)
+        self.counters[packet_type] += 1
+        return 0
+
+
+class BatteryPropertySyscall:
+    """Figure 2: power-supply property getter switch.
+
+    ``switch (prop)`` with four arms (``ONLINE``, ``CAPACITY``,
+    ``MODEL_NAME``, ``SCOPE``), each filling a different field of ``val``
+    through a load at its own IP.
+    """
+
+    PROPERTIES = ("PROP_ONLINE", "PROP_CAPACITY", "PROP_MODEL_NAME", "PROP_SCOPE")
+
+    def __init__(self, kernel: Kernel, text_offset: int = 0x5310) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self._val = self.machine.new_buffer(
+            self.machine.kernel_space, 4096, locked=True, name="psy-val"
+        )
+        self.case_ips = {
+            prop: kernel.text.place(f"battery_{prop}", text_offset + 0x40 * i)
+            for i, prop in enumerate(self.PROPERTIES)
+        }
+        self.number = kernel.register(self._handler)
+        self.queries: list[str] = []
+
+    def get_property(self, user_ctx: ThreadContext, prop: str) -> None:
+        """User queries one battery property."""
+        if prop not in self.case_ips:
+            raise ValueError(f"unknown property {prop!r}")
+        self.kernel.syscall(user_ctx, self.number, prop)
+
+    def _handler(self, prop: str) -> int:
+        slot = self.PROPERTIES.index(prop)
+        vaddr = self._val.line_addr(slot)
+        self.machine.warm_tlb(self.kernel.ctx, vaddr)
+        self.machine.load(self.kernel.ctx, self.case_ips[prop], vaddr)
+        self.queries.append(prop)
+        return 0

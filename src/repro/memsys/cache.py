@@ -1,0 +1,159 @@
+"""A single set-associative cache level."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.memsys.replacement import ReplacementPolicy, make_policy
+from repro.params import CacheGeometry
+
+
+class CacheSet:
+    """One associative set: ``ways`` lines identified by their tag."""
+
+    __slots__ = ("ways", "tags", "policy", "_tag_to_way")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.ways = ways
+        self.tags: list[int | None] = [None] * ways
+        self.policy = policy
+        self._tag_to_way: dict[int, int] = {}
+
+    def lookup(self, tag: int) -> bool:
+        """Return True on hit, refreshing replacement state."""
+        way = self._tag_to_way.get(tag)
+        if way is None:
+            return False
+        self.policy.touch(way)
+        return True
+
+    def contains(self, tag: int) -> bool:
+        """Non-mutating presence check (for inspection/debugging only)."""
+        return tag in self._tag_to_way
+
+    def insert(self, tag: int) -> int | None:
+        """Install ``tag``; return the evicted tag, if any.
+
+        An already-present tag is just refreshed (no eviction).  Invalid ways
+        are preferred over the policy's victim.
+        """
+        way = self._tag_to_way.get(tag)
+        if way is not None:
+            self.policy.touch(way)
+            return None
+        evicted: int | None = None
+        try:
+            way = self.tags.index(None)
+        except ValueError:
+            way = self.policy.victim()
+            evicted = self.tags[way]
+            assert evicted is not None
+            del self._tag_to_way[evicted]
+        self.tags[way] = tag
+        self._tag_to_way[tag] = way
+        self.policy.fill(way)
+        return evicted
+
+    def invalidate(self, tag: int) -> bool:
+        """Drop ``tag`` if present; return whether it was present."""
+        way = self._tag_to_way.pop(tag, None)
+        if way is None:
+            return False
+        self.tags[way] = None
+        return True
+
+    def occupancy(self) -> int:
+        """Number of valid lines in the set."""
+        return len(self._tag_to_way)
+
+    def resident_tags(self) -> list[int]:
+        """Tags currently resident (unordered)."""
+        return list(self._tag_to_way)
+
+    def clear(self) -> None:
+        self.tags = [None] * self.ways
+        self._tag_to_way.clear()
+        self.policy.reset()
+
+
+class Cache:
+    """A set-associative cache indexed by physical line address.
+
+    The cache stores line *addresses* (byte address of the line start); the
+    tag within a set is the line number divided by the set count.  Data
+    payloads are not modeled — every experiment in the paper observes only
+    residency and latency.
+    """
+
+    def __init__(self, geometry: CacheGeometry, replacement: str = "lru") -> None:
+        self.geometry = geometry
+        self.replacement = replacement
+        self.line_size = geometry.line_size
+        self.n_sets = geometry.sets
+        self._sets = [
+            CacheSet(geometry.ways, make_policy(replacement, geometry.ways))
+            for _ in range(geometry.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def set_index(self, paddr: int) -> int:
+        """Set index of the line containing physical address ``paddr``."""
+        return (paddr // self.line_size) % self.n_sets
+
+    def _tag(self, paddr: int) -> int:
+        return (paddr // self.line_size) // self.n_sets
+
+    def line_address(self, paddr: int) -> int:
+        """Byte address of the start of the line containing ``paddr``."""
+        return (paddr // self.line_size) * self.line_size
+
+    def lookup(self, paddr: int) -> bool:
+        """Access the line holding ``paddr``; True on hit (updates LRU/stats)."""
+        hit = self._sets[self.set_index(paddr)].lookup(self._tag(paddr))
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    def contains(self, paddr: int) -> bool:
+        """Non-mutating residency check (no LRU/statistics update)."""
+        return self._sets[self.set_index(paddr)].contains(self._tag(paddr))
+
+    def insert(self, paddr: int) -> int | None:
+        """Fill the line holding ``paddr``; return evicted line address or None."""
+        index = self.set_index(paddr)
+        evicted_tag = self._sets[index].insert(self._tag(paddr))
+        if evicted_tag is None:
+            return None
+        return (evicted_tag * self.n_sets + index) * self.line_size
+
+    def invalidate(self, paddr: int) -> bool:
+        """Remove the line holding ``paddr``; True if it was resident."""
+        return self._sets[self.set_index(paddr)].invalidate(self._tag(paddr))
+
+    def flush_all(self) -> None:
+        """Invalidate every line (e.g. a WBINVD-style flush)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def set_occupancy(self, index: int) -> int:
+        """Valid-line count of set ``index`` (inspection helper)."""
+        return self._sets[index].occupancy()
+
+    def resident_lines(self) -> Iterator[int]:
+        """Iterate over the byte addresses of all resident lines."""
+        for index, cache_set in enumerate(self._sets):
+            for tag in cache_set.resident_tags():
+                yield (tag * self.n_sets + index) * self.line_size
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.geometry.name}, {self.n_sets} sets x {self.geometry.ways} ways, "
+            f"{self.replacement})"
+        )

@@ -1,0 +1,44 @@
+"""Closed-form upper bound on the clear-ip-prefetcher cost (paper §8.3).
+
+The paper models the worst case as::
+
+    (C_clear + C_miss x 3 x 24) / Domain_Switch_Period
+
+with ``C_clear = 24`` (one cycle per entry), ``C_miss ~ 300`` cycles, three
+retraining misses for each of the 24 entries, and a ~100 us syscall period
+on a 3 GHz machine — "less than 7.3%".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MitigationCostModel:
+    """Parameters of the paper's upper-bound cost model."""
+
+    clear_cycles: int = 24
+    miss_penalty_cycles: int = 300
+    n_entries: int = 24
+    retrain_misses_per_entry: int = 3
+    domain_switch_period_seconds: float = 100e-6
+    frequency_hz: float = 3e9
+
+    @property
+    def cycles_per_switch(self) -> int:
+        """Worst-case cycles added per domain switch."""
+        return self.clear_cycles + (
+            self.miss_penalty_cycles * self.retrain_misses_per_entry * self.n_entries
+        )
+
+    @property
+    def period_cycles(self) -> float:
+        return self.domain_switch_period_seconds * self.frequency_hz
+
+    def overhead_fraction(self) -> float:
+        """Upper-bound slowdown fraction (paper: < 7.3 %)."""
+        return self.cycles_per_switch / self.period_cycles
+
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_fraction()

@@ -1,0 +1,78 @@
+"""The §8.3 mitigation study: per-workload IPC with and without flushing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mitigation.champsim_lite import DEFAULT_FLUSH_PERIOD_CYCLES, ChampSimLite
+from repro.mitigation.traces import SYNTHETIC_SUITE, TraceSpec, generate_trace
+from repro.params import MachineParams
+from repro.utils.stats import mean
+
+
+@dataclass(frozen=True)
+class WorkloadOverhead:
+    """Per-benchmark result triple."""
+
+    name: str
+    ipc_no_prefetch: float
+    ipc_baseline: float
+    ipc_flushed: float
+
+    @property
+    def prefetch_speedup(self) -> float:
+        """IPC uplift the IP-stride prefetcher provides (sensitivity)."""
+        return self.ipc_baseline / self.ipc_no_prefetch
+
+    @property
+    def flush_overhead(self) -> float:
+        """Normalized-IPC loss from periodic flushing (the paper's metric)."""
+        return 1.0 - self.ipc_flushed / self.ipc_baseline
+
+
+class MitigationStudy:
+    """Run the synthetic suite through ChampSim-lite in three configs."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        n_instructions: int = 200_000,
+        flush_period_cycles: int = DEFAULT_FLUSH_PERIOD_CYCLES,
+        seed: int = 0,
+    ) -> None:
+        self.params = params
+        self.n_instructions = n_instructions
+        self.flush_period_cycles = flush_period_cycles
+        self.seed = seed
+
+    def run_workload(self, spec: TraceSpec) -> WorkloadOverhead:
+        """Three runs (prefetch-off / baseline / flushed) of one benchmark."""
+        ips, addrs = generate_trace(spec, self.n_instructions, seed=self.seed)
+        off = ChampSimLite(self.params, prefetcher_enabled=False)
+        base = ChampSimLite(self.params, prefetcher_enabled=True)
+        flushed = ChampSimLite(
+            self.params,
+            prefetcher_enabled=True,
+            flush_period_cycles=self.flush_period_cycles,
+        )
+        return WorkloadOverhead(
+            name=spec.name,
+            ipc_no_prefetch=off.run(spec.name, ips, addrs).ipc,
+            ipc_baseline=base.run(spec.name, ips, addrs).ipc,
+            ipc_flushed=flushed.run(spec.name, ips, addrs).ipc,
+        )
+
+    def run_suite(self, specs: tuple[TraceSpec, ...] = SYNTHETIC_SUITE) -> list[WorkloadOverhead]:
+        return [self.run_workload(spec) for spec in specs]
+
+    @staticmethod
+    def average_overhead(results: list[WorkloadOverhead]) -> float:
+        """Mean normalized-IPC reduction over ``results``."""
+        return mean([r.flush_overhead for r in results])
+
+    @staticmethod
+    def top_prefetch_sensitive(
+        results: list[WorkloadOverhead], n: int = 8
+    ) -> list[WorkloadOverhead]:
+        """The ``n`` workloads that benefit most from the prefetcher."""
+        return sorted(results, key=lambda r: r.prefetch_speedup, reverse=True)[:n]

@@ -1,0 +1,150 @@
+"""Synthetic SPEC-CPU-like memory traces.
+
+SPEC CPU2006/2017 traces are not redistributable, so each benchmark is
+replaced by a synthetic workload with the memory behaviour its family is
+known for (DESIGN.md documents the substitution):
+
+* **streaming** — a few load IPs walking large arrays with constant strides
+  (IP-stride-prefetcher heaven; libquantum/bwaves/lbm-like);
+* **pointer-chasing** — loads to uniformly random lines (mcf/omnetpp-like;
+  the prefetcher can learn nothing);
+* **hot-set** — loads within a small resident working set (gcc/perlbench-
+  like; caches absorb everything, prefetching is irrelevant).
+
+A trace is a pair of numpy arrays ``(ips, addrs)`` where ``addrs < 0``
+marks a non-load instruction.  Addresses are *physical* (trace-driven
+simulation of statically allocated, hugepage-backed arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.params import CACHE_LINE_SIZE
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recipe for one synthetic benchmark."""
+
+    name: str
+    suite: str  # "spec2006" or "spec2017"
+    n_streams: int
+    stride_lines: int
+    load_fraction: float
+    stream_share: float  # of loads: streaming
+    pointer_share: float  # of loads: pointer-chasing (rest: hot-set)
+    hot_set_kib: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.load_fraction <= 1.0:
+            raise ValueError("load_fraction must be in (0, 1]")
+        if self.stream_share + self.pointer_share > 1.0:
+            raise ValueError("stream and pointer shares exceed 1")
+
+
+#: Synthetic stand-ins for the SPEC benchmarks the paper's §8.3 runs.
+#: The first eight are the "top prefetching-sensitive" applications.
+SYNTHETIC_SUITE: tuple[TraceSpec, ...] = (
+    # -- prefetch-sensitive (streaming-dominated) ------------------------- #
+    TraceSpec("libquantum-like", "spec2006", 2, 1, 0.35, 0.95, 0.00),
+    TraceSpec("bwaves-like", "spec2006", 3, 2, 0.40, 0.90, 0.00),
+    TraceSpec("lbm-like", "spec2006", 4, 1, 0.40, 0.90, 0.05),
+    TraceSpec("milc-like", "spec2006", 2, 3, 0.35, 0.85, 0.05),
+    TraceSpec("leslie3d-like", "spec2006", 3, 2, 0.35, 0.85, 0.05),
+    TraceSpec("gemsfdtd-like", "spec2006", 4, 2, 0.40, 0.80, 0.10),
+    TraceSpec("sphinx3-like", "spec2006", 2, 1, 0.30, 0.80, 0.05),
+    TraceSpec("cactubssn-like", "spec2017", 3, 2, 0.35, 0.80, 0.10),
+    # -- prefetch-insensitive --------------------------------------------- #
+    TraceSpec("mcf-like", "spec2006", 1, 1, 0.35, 0.00, 0.85),
+    TraceSpec("omnetpp-like", "spec2017", 1, 1, 0.30, 0.00, 0.75),
+    TraceSpec("gcc-like", "spec2006", 1, 1, 0.30, 0.02, 0.15),
+    TraceSpec("perlbench-like", "spec2017", 1, 1, 0.30, 0.02, 0.10),
+    TraceSpec("xalancbmk-like", "spec2017", 1, 1, 0.30, 0.05, 0.30),
+    TraceSpec("gobmk-like", "spec2006", 1, 1, 0.25, 0.02, 0.20),
+    TraceSpec("namd-like", "spec2006", 1, 2, 0.25, 0.10, 0.10),
+    TraceSpec("xz-like", "spec2017", 1, 1, 0.30, 0.08, 0.40),
+    TraceSpec("astar-like", "spec2006", 1, 1, 0.30, 0.02, 0.55),
+    TraceSpec("h264ref-like", "spec2006", 1, 2, 0.30, 0.10, 0.05),
+    TraceSpec("povray-like", "spec2017", 1, 1, 0.20, 0.00, 0.05),
+    TraceSpec("calculix-like", "spec2006", 1, 2, 0.25, 0.08, 0.05),
+    TraceSpec("deepsjeng-like", "spec2017", 1, 1, 0.25, 0.00, 0.25),
+    TraceSpec("leela-like", "spec2017", 1, 1, 0.25, 0.00, 0.15),
+    TraceSpec("exchange2-like", "spec2017", 1, 1, 0.15, 0.00, 0.02),
+    TraceSpec("roms-like", "spec2017", 2, 2, 0.30, 0.30, 0.05),
+)
+
+
+def suite_by_name(name: str) -> TraceSpec:
+    """Look up a synthetic benchmark by name."""
+    for spec in SYNTHETIC_SUITE:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown synthetic benchmark {name!r}")
+
+
+def top_prefetch_sensitive(n: int = 8) -> tuple[TraceSpec, ...]:
+    """The first ``n`` (streaming-dominated) entries of the suite."""
+    return SYNTHETIC_SUITE[:n]
+
+
+def generate_trace(
+    spec: TraceSpec, n_instructions: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize ``n_instructions`` of the benchmark as (ips, addrs).
+
+    ``addrs[i] < 0`` marks a non-load instruction; otherwise it is the
+    physical byte address loaded by instruction ``i``.
+    """
+    if n_instructions <= 0:
+        raise ValueError("n_instructions must be positive")
+    rng = np.random.default_rng(seed ^ hash(spec.name) & 0x7FFF_FFFF)
+    line = CACHE_LINE_SIZE
+
+    ips = np.empty(n_instructions, dtype=np.int64)
+    addrs = np.full(n_instructions, -1, dtype=np.int64)
+
+    is_load = rng.random(n_instructions) < spec.load_fraction
+    load_idx = np.flatnonzero(is_load)
+    n_loads = load_idx.size
+
+    # Non-load instructions get sequential code IPs (no prefetcher effect).
+    ips[:] = 0x40_0000 + 4 * np.arange(n_instructions, dtype=np.int64)
+
+    kind = rng.random(n_loads)
+    stream_mask = kind < spec.stream_share
+    pointer_mask = (~stream_mask) & (kind < spec.stream_share + spec.pointer_share)
+    hot_mask = ~(stream_mask | pointer_mask)
+
+    # Streaming loads: round-robin over the streams, each advancing its own
+    # strided cursor through a large private array.
+    stream_ids = np.arange(np.count_nonzero(stream_mask)) % spec.n_streams
+    positions = np.zeros(spec.n_streams, dtype=np.int64)
+    stream_addr = np.empty(np.count_nonzero(stream_mask), dtype=np.int64)
+    stream_bases = (1 + np.arange(spec.n_streams, dtype=np.int64)) * (1 << 30)
+    for i, sid in enumerate(stream_ids):
+        stream_addr[i] = stream_bases[sid] + positions[sid] * spec.stride_lines * line
+        positions[sid] += 1
+    stream_ips = 0x61_0000 + 0x101 * stream_ids
+
+    # Pointer-chasing loads: uniform over a 256 MiB heap, one IP.
+    n_ptr = int(np.count_nonzero(pointer_mask))
+    ptr_addr = (1 << 38) + rng.integers(0, (256 << 20) // line, n_ptr) * line
+    # Hot-set loads: uniform over a small resident buffer, one IP.
+    n_hot = int(np.count_nonzero(hot_mask))
+    hot_addr = (1 << 39) + rng.integers(0, spec.hot_set_kib * 1024 // line, n_hot) * line
+
+    load_addrs = np.empty(n_loads, dtype=np.int64)
+    load_ips = np.empty(n_loads, dtype=np.int64)
+    load_addrs[stream_mask] = stream_addr
+    load_ips[stream_mask] = stream_ips
+    load_addrs[pointer_mask] = ptr_addr
+    load_ips[pointer_mask] = 0x62_0457
+    load_addrs[hot_mask] = hot_addr
+    load_ips[hot_mask] = 0x63_09A3
+
+    addrs[load_idx] = load_addrs
+    ips[load_idx] = load_ips
+    return ips, addrs

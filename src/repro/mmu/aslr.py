@@ -1,0 +1,43 @@
+"""Address-space layout randomization (ASLR / KASLR).
+
+The paper's observation (§5.2, footnote 4): Linux ASLR randomizes at page
+granularity or coarser, so the low 12 bits of every address are preserved —
+and since the IP-stride prefetcher indexes with the low **8** bits of the IP,
+ASLR and KASLR do not perturb AfterImage at all.  We model exactly that:
+randomized bases are always page-aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import PAGE_SIZE
+
+
+class Aslr:
+    """Page-aligned base randomization for mmap regions and code images."""
+
+    #: Number of random bits above the page offset (Linux mmap ASLR uses 28
+    #: on x86-64; the exact value is irrelevant to the attacks).
+    ENTROPY_BITS = 28
+
+    def __init__(self, rng: np.random.Generator, enabled: bool = True) -> None:
+        self._rng = rng
+        self.enabled = enabled
+
+    def randomize_base(self, base: int) -> int:
+        """Return ``base`` shifted by a random page-aligned displacement.
+
+        The low 12 bits of ``base`` are preserved even when it is not
+        page-aligned, mirroring Linux behaviour.
+        """
+        if not self.enabled:
+            return base
+        slide_pages = int(self._rng.integers(0, 1 << self.ENTROPY_BITS))
+        return base + slide_pages * PAGE_SIZE
+
+    @staticmethod
+    def preserves_low_bits(original: int, randomized: int, n_bits: int = 12) -> bool:
+        """Check the invariant the attack relies on (used by tests)."""
+        mask = (1 << n_bits) - 1
+        return (original & mask) == (randomized & mask)

@@ -1,0 +1,97 @@
+"""Physical frame allocation and per-address-space page tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import PAGE_SIZE
+
+
+class PhysicalMemory:
+    """Allocator of physical page frames.
+
+    Frames are handed out in a pseudo-random order (seeded) so that physical
+    addresses spread over LLC sets and slices the way a fragmented real
+    system's do.  Frame 0 is reserved as the shared **zero frame** backing
+    untouched anonymous mappings — the mechanism behind the paper's
+    "reclaimable" pool in Table 1, where several virtual pages share one
+    physical page.
+    """
+
+    ZERO_FRAME = 0
+
+    def __init__(self, rng: np.random.Generator, n_frames: int = 1 << 21) -> None:
+        if n_frames <= 1:
+            raise ValueError(f"need at least two frames, got {n_frames}")
+        self._rng = rng
+        self._n_frames = n_frames
+        self._allocated: set[int] = {self.ZERO_FRAME}
+
+    @property
+    def n_frames(self) -> int:
+        return self._n_frames
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def alloc_frame(self) -> int:
+        """Allocate a fresh, unique frame number."""
+        if len(self._allocated) >= self._n_frames:
+            raise MemoryError("physical memory exhausted")
+        while True:
+            frame = int(self._rng.integers(1, self._n_frames))
+            if frame not in self._allocated:
+                self._allocated.add(frame)
+                return frame
+
+    def free_frame(self, frame: int) -> None:
+        """Return ``frame`` to the allocator (the zero frame is never freed)."""
+        if frame == self.ZERO_FRAME:
+            return
+        self._allocated.discard(frame)
+
+    @staticmethod
+    def frame_to_paddr(frame: int, offset: int = 0) -> int:
+        """Physical byte address of ``offset`` within ``frame``."""
+        if not 0 <= offset < PAGE_SIZE:
+            raise ValueError(f"offset {offset} outside page")
+        return frame * PAGE_SIZE + offset
+
+
+class PageTable:
+    """Virtual-page → physical-frame map for one address space."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, int] = {}
+
+    def map(self, vpage: int, frame: int) -> None:
+        """Install ``vpage -> frame`` (remapping an existing page is allowed:
+        that is exactly what copy-on-write promotion does)."""
+        self._entries[vpage] = frame
+
+    def unmap(self, vpage: int) -> int | None:
+        """Remove the mapping; return the frame it pointed to, if any."""
+        return self._entries.pop(vpage, None)
+
+    def frame_of(self, vpage: int) -> int | None:
+        """Frame backing ``vpage``, or None when unmapped."""
+        return self._entries.get(vpage)
+
+    def is_mapped(self, vpage: int) -> bool:
+        return vpage in self._entries
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual byte address; raises KeyError when unmapped."""
+        vpage, offset = divmod(vaddr, PAGE_SIZE)
+        frame = self._entries.get(vpage)
+        if frame is None:
+            raise KeyError(f"page fault: virtual address {vaddr:#x} is not mapped")
+        return frame * PAGE_SIZE + offset
+
+    def mapped_pages(self) -> list[int]:
+        """All mapped virtual page numbers (unordered)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,117 @@
+"""Translation lookaside buffer.
+
+The TLB matters to AfterImage because of the paper's §4.3 finding: a load
+whose page *misses* the TLB creates the translation but does **not** update
+the IP-stride prefetcher state.  The threat model therefore assumes victim
+pages are TLB-resident; victims in this library warm the TLB before their
+secret-dependent loads, exactly as streaming applications do naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mmu.address_space import AddressSpace
+from repro.params import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of translating one virtual address."""
+
+    vaddr: int
+    paddr: int
+    tlb_hit: bool
+    latency: int
+
+    @property
+    def frame(self) -> int:
+        return self.paddr // PAGE_SIZE
+
+
+class TLB:
+    """Fully-associative, LRU, ASID-tagged TLB.
+
+    Entries are tagged ``(asid, vpage)``.  An address-space switch flushes
+    non-global entries (x86 CR3 write without PCID); kernel translations are
+    installed as global and survive, which is why the Variant-2 victim's
+    kernel pages stay TLB-resident across the user/kernel round trip.
+    """
+
+    def __init__(self, n_entries: int, walk_latency: int) -> None:
+        if n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {n_entries}")
+        self._n_entries = n_entries
+        self._walk_latency = walk_latency
+        self._entries: dict[tuple[int, int], int] = {}  # (asid, vpage) -> frame
+        self._order: list[tuple[int, int]] = []  # LRU order, oldest first
+        self._global_keys: set[tuple[int, int]] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, space: AddressSpace, vaddr: int) -> TranslationResult:
+        """Translate ``vaddr`` in ``space``; walks the page table on a miss."""
+        vpage, offset = divmod(vaddr, PAGE_SIZE)
+        key = (space.asid, vpage)
+        frame = self._entries.get(key)
+        if frame is not None:
+            self._order.remove(key)
+            self._order.append(key)
+            self.hits += 1
+            return TranslationResult(vaddr, frame * PAGE_SIZE + offset, True, 0)
+        self.misses += 1
+        frame = space.page_table.frame_of(vpage)
+        if frame is None:
+            raise KeyError(f"page fault: {vaddr:#x} not mapped in {space.name!r}")
+        self._install(key, frame, is_global=space.global_pages)
+        return TranslationResult(vaddr, frame * PAGE_SIZE + offset, False, self._walk_latency)
+
+    def warm(self, space: AddressSpace, vaddr: int) -> None:
+        """Pre-install the translation for ``vaddr`` without timing effects."""
+        vpage = vaddr // PAGE_SIZE
+        frame = space.page_table.frame_of(vpage)
+        if frame is None:
+            raise KeyError(f"page fault: {vaddr:#x} not mapped in {space.name!r}")
+        key = (space.asid, vpage)
+        if key in self._entries:
+            self._order.remove(key)
+            self._order.append(key)
+        else:
+            self._install(key, frame, is_global=space.global_pages)
+
+    def is_resident(self, space: AddressSpace, vaddr: int) -> bool:
+        """Non-mutating residency check."""
+        return (space.asid, vaddr // PAGE_SIZE) in self._entries
+
+    def invalidate_page(self, space: AddressSpace, vaddr: int) -> None:
+        """INVLPG: drop one translation."""
+        key = (space.asid, vaddr // PAGE_SIZE)
+        if key in self._entries:
+            del self._entries[key]
+            self._order.remove(key)
+            self._global_keys.discard(key)
+
+    def flush(self, keep_global: bool = True) -> None:
+        """Flush the TLB (CR3 write); global entries optionally survive."""
+        if not keep_global:
+            self._entries.clear()
+            self._order.clear()
+            self._global_keys.clear()
+            return
+        for key in list(self._order):
+            if key not in self._global_keys:
+                del self._entries[key]
+                self._order.remove(key)
+
+    def _install(self, key: tuple[int, int], frame: int, is_global: bool) -> None:
+        if len(self._entries) >= self._n_entries:
+            victim = self._order.pop(0)
+            del self._entries[victim]
+            self._global_keys.discard(victim)
+        self._entries[key] = frame
+        self._order.append(key)
+        if is_global:
+            self._global_keys.add(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)

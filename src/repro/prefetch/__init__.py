@@ -1,0 +1,26 @@
+"""Hardware prefetcher models.
+
+All four prefetchers Intel documents for these parts are modeled (paper
+§3.2): the IP-stride prefetcher — the attack target, transcribed from the
+paper's reverse engineering — plus the DCU next-line, DPL adjacent and
+streamer prefetchers, which only matter as noise sources (the paper avoids
+them by using strides larger than four cache lines, §7.1).
+"""
+
+from repro.prefetch.adjacent import AdjacentPrefetcher
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
+from repro.prefetch.dcu import DCUPrefetcher
+from repro.prefetch.ip_stride import IPStrideEntry, IPStridePrefetcher
+from repro.prefetch.streamer import StreamerPrefetcher
+
+__all__ = [
+    "LoadEvent",
+    "Prefetcher",
+    "PrefetchRequest",
+    "TranslateFn",
+    "IPStrideEntry",
+    "IPStridePrefetcher",
+    "DCUPrefetcher",
+    "AdjacentPrefetcher",
+    "StreamerPrefetcher",
+]

@@ -1,0 +1,35 @@
+"""DPL (adjacent-line) prefetcher.
+
+Paper §3.2: data is treated as 128-byte aligned blocks; a miss to one line
+of a block fetches its pair line.  Reach: one line — noise only.
+"""
+
+from __future__ import annotations
+
+from repro.memsys.hierarchy import MemoryLevel
+from repro.params import CACHE_LINE_SIZE
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
+
+_BLOCK_SIZE = 128
+
+
+class AdjacentPrefetcher(Prefetcher):
+    """Fetch the buddy line of a 128-byte block on an LLC/DRAM miss."""
+
+    name = "adjacent"
+
+    def __init__(self) -> None:
+        self.prefetches_issued = 0
+
+    def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
+        if event.hit_level is not MemoryLevel.DRAM:
+            return []
+        line_addr = (event.paddr // CACHE_LINE_SIZE) * CACHE_LINE_SIZE
+        pair = line_addr ^ CACHE_LINE_SIZE  # buddy within the 128 B block
+        if pair // _BLOCK_SIZE != line_addr // _BLOCK_SIZE:
+            return []
+        self.prefetches_issued += 1
+        return [PrefetchRequest(paddr=pair, source=self.name)]
+
+    def clear(self) -> None:
+        pass

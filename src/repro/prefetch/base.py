@@ -1,0 +1,58 @@
+"""Common prefetcher interfaces."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.memsys.hierarchy import MemoryLevel
+
+#: Translate a *virtual* address to a physical one for prefetching purposes.
+#: Returns ``None`` when no translation is available — hardware prefetchers
+#: never take page faults, they simply drop the request.
+TranslateFn = Callable[[int], int | None]
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One retired demand load, as seen by the prefetchers.
+
+    ``asid`` identifies the issuing address space.  The *stock* IP-stride
+    prefetcher ignores it — that is AfterImage's root cause — but the
+    tagged-prefetcher defense (:mod:`repro.defenses.tagged_prefetcher`)
+    keys its table on it.
+    """
+
+    ip: int
+    vaddr: int
+    paddr: int
+    hit_level: MemoryLevel
+    asid: int = 0
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """A line the prefetcher wants brought into the cache."""
+
+    paddr: int
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.paddr < 0:
+            raise ValueError(f"negative physical address {self.paddr:#x}")
+
+
+class Prefetcher(ABC):
+    """A hardware prefetcher observing the retired-load stream."""
+
+    #: Short identifier used in PrefetchRequest.source and statistics.
+    name: str = "prefetcher"
+
+    @abstractmethod
+    def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
+        """Digest one load; return any prefetch requests it provokes."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop all learned state (the proposed mitigation instruction)."""

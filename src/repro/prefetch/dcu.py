@@ -1,0 +1,36 @@
+"""DCU (next-line) prefetcher.
+
+Paper §3.2: "attempts to automatically prefetch a single, subsequent cache
+line".  It is a pure noise source for AfterImage (§7.1): its reach is one
+line, which is why the attacks use strides greater than four lines.
+"""
+
+from __future__ import annotations
+
+from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
+
+
+class DCUPrefetcher(Prefetcher):
+    """Prefetch the next line after an ascending same-page access pair."""
+
+    name = "dcu"
+
+    def __init__(self) -> None:
+        self._last_line: int | None = None
+        self.prefetches_issued = 0
+
+    def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
+        line = event.paddr // CACHE_LINE_SIZE
+        previous = self._last_line
+        self._last_line = line
+        if previous is None or line != previous + 1:
+            return []
+        target = (line + 1) * CACHE_LINE_SIZE
+        if target // PAGE_SIZE != event.paddr // PAGE_SIZE:
+            return []
+        self.prefetches_issued += 1
+        return [PrefetchRequest(paddr=target, source=self.name)]
+
+    def clear(self) -> None:
+        self._last_line = None

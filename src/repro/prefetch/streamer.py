@@ -1,0 +1,70 @@
+"""Streamer prefetcher.
+
+Paper §3.2: records sequential positive/negative line streams per page and
+prefetches the next one or two lines in the stream direction.  Reach: a few
+sequential lines — noise only for AfterImage, which is why the attacks pick
+strides of 5+ lines (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
+
+_MAX_TRACKED_PAGES = 16
+_LINES_AHEAD = 2
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    direction: int = 0  # +1 ascending, -1 descending, 0 undecided
+    confirmations: int = 0
+
+
+class StreamerPrefetcher(Prefetcher):
+    """Per-page sequential stream detector with a small tracking table."""
+
+    name = "streamer"
+
+    def __init__(self) -> None:
+        self._streams: dict[int, _Stream] = {}  # page frame -> stream state
+        self.prefetches_issued = 0
+
+    def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
+        frame = event.paddr // PAGE_SIZE
+        line = event.paddr // CACHE_LINE_SIZE
+        stream = self._streams.get(frame)
+        if stream is None:
+            if len(self._streams) >= _MAX_TRACKED_PAGES:
+                self._streams.pop(next(iter(self._streams)))
+            self._streams[frame] = _Stream(last_line=line)
+            return []
+
+        step = line - stream.last_line
+        stream.last_line = line
+        if step not in (1, -1):
+            stream.direction = 0
+            stream.confirmations = 0
+            return []
+        if step == stream.direction:
+            stream.confirmations += 1
+        else:
+            stream.direction = step
+            stream.confirmations = 1
+        if stream.confirmations < 2:
+            return []
+
+        requests = []
+        for ahead in range(1, _LINES_AHEAD + 1):
+            target = (line + ahead * stream.direction) * CACHE_LINE_SIZE
+            if target // PAGE_SIZE != frame or target < 0:
+                break
+            self.prefetches_issued += 1
+            requests.append(PrefetchRequest(paddr=target, source=self.name))
+        return requests
+
+    def clear(self) -> None:
+        self._streams.clear()

@@ -1,0 +1,36 @@
+"""Reverse-engineering microbenchmarks (paper §4).
+
+Each module re-implements one of the paper's Listings 2–5 against the
+simulated machine and regenerates the corresponding figure/table data:
+
+* :mod:`repro.revng.indexing` — Listing 2 → Figure 6 (8-bit IP indexing,
+  no tag).
+* :mod:`repro.revng.stride_policy` — Listing 3 → Figure 7a/7b (confidence
+  and stride update policy, unconditional trigger).
+* :mod:`repro.revng.page_boundary` — Listing 4 → Table 1 (physical-frame
+  page-boundary rule, next-page prefetcher, zero-page sharing).
+* :mod:`repro.revng.entries` — Listing 5 → Figure 8a (24 entries).
+* :mod:`repro.revng.replacement_policy` — Figure 8b (Bit-PLRU).
+* :mod:`repro.revng.sgx_interplay` — §4.6 (prefetched lines survive
+  enclave exit).
+
+All run on a ``quiet()`` machine: the paper's microbenchmarks pin cores and
+average repeated measurements, which a noise-free model is equivalent to.
+"""
+
+from repro.revng.entries import EntryCountExperiment
+from repro.revng.indexing import IndexingExperiment
+from repro.revng.page_boundary import PageBoundaryExperiment, PageBoundaryRow
+from repro.revng.replacement_policy import ReplacementPolicyExperiment
+from repro.revng.sgx_interplay import SGXInterplayExperiment
+from repro.revng.stride_policy import StrideUpdateExperiment
+
+__all__ = [
+    "IndexingExperiment",
+    "StrideUpdateExperiment",
+    "PageBoundaryExperiment",
+    "PageBoundaryRow",
+    "EntryCountExperiment",
+    "ReplacementPolicyExperiment",
+    "SGXInterplayExperiment",
+]

@@ -1,0 +1,77 @@
+"""Listing 5 → Figure 8a: how many entries does the history table have?
+
+``N`` load IPs (distinct low-8 indexes) are trained one after another, each
+on its own page frame (to avoid false positives).  Re-accessing each IP and
+timing ``page_i[offset + stride]`` shows which entries survived: with
+N = 26 the first two no longer trigger, with N = 30 the first six — the
+table holds **24** entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE, MachineParams
+
+
+@dataclass(frozen=True)
+class EntrySample:
+    """One x-position of Figure 8a."""
+
+    input_index: int  # 1-based, as in the figure
+    access_time: int
+    triggered: bool
+
+
+class EntryCountExperiment:
+    """The paper's ``num_entry`` microbenchmark (Listing 5)."""
+
+    IP_BASE = 0x0041_0000
+
+    def __init__(self, params: MachineParams, seed: int = 0) -> None:
+        self.params = params.quiet()
+        self.seed = seed
+
+    def ip_of(self, input_index: int) -> int:
+        """IP of load ``input_index`` (1-based); distinct low-8 indexes."""
+        return self.IP_BASE + 0x101 * (input_index - 1)
+
+    def run(self, n_inputs: int, stride_lines: int = 7, offset_line: int = 33) -> list[EntrySample]:
+        """Train ``n_inputs`` IPs, then re-access and probe each."""
+        machine = Machine(self.params, seed=self.seed + n_inputs)
+        ctx = machine.new_thread("microbench")
+        machine.context_switch(ctx)
+        array = machine.new_buffer(
+            ctx.space, n_inputs * PAGE_SIZE, locked=True, name="array"
+        )
+        machine.warm_buffer_tlb(ctx, array)
+
+        # Train each IP on its own page frame, one IP at a time.
+        for index in range(1, n_inputs + 1):
+            ip = self.ip_of(index)
+            for i in range(5):
+                machine.load(ctx, ip, array.page_line_addr(index - 1, i * stride_lines))
+
+        # Re-access every IP once, then time its would-be prefetch target.
+        samples = []
+        for index in range(1, n_inputs + 1):
+            ip = self.ip_of(index)
+            probe_vaddr = array.page_line_addr(index - 1, offset_line)
+            target = array.page_line_addr(index - 1, offset_line + stride_lines)
+            machine.clflush(ctx, target)
+            machine.load(ctx, ip, probe_vaddr)
+            access_time = machine.load(ctx, ip + 0x2000, target, fenced=True)
+            samples.append(
+                EntrySample(
+                    input_index=index,
+                    access_time=access_time,
+                    triggered=access_time < machine.hit_threshold(),
+                )
+            )
+        return samples
+
+    @staticmethod
+    def evicted_inputs(samples: list[EntrySample]) -> list[int]:
+        """Input indexes that could no longer trigger the prefetcher."""
+        return [s.input_index for s in samples if not s.triggered]

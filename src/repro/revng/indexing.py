@@ -1,0 +1,80 @@
+"""Listing 2 → Figure 6: how is the history table indexed?
+
+Train IP_1 with a constant multi-line stride, then issue a single load at
+IP_2, whose address agrees with IP_1 in exactly the ``n`` least significant
+bits.  If the prefetcher fetches ``array[r + stride]``, IP_2 mapped to
+IP_1's entry.  The paper's result: any IP sharing the low 8 bits triggers —
+and larger matches add nothing, so there is *no tag* over the upper bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE, MachineParams
+
+
+@dataclass(frozen=True)
+class IndexingSample:
+    """One bar of Figure 6."""
+
+    matched_bits: int
+    access_time: int
+    prefetched: bool
+
+
+class IndexingExperiment:
+    """Sweep the number of matched low IP bits (Figure 6's x-axis)."""
+
+    IP_1 = 0x0040_1337  # arbitrary; microbenchmark IPs are attacker-chosen
+    TRAIN_ITERATIONS = 5
+
+    def __init__(self, params: MachineParams, stride_lines: int = 7, seed: int = 0) -> None:
+        self.params = params.quiet()
+        self.stride_lines = stride_lines
+        self.seed = seed
+
+    def run(self, max_bits: int = 16, probe_line: int = 40) -> list[IndexingSample]:
+        """One sample per matched-bit count, each on a fresh machine."""
+        samples = []
+        for matched_bits in range(max_bits + 1):
+            samples.append(self._one(matched_bits, probe_line))
+        return samples
+
+    def _one(self, matched_bits: int, probe_line: int) -> IndexingSample:
+        machine = Machine(self.params, seed=self.seed + matched_bits)
+        ctx = machine.new_thread("microbench")
+        machine.context_switch(ctx)
+        array = machine.new_buffer(ctx.space, PAGE_SIZE, name="array")
+        machine.warm_buffer_tlb(ctx, array)
+
+        ip_1 = self.IP_1
+        for i in range(self.TRAIN_ITERATIONS):
+            machine.load(ctx, ip_1, array.line_addr(i * self.stride_lines))
+
+        ip_2 = self._ip_matching(ip_1, matched_bits)
+        target = array.line_addr(probe_line + self.stride_lines)
+        machine.clflush(ctx, target)
+        machine.load(ctx, ip_2, array.line_addr(probe_line))
+        access_time = machine.load(ctx, ip_2 + 0x40, target, fenced=True)
+        return IndexingSample(
+            matched_bits=matched_bits,
+            access_time=access_time,
+            prefetched=access_time < machine.hit_threshold(),
+        )
+
+    @staticmethod
+    def _ip_matching(ip_1: int, n_bits: int) -> int:
+        """An IP agreeing with ``ip_1`` in exactly the low ``n_bits``.
+
+        Bits [0, n) are copied; bit n is flipped; a fixed displacement keeps
+        the instruction elsewhere in the text section.
+        """
+        base = ip_1 + 0x20_0000  # elsewhere in the binary
+        mask = (1 << n_bits) - 1
+        candidate = (base & ~mask) | (ip_1 & mask)
+        # Force a mismatch at bit n so exactly n low bits match.
+        if n_bits < 63 and (candidate >> n_bits) & 1 == (ip_1 >> n_bits) & 1:
+            candidate ^= 1 << n_bits
+        return candidate

@@ -1,0 +1,91 @@
+"""Figure 8b: which replacement policy does the history table use?
+
+32 IPs on 32 page frames.  The first 24 are trained (filling the table),
+the caches are flushed, the first 8 IPs are re-trained (making them
+recently used), then 8 *new* IPs (25–32) are trained, evicting 8 entries.
+After a final cache flush, all 32 IPs run once more and a random line's
+``+stride`` neighbour is timed.
+
+FIFO would have evicted IPs 1–8 despite their refresh; the observed
+evictions are the *contiguous* run 9–16, ruling out FIFO and tree-PLRU and
+pointing at a Bit-PLRU variant (paper §4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE, MachineParams
+
+
+@dataclass(frozen=True)
+class ReplacementSample:
+    """One x-position of Figure 8b."""
+
+    input_index: int  # 1-based
+    access_time: int
+    triggered: bool
+
+
+class ReplacementPolicyExperiment:
+    """The paper's Figure 8b experiment."""
+
+    IP_BASE = 0x0042_0000
+    N_IPS = 32
+    N_REFRESHED = 8
+
+    def __init__(self, params: MachineParams, seed: int = 0) -> None:
+        self.params = params.quiet()
+        self.seed = seed
+
+    def ip_of(self, input_index: int) -> int:
+        return self.IP_BASE + 0x101 * (input_index - 1)
+
+    def run(self, stride_lines: int = 7, probe_line: int = 29) -> list[ReplacementSample]:
+        machine = Machine(self.params, seed=self.seed)
+        ctx = machine.new_thread("microbench")
+        machine.context_switch(ctx)
+        array = machine.new_buffer(
+            ctx.space, self.N_IPS * PAGE_SIZE, locked=True, name="array"
+        )
+        machine.warm_buffer_tlb(ctx, array)
+        table_size = machine.params.prefetcher.n_entries
+
+        def train(index: int) -> None:
+            ip = self.ip_of(index)
+            for i in range(5):
+                machine.load(ctx, ip, array.page_line_addr(index - 1, i * stride_lines))
+
+        # Fill the whole table with IPs 1..24.
+        for index in range(1, table_size + 1):
+            train(index)
+        machine.hierarchy.flush_all()
+        # Refresh IPs 1..8 to a more-recently-used position.
+        for index in range(1, self.N_REFRESHED + 1):
+            train(index)
+        # Train 8 new IPs (25..32), evicting 8 entries.
+        for index in range(table_size + 1, self.N_IPS + 1):
+            train(index)
+        machine.hierarchy.flush_all()
+
+        samples = []
+        for index in range(1, self.N_IPS + 1):
+            ip = self.ip_of(index)
+            vaddr = array.page_line_addr(index - 1, probe_line)
+            target = array.page_line_addr(index - 1, probe_line + stride_lines)
+            machine.clflush(ctx, target)
+            machine.load(ctx, ip, vaddr)
+            access_time = machine.load(ctx, ip + 0x4000, target, fenced=True)
+            samples.append(
+                ReplacementSample(
+                    input_index=index,
+                    access_time=access_time,
+                    triggered=access_time < machine.hit_threshold(),
+                )
+            )
+        return samples
+
+    @staticmethod
+    def evicted_inputs(samples: list[ReplacementSample]) -> list[int]:
+        return [s.input_index for s in samples if not s.triggered]

@@ -1,0 +1,87 @@
+"""Listing 3 → Figure 7 + Algorithm 1: confidence and stride update policy.
+
+Phase 1 trains the entry with stride ``st_1``; phase 2 retrains with
+``st_2``.  After each phase-2 access, both candidate prefetch targets are
+checked.  The paper's findings, which this experiment regenerates:
+
+* phase-2 access #1 still triggers a prefetch at **st_1** — the trigger is
+  unconditional once the confidence reached the threshold (Figure 7a/b);
+* with a random inter-phase offset, accesses #2 triggers nothing (the
+  stride was rewritten, confidence reset to 1) and #3 finally triggers at
+  **st_2** (Figure 7a);
+* starting phase 2 exactly ``st_2`` after phase 1 saves a step: access #2
+  already triggers at st_2 (Figure 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE, MachineParams
+
+
+@dataclass(frozen=True)
+class StrideUpdateSample:
+    """Observation after one phase-2 training access."""
+
+    iteration: int  # 1-based within phase 2
+    st1_triggered: bool
+    st2_triggered: bool
+
+
+class StrideUpdateExperiment:
+    """The paper's ``policy_cs`` microbenchmark (Listing 3)."""
+
+    IP_1 = 0x0040_2040
+
+    def __init__(self, params: MachineParams, seed: int = 0) -> None:
+        self.params = params.quiet()
+        self.seed = seed
+
+    def run(
+        self,
+        st_1: int = 7,
+        st_2: int = 5,
+        tr_1: int = 4,
+        tr_2: int = 4,
+        offset_lines: int | None = None,
+    ) -> list[StrideUpdateSample]:
+        """Figure 7a uses a random offset (default 3 lines here, i.e. not a
+        multiple of either stride); pass ``offset_lines=st_2`` for 7b."""
+        if offset_lines is None:
+            offset_lines = 3
+        machine = Machine(self.params, seed=self.seed)
+        ctx = machine.new_thread("microbench")
+        machine.context_switch(ctx)
+        array = machine.new_buffer(ctx.space, PAGE_SIZE, name="array")
+        machine.warm_buffer_tlb(ctx, array)
+
+        line = 0
+        for _ in range(tr_1):
+            machine.load(ctx, self.IP_1, array.line_addr(line))
+            line += st_1
+        # flush(array): phase 1's demand/prefetch lines must not shadow
+        # phase 2's checks.
+        for i in range(array.n_lines):
+            machine.clflush(ctx, array.line_addr(i))
+
+        samples = []
+        line = line - st_1 + offset_lines
+        for iteration in range(1, tr_2 + 1):
+            st1_target = array.line_addr(line + st_1)
+            st2_target = array.line_addr(line + st_2)
+            machine.clflush(ctx, st1_target)
+            machine.clflush(ctx, st2_target)
+            machine.load(ctx, self.IP_1, array.line_addr(line))
+            t1 = machine.load(ctx, self.IP_1 + 5, st1_target, fenced=True)
+            t2 = machine.load(ctx, self.IP_1 + 6, st2_target, fenced=True)
+            samples.append(
+                StrideUpdateSample(
+                    iteration=iteration,
+                    st1_triggered=t1 < machine.hit_threshold(),
+                    st2_triggered=t2 < machine.hit_threshold(),
+                )
+            )
+            line += st_2
+        return samples

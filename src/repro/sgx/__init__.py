@@ -1,0 +1,11 @@
+"""Intel SGX enclave model.
+
+Captures the paper's §4.6 finding: an in-enclave thread shares the core's
+IP-stride prefetcher with the untrusted zone, and cache lines it causes to
+be prefetched remain valid (and measurable) after the enclave is switched
+out.
+"""
+
+from repro.sgx.enclave import Enclave, StrideSecretEnclave
+
+__all__ = ["Enclave", "StrideSecretEnclave"]

@@ -1,0 +1,29 @@
+"""Shared low-level helpers: bit manipulation, seeded RNG plumbing, statistics."""
+
+from repro.utils.bits import (
+    align_down,
+    align_up,
+    cache_line_index,
+    low_bits,
+    page_number,
+    page_offset,
+    sign_extend,
+)
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.stats import mean, median, percentile, welch_t_statistic
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "cache_line_index",
+    "low_bits",
+    "page_number",
+    "page_offset",
+    "sign_extend",
+    "make_rng",
+    "derive_rng",
+    "mean",
+    "median",
+    "percentile",
+    "welch_t_statistic",
+]

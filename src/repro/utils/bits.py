@@ -1,0 +1,71 @@
+"""Bit- and address-manipulation helpers used throughout the simulator.
+
+Addresses in the simulator are plain Python integers (byte granularity).
+The memory-geometry constants live in :mod:`repro.memsys.cacheline`; these
+helpers are parameterised so they can be reused for any power-of-two
+granularity (cache lines, pages, 2 MiB huge pages in tests, ...).
+"""
+
+from __future__ import annotations
+
+
+def low_bits(value: int, n_bits: int) -> int:
+    """Return the ``n_bits`` least significant bits of ``value``.
+
+    This is the operation the IP-stride prefetcher applies to the load
+    instruction pointer when indexing its history table (the paper finds
+    ``n_bits == 8`` and *no* tag verification of the remaining bits).
+    """
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return value & ((1 << n_bits) - 1)
+
+
+def sign_extend(value: int, n_bits: int) -> int:
+    """Interpret the low ``n_bits`` of ``value`` as a two's-complement integer.
+
+    Used to model the prefetcher's (1+12)-bit stride register.
+    """
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    mask = (1 << n_bits) - 1
+    value &= mask
+    sign_bit = 1 << (n_bits - 1)
+    if value & sign_bit:
+        return value - (1 << n_bits)
+    return value
+
+
+def align_down(address: int, granularity: int) -> int:
+    """Round ``address`` down to a multiple of ``granularity`` (a power of two)."""
+    _check_power_of_two(granularity)
+    return address & ~(granularity - 1)
+
+
+def align_up(address: int, granularity: int) -> int:
+    """Round ``address`` up to a multiple of ``granularity`` (a power of two)."""
+    _check_power_of_two(granularity)
+    return (address + granularity - 1) & ~(granularity - 1)
+
+
+def cache_line_index(address: int, line_size: int = 64) -> int:
+    """Return the cache-line number containing ``address``."""
+    _check_power_of_two(line_size)
+    return address // line_size
+
+
+def page_number(address: int, page_size: int = 4096) -> int:
+    """Return the page number containing ``address``."""
+    _check_power_of_two(page_size)
+    return address // page_size
+
+
+def page_offset(address: int, page_size: int = 4096) -> int:
+    """Return the offset of ``address`` within its page."""
+    _check_power_of_two(page_size)
+    return address & (page_size - 1)
+
+
+def _check_power_of_two(value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"expected a positive power of two, got {value}")

@@ -1,0 +1,55 @@
+"""Small statistics helpers shared by the analysis and channel packages."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence (silence hides bugs)."""
+    if len(values) == 0:
+        raise ValueError("mean of empty sequence")
+    return float(np.mean(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; raises on an empty sequence."""
+    if len(values) == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``."""
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+def welch_t_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Welch's t statistic between two independent samples.
+
+    This is the statistic used by the TVLA leakage-assessment methodology
+    (Schneider & Moradi, CHES 2015) that the paper applies in Figure 16:
+    ``t = (mean_a - mean_b) / sqrt(var_a/n_a + var_b/n_b)``.
+
+    Returns 0.0 when both variances vanish and the means are equal (no
+    evidence either way); raises when either sample has fewer than two
+    observations, since the variance is then undefined.
+    """
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("welch_t_statistic needs at least two observations per sample")
+    var_term = a.var(ddof=1) / a.size + b.var(ddof=1) / b.size
+    delta = float(a.mean() - b.mean())
+    if var_term == 0.0:
+        if delta == 0.0:
+            return 0.0
+        return math.copysign(math.inf, delta)
+    return delta / math.sqrt(var_term)

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+``quiet_machine`` — deterministic, noise-free (reverse-engineering style).
+``noisy_machine`` — the default calibrated noise model.
+Both are Coffee Lake (the paper's SGX-capable machine); Haswell-specific
+behaviour is tested explicitly where it matters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700, HASWELL_I7_4770
+
+
+@pytest.fixture
+def quiet_machine() -> Machine:
+    return Machine(COFFEE_LAKE_I7_9700.quiet(), seed=1234)
+
+
+@pytest.fixture
+def noisy_machine() -> Machine:
+    return Machine(COFFEE_LAKE_I7_9700, seed=1234)
+
+
+@pytest.fixture
+def haswell_machine() -> Machine:
+    return Machine(HASWELL_I7_4770.quiet(), seed=1234)
+
+
+@pytest.fixture
+def user_context(quiet_machine):
+    ctx = quiet_machine.new_thread("user")
+    quiet_machine.context_switch(ctx)
+    return ctx

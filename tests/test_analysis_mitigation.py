@@ -1,0 +1,172 @@
+"""Tests for the analysis helpers and the §8.3 mitigation models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.success_rate import SuccessRateReport, measure_success_rate
+from repro.analysis.ttest import LEAKAGE_THRESHOLD, TVLATest, tvla_sweep
+from repro.mitigation.analytical import MitigationCostModel
+from repro.mitigation.champsim_lite import ChampSimLite
+from repro.mitigation.study import MitigationStudy
+from repro.mitigation.traces import (
+    SYNTHETIC_SUITE,
+    TraceSpec,
+    generate_trace,
+    suite_by_name,
+    top_prefetch_sensitive,
+)
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+class TestSuccessRate:
+    def test_measure(self):
+        outcomes = iter([True, True, False, None, True])
+        report = measure_success_rate("demo", lambda _i: next(outcomes), rounds=5)
+        assert report.successes == 3
+        assert report.failures == 1
+        assert report.undecided == 1
+        assert report.success_rate == pytest.approx(0.6)
+
+    def test_summary_format(self):
+        report = SuccessRateReport("x")
+        report.record(True)
+        assert "100.0%" in report.summary()
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            SuccessRateReport("x").success_rate
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            measure_success_rate("x", lambda _i: True, rounds=0)
+
+
+class TestTVLA:
+    def test_accurate_timing_leaks(self):
+        result = TVLATest(seed=0).run(600, accurate_timing=True)
+        assert result.t_value < -LEAKAGE_THRESHOLD
+        assert result.leaks
+
+    def test_random_timing_does_not_leak(self):
+        result = TVLATest(seed=1).run(600, accurate_timing=False)
+        assert abs(result.t_value) < LEAKAGE_THRESHOLD
+
+    def test_t_grows_with_traces(self):
+        test = TVLATest(seed=2)
+        results = tvla_sweep(test, [50, 800], accurate_timing=True)
+        assert abs(results[1].t_value) > abs(results[0].t_value)
+
+    def test_sign_is_negative(self):
+        """The fixed class is chosen low-weight, so t < 0 as in Figure 16."""
+        result = TVLATest(seed=3).run(400, accurate_timing=True)
+        assert result.t_value < 0
+
+    def test_minimum_traces(self):
+        with pytest.raises(ValueError):
+            TVLATest(seed=0).run(1, accurate_timing=True)
+
+
+class TestAnalyticalModel:
+    def test_paper_upper_bound(self):
+        """§8.3: (24 + 300*3*24) / (100 µs * 3 GHz) < 7.3 %."""
+        model = MitigationCostModel()
+        assert model.cycles_per_switch == 24 + 300 * 3 * 24
+        assert 7.0 < model.overhead_percent() < 7.3
+
+    def test_scales_with_period(self):
+        fast = MitigationCostModel(domain_switch_period_seconds=10e-6)
+        slow = MitigationCostModel(domain_switch_period_seconds=1e-3)
+        assert fast.overhead_fraction() > slow.overhead_fraction()
+
+
+class TestTraces:
+    def test_generate_shapes(self):
+        ips, addrs = generate_trace(SYNTHETIC_SUITE[0], 5000)
+        assert ips.shape == addrs.shape == (5000,)
+
+    def test_load_fraction_respected(self):
+        spec = SYNTHETIC_SUITE[0]
+        _ips, addrs = generate_trace(spec, 20000, seed=1)
+        observed = float(np.count_nonzero(addrs >= 0)) / addrs.size
+        assert abs(observed - spec.load_fraction) < 0.02
+
+    def test_deterministic_per_seed(self):
+        a = generate_trace(SYNTHETIC_SUITE[1], 1000, seed=3)
+        b = generate_trace(SYNTHETIC_SUITE[1], 1000, seed=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_line_aligned_addresses(self):
+        _ips, addrs = generate_trace(SYNTHETIC_SUITE[0], 2000)
+        loads = addrs[addrs >= 0]
+        assert np.all(loads % 64 == 0)
+
+    def test_suite_lookup(self):
+        assert suite_by_name("mcf-like").pointer_share > 0.5
+        with pytest.raises(KeyError):
+            suite_by_name("doom-like")
+
+    def test_top8_are_streaming(self):
+        for spec in top_prefetch_sensitive():
+            assert spec.stream_share >= 0.8
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TraceSpec("bad", "spec2006", 1, 1, 0.0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            TraceSpec("bad", "spec2006", 1, 1, 0.3, 0.8, 0.3)
+
+
+class TestChampSimLite:
+    def test_prefetcher_speeds_up_streaming(self):
+        spec = suite_by_name("libquantum-like")
+        ips, addrs = generate_trace(spec, 20000)
+        off = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=False)
+        on = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=True)
+        assert on.run("x", ips, addrs).ipc > 2 * off.run("x", ips, addrs).ipc
+
+    def test_prefetcher_neutral_on_pointer_chase(self):
+        spec = suite_by_name("mcf-like")
+        ips, addrs = generate_trace(spec, 20000)
+        off = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=False)
+        on = ChampSimLite(COFFEE_LAKE_I7_9700, prefetcher_enabled=True)
+        ratio = on.run("x", ips, addrs).ipc / off.run("x", ips, addrs).ipc
+        assert 0.95 < ratio < 1.1
+
+    def test_flushing_costs_little(self):
+        spec = suite_by_name("bwaves-like")
+        ips, addrs = generate_trace(spec, 30000)
+        base = ChampSimLite(COFFEE_LAKE_I7_9700)
+        flushed = ChampSimLite(COFFEE_LAKE_I7_9700, flush_period_cycles=30_000)
+        result = flushed.run("x", ips, addrs)
+        overhead = 1 - result.ipc / base.run("x", ips, addrs).ipc
+        assert result.flushes > 0
+        assert 0 <= overhead < 0.03
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            ChampSimLite(COFFEE_LAKE_I7_9700, mlp=0)
+
+    def test_mismatched_arrays_rejected(self):
+        sim = ChampSimLite(COFFEE_LAKE_I7_9700)
+        with pytest.raises(ValueError):
+            sim.run("x", np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+
+class TestMitigationStudy:
+    def test_section_8_3_bands(self):
+        """The headline result: ~0.7 % top-8, ~0.2 % all (we assert the
+        bands, not point values; see EXPERIMENTS.md)."""
+        study = MitigationStudy(COFFEE_LAKE_I7_9700, n_instructions=30_000)
+        results = study.run_suite()
+        top8 = study.top_prefetch_sensitive(results)
+        assert 0.002 < study.average_overhead(top8) < 0.015
+        assert 0.0005 < study.average_overhead(results) < 0.008
+        # Sensitive workloads pay more than insensitive ones.
+        rest = [r for r in results if r not in top8]
+        assert study.average_overhead(top8) > study.average_overhead(rest)
+
+    def test_top8_selection_by_speedup(self):
+        study = MitigationStudy(COFFEE_LAKE_I7_9700, n_instructions=20_000)
+        results = study.run_suite(SYNTHETIC_SUITE[:4] + SYNTHETIC_SUITE[8:12])
+        top = study.top_prefetch_sensitive(results, n=4)
+        assert {r.name for r in top} == {s.name for s in SYNTHETIC_SUITE[:4]}

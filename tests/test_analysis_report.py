@@ -1,0 +1,38 @@
+"""Tests for the automated reproduction report."""
+
+from repro.analysis.report import ReportRow, _fmt, generate_report
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+class TestFormatting:
+    def test_markdown_table_shape(self):
+        rows = [
+            ReportRow("exp-a", "1", "1", True),
+            ReportRow("exp-b", "2", "3", False),
+        ]
+        text = _fmt(rows)
+        assert text.startswith("# AfterImage reproduction report")
+        assert "| exp-a | 1 | 1 | reproduced |" in text
+        assert "| exp-b | 2 | 3 | **out of band** |" in text
+
+
+class TestGeneration:
+    def test_quick_report_all_in_band(self):
+        text = generate_report(COFFEE_LAKE_I7_9700, seed=230, rounds=20, quick=True)
+        assert "out of band" not in text
+        # All eight headline experiments present.
+        for needle in (
+            "Fig. 6",
+            "Fig. 8a",
+            "Table 3",
+            "§7.2",
+            "§7.3",
+            "Fig. 16",
+            "§8.3",
+        ):
+            assert needle in text
+
+    def test_report_is_deterministic(self):
+        a = generate_report(COFFEE_LAKE_I7_9700, seed=231, rounds=10, quick=True)
+        b = generate_report(COFFEE_LAKE_I7_9700, seed=231, rounds=10, quick=True)
+        assert a == b

@@ -1,0 +1,259 @@
+"""Tests for the secret-extraction channels."""
+
+import pytest
+
+from repro.channels.eviction_sets import EvictionSetBuilder, search_eviction_set
+from repro.channels.flush_flush import FLUSH_THRESHOLD, FlushFlush
+from repro.channels.flush_reload import FlushReload
+from repro.channels.prime_probe import PrimeProbe
+from repro.channels.psc import PrefetcherStatusCheck
+from repro.channels.thresholds import classify_hit
+from repro.mmu.buffer import Buffer
+from repro.params import PAGE_SIZE
+
+
+@pytest.fixture
+def setup(quiet_machine):
+    ctx = quiet_machine.new_thread("attacker")
+    quiet_machine.context_switch(ctx)
+    shared = quiet_machine.new_buffer(ctx.space, PAGE_SIZE, name="shared")
+    quiet_machine.warm_buffer_tlb(ctx, shared)
+    return quiet_machine, ctx, shared
+
+
+class TestClassifyHit:
+    def test_threshold(self):
+        assert classify_hit(50, 120)
+        assert not classify_hit(120, 120)
+        assert not classify_hit(250, 120)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            classify_hit(0, 120)
+
+
+class TestFlushReload:
+    def test_untouched_lines_miss(self, setup):
+        machine, ctx, shared = setup
+        fr = FlushReload(machine, ctx, shared, reload_ip=0x700000)
+        fr.flush()
+        assert fr.hit_lines() == []
+
+    def test_touched_line_hits(self, setup):
+        machine, ctx, shared = setup
+        fr = FlushReload(machine, ctx, shared, reload_ip=0x700000)
+        fr.flush()
+        machine.load(ctx, 0x400044, shared.line_addr(17))
+        hits = set(fr.hit_lines())
+        assert 17 in hits
+        # Only the demand line and (possibly) its adjacent-prefetch buddy.
+        assert hits <= {16, 17}
+
+    def test_reload_is_destructive_but_repeatable(self, setup):
+        machine, ctx, shared = setup
+        fr = FlushReload(machine, ctx, shared, reload_ip=0x700000)
+        fr.flush()
+        machine.load(ctx, 0x400044, shared.line_addr(9))
+        fr.reload()
+        # Second reload without flush: everything now hits.
+        assert len(fr.hit_lines()) == shared.n_lines
+
+    def test_page_scoped_flush_and_reload(self, quiet_machine):
+        ctx = quiet_machine.new_thread("attacker")
+        quiet_machine.context_switch(ctx)
+        shared = quiet_machine.new_buffer(ctx.space, 2 * PAGE_SIZE)
+        quiet_machine.warm_buffer_tlb(ctx, shared)
+        fr = FlushReload(quiet_machine, ctx, shared, reload_ip=0x700000)
+        fr.flush(page=1)
+        quiet_machine.load(ctx, 0x400044, shared.page_line_addr(1, 5))
+        hits = fr.hit_lines(page=1)
+        assert 64 + 5 in hits
+
+    def test_reload_ip_must_not_alias_monitored_entries(self, setup):
+        machine, ctx, shared = setup
+        with pytest.raises(ValueError):
+            FlushReload(machine, ctx, shared, reload_ip=0x7000AB, avoid_ip_indexes={0xAB})
+
+    def test_reload_does_not_disturb_prefetcher(self, setup):
+        machine, ctx, shared = setup
+        fr = FlushReload(machine, ctx, shared, reload_ip=0x700000)
+        train = machine.new_buffer(ctx.space, PAGE_SIZE)
+        machine.warm_buffer_tlb(ctx, train)
+        for i in range(4):
+            machine.load(ctx, 0x400020, train.line_addr(i * 7))
+        entry_before = machine.ip_stride.entry_for_ip(0x400020)
+        state = (entry_before.stride, entry_before.confidence, entry_before.last_paddr)
+        fr.reload()
+        entry_after = machine.ip_stride.entry_for_ip(0x400020)
+        assert (entry_after.stride, entry_after.confidence, entry_after.last_paddr) == state
+
+
+class TestEvictionSets:
+    def test_build_minimal_set(self, setup):
+        machine, ctx, shared = setup
+        builder = EvictionSetBuilder(machine, ctx)
+        es = builder.build_for_address(ctx, shared.line_addr(0))
+        assert len(es) == machine.params.llc.ways
+        target = machine.hierarchy.llc_set_index(ctx.space.translate(shared.line_addr(0)))
+        for vaddr in es.addresses:
+            assert machine.hierarchy.llc_set_index(ctx.space.translate(vaddr)) == target
+
+    def test_minimal_set_evicts_target(self, setup):
+        machine, ctx, shared = setup
+        builder = EvictionSetBuilder(machine, ctx)
+        target = shared.line_addr(0)
+        es = builder.build_for_address(ctx, target)
+        machine.load(ctx, 0x700000, target)
+        for vaddr in es.addresses:
+            machine.warm_tlb(ctx, vaddr)
+            machine.load(ctx, 0x700008, vaddr, fenced=True)
+        assert not machine.is_cached(ctx, target)
+
+    def test_pool_too_small_raises(self, setup):
+        machine, ctx, shared = setup
+        builder = EvictionSetBuilder(machine, ctx, pool_pages=64)
+        with pytest.raises(RuntimeError):
+            builder.build_for_address(ctx, shared.line_addr(0))
+
+    def test_search_based_eviction_set(self, setup):
+        """The timing-only (no-pagemap) builder finds a working set."""
+        machine, ctx, shared = setup
+        pool = Buffer(ctx.space.mmap(8192 * PAGE_SIZE, locked=True, name="pool"))
+        machine.warm_buffer_tlb(ctx, pool)
+        target = shared.line_addr(3)
+        found = search_eviction_set(machine, ctx, target, pool, probe_ip=0x710000)
+        machine.load(ctx, 0x700000, target)
+        for vaddr in found:
+            machine.load(ctx, 0x700008, vaddr, fenced=True)
+        assert not machine.is_cached(ctx, target)
+
+
+class TestPrimeProbe:
+    def test_probe_requires_prime(self, setup):
+        machine, ctx, shared = setup
+        builder = EvictionSetBuilder(machine, ctx)
+        pp = PrimeProbe(machine, ctx, [builder.build_for_address(ctx, shared.base)], 0x700000)
+        with pytest.raises(RuntimeError):
+            pp.probe()
+
+    def test_idle_set_low_delta(self, setup):
+        machine, ctx, shared = setup
+        builder = EvictionSetBuilder(machine, ctx)
+        es = builder.build_for_address(ctx, shared.base)
+        for vaddr in es.addresses:
+            machine.warm_tlb(ctx, vaddr)
+        pp = PrimeProbe(machine, ctx, [es], 0x700000)
+        pp.prime()
+        samples = pp.probe()
+        assert abs(samples[0].delta) < 100
+
+    def test_victim_access_visible(self, setup):
+        machine, ctx, shared = setup
+        builder = EvictionSetBuilder(machine, ctx)
+        es = builder.build_for_address(ctx, shared.base)
+        for vaddr in es.addresses:
+            machine.warm_tlb(ctx, vaddr)
+        pp = PrimeProbe(machine, ctx, [es], 0x700000)
+        pp.prime()
+        machine.load(ctx, 0x400077, shared.base)  # the "victim"
+        samples = pp.probe()
+        assert samples[0].delta > 500
+
+    def test_empty_sets_rejected(self, setup):
+        machine, ctx, _shared = setup
+        with pytest.raises(ValueError):
+            PrimeProbe(machine, ctx, [], 0x700000)
+
+
+class TestFlushFlush:
+    def test_cached_line_flushes_slower(self, setup):
+        machine, ctx, shared = setup
+        ff = FlushFlush(machine, ctx, shared)
+        machine.load(ctx, 0x400044, shared.line_addr(4))
+        cached_sample = ff.flush_timed(4)
+        uncached_sample = ff.flush_timed(4)  # now flushed out
+        assert cached_sample.latency > uncached_sample.latency
+        assert cached_sample.was_cached
+        assert not uncached_sample.was_cached
+
+    def test_threshold_separates(self):
+        from repro.channels.flush_flush import FLUSH_HIT_CYCLES, FLUSH_MISS_CYCLES
+
+        assert FLUSH_MISS_CYCLES < FLUSH_THRESHOLD < FLUSH_HIT_CYCLES
+
+
+class TestPSC:
+    def _make(self, machine, ctx, stride=7):
+        buffer = machine.new_buffer(ctx.space, 8 * PAGE_SIZE, name="psc")
+        train_ip = 0x680044
+        return PrefetcherStatusCheck(machine, ctx, train_ip, buffer, stride)
+
+    def test_undisturbed_checks_all_hit(self, setup):
+        machine, ctx, _ = setup
+        psc = self._make(machine, ctx)
+        psc.train()
+        for _ in range(20):
+            assert psc.check().prefetcher_triggered
+
+    def test_victim_execution_detected(self, setup):
+        machine, ctx, _ = setup
+        psc = self._make(machine, ctx)
+        psc.train()
+        assert psc.check().prefetcher_triggered
+        # Victim load at an aliasing IP from an unrelated address.
+        victim_buf = machine.new_buffer(ctx.space, PAGE_SIZE)
+        machine.warm_tlb(ctx, victim_buf.base)
+        machine.load(ctx, 0x990044, victim_buf.base)
+        observation = psc.check()
+        assert observation.victim_executed
+
+    def test_two_misses_then_recovery(self, setup):
+        """§7.4 / Figure 15: one more retraining step is needed."""
+        machine, ctx, _ = setup
+        psc = self._make(machine, ctx)
+        psc.train()
+        victim_buf = machine.new_buffer(ctx.space, PAGE_SIZE)
+        machine.warm_tlb(ctx, victim_buf.base)
+        machine.load(ctx, 0x990044, victim_buf.base)
+        results = [psc.check().prefetcher_triggered for _ in range(4)]
+        assert results == [False, False, True, True]
+
+    def test_progression_survives_page_crossings(self, setup):
+        machine, ctx, _ = setup
+        psc = self._make(machine, ctx, stride=11)
+        psc.train()
+        # Enough checks to cross several pages and wrap the buffer.
+        assert all(psc.check().prefetcher_triggered for _ in range(64))
+
+    def test_probe_ip_must_not_alias(self, setup):
+        machine, ctx, _ = setup
+        buffer = machine.new_buffer(ctx.space, PAGE_SIZE)
+        with pytest.raises(ValueError):
+            PrefetcherStatusCheck(machine, ctx, 0x680044, buffer, 7, probe_ip=0x790044)
+
+    def test_invalid_stride_rejected(self, setup):
+        machine, ctx, _ = setup
+        buffer = machine.new_buffer(ctx.space, PAGE_SIZE)
+        with pytest.raises(ValueError):
+            PrefetcherStatusCheck(machine, ctx, 0x680044, buffer, 0)
+
+    def test_train_needs_three_iterations(self, setup):
+        machine, ctx, _ = setup
+        psc = self._make(machine, ctx)
+        with pytest.raises(ValueError):
+            psc.train(iterations=2)
+
+    def test_large_stride_rejected(self, setup):
+        """A stride that cannot fit a retrain + check in one page would
+        run the progression off the buffer; the constructor refuses."""
+        machine, ctx, _ = setup
+        buffer = machine.new_buffer(ctx.space, PAGE_SIZE)
+        with pytest.raises(ValueError):
+            PrefetcherStatusCheck(machine, ctx, 0x680044, buffer, 31)
+
+    def test_max_safe_stride_works(self, setup):
+        machine, ctx, _ = setup
+        buffer = machine.new_buffer(ctx.space, 4 * PAGE_SIZE)
+        psc = PrefetcherStatusCheck(machine, ctx, 0x680044, buffer, 15)
+        psc.train()
+        assert all(psc.check().prefetcher_triggered for _ in range(16))

@@ -1,0 +1,96 @@
+"""Tests for the `afterimage` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_is_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "mitigation" in out
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(KeyError):
+            main(["--machine", "pentium-3", "fig06"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        # argparse stores subparsers choices on the action.
+        sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
+        for name in ("fig06", "fig07", "table1", "fig08", "variant1", "variant2",
+                     "covert", "rsa", "sgx", "tracker", "ttest", "mitigation"):
+            assert name in sub.choices
+
+
+class TestCommands:
+    def test_fig06(self, capsys):
+        assert main(["fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "matched_bits" in out
+        assert "hit" in out and "miss" in out
+
+    def test_fig07(self, capsys):
+        assert main(["fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "7a" in out and "7b" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "recl" in out and "lock" in out
+
+    def test_fig08(self, capsys):
+        assert main(["fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "26 inputs" in out and "Figure 8b" in out
+
+    def test_variant1_small(self, capsys):
+        assert main(["--seed", "3", "variant1", "--rounds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+
+    def test_covert_small(self, capsys):
+        assert main(["covert", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "bps" in out
+
+    def test_sgx(self, capsys):
+        assert main(["sgx"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred 0" in out and "inferred 1" in out
+
+    def test_tracker(self, capsys):
+        assert main(["tracker"]) == 0
+        out = capsys.readouterr().out
+        assert "key-load" in out
+
+    def test_rsa_small(self, capsys):
+        assert main(["rsa", "--bits", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "exact: True" in out
+
+    def test_ttest(self, capsys):
+        assert main(["ttest"]) == 0
+        out = capsys.readouterr().out
+        assert "t accurate" in out
+
+    def test_haswell_machine_selectable(self, capsys):
+        assert main(["--machine", "i7-4770", "fig06"]) == 0
+        assert "matched_bits" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_quick(self, capsys):
+        assert main(["report", "--quick", "--rounds", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+        assert "out of band" not in out
+        assert out.count("reproduced") >= 8
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--quick", "--rounds", "20", "-o", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "| experiment |" in target.read_text()

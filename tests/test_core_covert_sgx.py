@@ -1,0 +1,178 @@
+"""Tests for the covert channel (§5.3) and the SGX attack (§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.covert import CovertChannel
+from repro.core.sgx_attack import SGXControlFlowAttack
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+class TestCovertChannelQuiet:
+    @pytest.fixture(scope="class")
+    def channel(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=41)
+        return CovertChannel(machine, n_entries=1)
+
+    def test_single_symbol_roundtrip(self, channel):
+        report = channel.transmit([30])  # the paper's b'11110 example
+        assert report.rounds[0].received_value == 30
+
+    def test_all_clean_symbols_roundtrip(self, channel):
+        symbols = list(range(5, 32))
+        report = channel.transmit(symbols)
+        assert [r.received_value for r in report.rounds] == symbols
+        assert report.error_rate == 0.0
+
+    def test_bandwidth_in_paper_band(self, channel):
+        """§7.2: 833 bps for the single-entry channel."""
+        report = channel.transmit([7] * 40)
+        assert 700 <= report.bandwidth_bps <= 950
+
+    def test_symbol_alphabet_checked(self, channel):
+        with pytest.raises(ValueError):
+            channel.transmit([0])
+        with pytest.raises(ValueError):
+            channel.transmit([32])
+
+    def test_symbol_count_must_match_entries(self, channel):
+        with pytest.raises(ValueError):
+            channel.send_symbols([5, 6])
+
+
+class TestCovertChannelMultiEntry:
+    def test_24_entries_raise_bandwidth_and_errors(self):
+        """§7.2: training all 24 entries approaches 20 kbps but the switch
+        traffic pushes the error rate past 25 %."""
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=42)
+        channel = CovertChannel(machine, n_entries=24)
+        rng = np.random.default_rng(0)
+        symbols = [int(x) for x in rng.integers(5, 32, 240)]
+        report = channel.transmit(symbols)
+        assert report.bandwidth_bps > 15_000
+        assert report.error_rate > 0.25
+
+    def test_entry_count_validated(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=43)
+        with pytest.raises(ValueError):
+            CovertChannel(machine, n_entries=25)
+
+    def test_entries_have_distinct_indexes(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=44)
+        channel = CovertChannel(machine, n_entries=24)
+        assert len({ip & 0xFF for ip in channel.entry_ips}) == 24
+
+
+class TestSGXAttackQuiet:
+    @pytest.mark.parametrize("secret", [0, 1])
+    def test_secret_recovered(self, secret):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=45 + secret)
+        attack = SGXControlFlowAttack(machine, secret=secret)
+        result = attack.run_round()
+        assert result.inferred_secret == secret
+
+    def test_latency_gap_matches_appendix(self):
+        """§A.8 / §7.2: the prefetched line reads far below the threshold,
+        the other far above ('lower than 50 ... higher than 200')."""
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=47)
+        attack = SGXControlFlowAttack(machine, secret=0)
+        result = attack.run_round()
+        assert result.time2 < 50  # stride 5 -> line 40 prefetched
+        assert result.time1 > 200
+
+    def test_check_lines(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=48)
+        attack = SGXControlFlowAttack(machine, secret=1)
+        assert attack.check_line_if_set == 24  # 3 * 8
+        assert attack.check_line_if_clear == 40  # 5 * 8
+
+    def test_noisy_success_rate(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=49)
+        attack = SGXControlFlowAttack(machine, secret=1)
+        successes = sum(attack.run_round().success for _ in range(40))
+        assert successes >= 36
+
+
+class TestTextCodec:
+    def test_roundtrip(self):
+        from repro.core.covert import decode_text, encode_text
+
+        message = "attack at dawn"
+        assert decode_text(encode_text(message)) == message
+
+    def test_lost_symbols_decode_to_question_marks(self):
+        from repro.core.covert import decode_text, encode_text
+
+        symbols = encode_text("abc")
+        symbols[1] = None
+        assert decode_text(symbols) == "a?c"
+
+    def test_unencodable_rejected(self):
+        from repro.core.covert import encode_text
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            encode_text("attack at 9")
+
+    def test_alphabet_stays_clean(self):
+        from repro.core.covert import MIN_CLEAN_STRIDE, encode_text
+
+        symbols = encode_text("the quick brown fox jumps over the lazy dog")
+        assert all(MIN_CLEAN_STRIDE <= s <= 31 for s in symbols)
+
+    def test_end_to_end_text_transmission(self):
+        from repro.core.covert import CovertChannel, decode_text, encode_text
+        from repro.cpu.machine import Machine
+        from repro.params import COFFEE_LAKE_I7_9700
+
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=300)
+        channel = CovertChannel(machine, n_entries=1)
+        message = "prefetchers leak"
+        report = channel.transmit(encode_text(message))
+        assert decode_text([r.received_value for r in report.rounds]) == message
+
+
+class TestReliableTransmission:
+    def test_repetition_coding_cleans_the_24_entry_channel(self):
+        """§7.2's >25%-error configuration becomes dependable with a
+        3x repetition code, at a net goodput still far above the
+        single-entry channel."""
+        import numpy as np
+
+        from repro.core.covert import CovertChannel
+        from repro.cpu.machine import Machine
+        from repro.params import COFFEE_LAKE_I7_9700
+
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=310)
+        channel = CovertChannel(machine, n_entries=24)
+        rng = np.random.default_rng(310)
+        symbols = [int(x) for x in rng.integers(5, 32, 240)]
+
+        raw = channel.transmit(symbols)
+        coded = channel.transmit_reliable(symbols, repetitions=3)
+        assert raw.error_rate > 0.25
+        assert coded.error_rate < 0.05
+        assert coded.bandwidth_bps > 2_000  # net goodput >> 833 bps
+
+    def test_repetitions_validated(self):
+        from repro.core.covert import CovertChannel
+        from repro.cpu.machine import Machine
+        from repro.params import COFFEE_LAKE_I7_9700
+
+        import pytest
+
+        channel = CovertChannel(Machine(COFFEE_LAKE_I7_9700.quiet(), seed=311), 1)
+        with pytest.raises(ValueError):
+            channel.transmit_reliable([7], repetitions=0)
+
+    def test_single_repetition_equals_plain_transmit(self):
+        from repro.core.covert import CovertChannel
+        from repro.cpu.machine import Machine
+        from repro.params import COFFEE_LAKE_I7_9700
+
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=312)
+        channel = CovertChannel(machine, n_entries=1)
+        report = channel.transmit_reliable([7, 11, 30], repetitions=1)
+        assert [r.received_value for r in report.rounds] == [7, 11, 30]

@@ -1,0 +1,117 @@
+"""Tests for the training gadget and stride detection."""
+
+import pytest
+
+from repro.core.detect import detect_stride, detect_stride_pairs, hot_pairs
+from repro.core.gadget import TrainingGadget
+from repro.utils.bits import low_bits
+
+
+class TestHotPairs:
+    def test_finds_pair(self):
+        assert hot_pairs([3, 10], 7) == [(3, 10)]
+
+    def test_no_pair(self):
+        assert hot_pairs([3, 11], 7) == []
+
+    def test_multiple_pairs(self):
+        assert hot_pairs([0, 7, 14], 7) == [(0, 7), (7, 14)]
+
+    def test_duplicates_collapse(self):
+        assert hot_pairs([3, 3, 10], 7) == [(3, 10)]
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            hot_pairs([1], 0)
+
+
+class TestDetectStride:
+    def test_clean_signal(self):
+        # demand 20, buddy 21, prefetch 27
+        assert detect_stride([20, 21, 27], [7, 13]) == 7
+
+    def test_other_stride(self):
+        assert detect_stride([20, 21, 33], [7, 13]) == 13
+
+    def test_no_signal(self):
+        assert detect_stride([20, 21], [7, 13]) is None
+
+    def test_anchored_triple_beats_noise_pair(self):
+        """A noise line forming a bare 13-pair must not outvote the real
+        anchored (demand+buddy+prefetch) 7-pattern."""
+        hot = [20, 21, 27, 40, 53]  # (40, 53) is a bare noise 13-pair
+        assert detect_stride(hot, [7, 13]) == 7
+
+    def test_symmetric_ambiguity_is_none(self):
+        # Two equally-supported strides: refuse to guess.
+        hot = [20, 21, 27, 33]  # 20+7 and 20+13, both anchored at 20
+        assert detect_stride(hot, [7, 13]) is None
+
+    def test_empty(self):
+        assert detect_stride([], [7, 13]) is None
+
+    def test_pairs_diagnostics(self):
+        pairs = detect_stride_pairs([20, 27, 33], [7, 13])
+        assert pairs[7] == [(20, 27)]
+        assert pairs[13] == [(20, 33)]
+
+
+class TestTrainingGadget:
+    @pytest.fixture
+    def attacker(self, quiet_machine):
+        ctx = quiet_machine.new_thread("attacker")
+        quiet_machine.context_switch(ctx)
+        return ctx
+
+    def test_gadget_aliases_both_targets(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        assert low_bits(gadget.if_ip, 8) == 0xE6
+        assert low_bits(gadget.else_ip, 8) == 0x3A
+
+    def test_training_saturates_both_entries(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        gadget.train(4)
+        assert gadget.confidences() == (3, 3)
+
+    def test_strides_recorded(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A, 7, 13)
+        gadget.train()
+        assert quiet_machine.ip_stride.entry_for_ip(gadget.if_ip).stride == 7 * 64
+        assert quiet_machine.ip_stride.entry_for_ip(gadget.else_ip).stride == 13 * 64
+
+    def test_aliasing_targets_rejected(self, quiet_machine, attacker):
+        with pytest.raises(ValueError):
+            TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x4019E6)  # same low byte
+
+    def test_equal_strides_rejected(self, quiet_machine, attacker):
+        with pytest.raises(ValueError):
+            TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A, 7, 7)
+
+    def test_stride_out_of_range_rejected(self, quiet_machine, attacker):
+        with pytest.raises(ValueError):
+            TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A, 7, 40)
+
+    def test_too_few_iterations_rejected(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        with pytest.raises(ValueError):
+            gadget.train(2)
+
+    def test_too_many_iterations_rejected(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        with pytest.raises(ValueError):
+            gadget.train(20)  # would wrap the training page
+
+    def test_monitored_indexes(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        assert gadget.monitored_indexes == {0xE6, 0x3A}
+
+    def test_retraining_after_clobber(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        gadget.train()
+        # A victim-like aliasing load clobbers the if entry.
+        buf = quiet_machine.new_buffer(attacker.space, 4096)
+        quiet_machine.warm_tlb(attacker, buf.base)
+        quiet_machine.load(attacker, 0x9900E6, buf.base)
+        assert quiet_machine.ip_stride.entry_for_ip(gadget.if_ip).confidence == 1
+        gadget.train()
+        assert gadget.confidences()[0] >= 2

@@ -1,0 +1,102 @@
+"""Focused unit tests for the IP searcher, with a controllable victim."""
+
+import numpy as np
+import pytest
+
+from repro.channels.flush_reload import FlushReload
+from repro.core.ip_search import IPSearcher
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+
+
+class FakeVictim:
+    """A user-space stand-in for the kernel: loads the demanded line of the
+    shared buffer at a fixed hidden IP, with a configurable take rate."""
+
+    def __init__(self, machine, ctx, shared, hidden_ip, take_rate=1.0, seed=0):
+        self.machine = machine
+        self.ctx = ctx
+        self.shared = shared
+        self.hidden_ip = hidden_ip
+        self.take_rate = take_rate
+        self._rng = np.random.default_rng(seed)
+        self.invocations = 0
+
+    def __call__(self, demand_line: int) -> None:
+        self.invocations += 1
+        if self._rng.random() >= self.take_rate:
+            return
+        vaddr = self.shared.line_addr(demand_line)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        self.machine.load(self.ctx, self.hidden_ip, vaddr)
+
+
+@pytest.fixture
+def searcher_setup():
+    machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=220)
+    attacker = machine.new_thread("attacker")
+    machine.context_switch(attacker)
+    shared = machine.new_buffer(attacker.space, PAGE_SIZE, name="shared")
+    machine.warm_buffer_tlb(attacker, shared)
+    fr = FlushReload(machine, attacker, shared, reload_ip=0x720000)
+    return machine, attacker, shared, fr
+
+
+def make_searcher(machine, attacker, shared, fr, victim):
+    return IPSearcher(
+        machine, attacker, trigger=victim, shared=shared, flush_reload=fr, stride_lines=11
+    )
+
+
+class TestSearch:
+    @pytest.mark.parametrize("hidden_index", [0x07, 0x80, 0xFE])
+    def test_finds_arbitrary_hidden_index(self, searcher_setup, hidden_index):
+        machine, attacker, shared, fr = searcher_setup
+        victim = FakeVictim(machine, attacker, shared, 0x99_0000 + hidden_index)
+        searcher = make_searcher(machine, attacker, shared, fr, victim)
+        result = searcher.search()
+        assert result.index == hidden_index
+
+    def test_flaky_victim_still_found(self, searcher_setup):
+        """The Listing 7 victim takes its branch randomly; retries cover it."""
+        machine, attacker, shared, fr = searcher_setup
+        victim = FakeVictim(
+            machine, attacker, shared, 0x99_0042, take_rate=0.5, seed=1
+        )
+        searcher = make_searcher(machine, attacker, shared, fr, victim)
+        result = searcher.search()
+        assert result.index == 0x42
+
+    def test_absent_victim_yields_none(self, searcher_setup):
+        machine, attacker, shared, fr = searcher_setup
+        victim = FakeVictim(machine, attacker, shared, 0x99_0042, take_rate=0.0)
+        searcher = make_searcher(machine, attacker, shared, fr, victim)
+        result = searcher.search(sweeps=1)
+        assert result.index is None
+        assert not result.found
+
+    def test_syscall_budget_accounted(self, searcher_setup):
+        machine, attacker, shared, fr = searcher_setup
+        victim = FakeVictim(machine, attacker, shared, 0x99_0007)
+        searcher = make_searcher(machine, attacker, shared, fr, victim)
+        result = searcher.search()
+        assert result.syscalls_used == victim.invocations
+        assert result.groups_tested >= 1
+
+    def test_oversized_group_rejected(self, searcher_setup):
+        machine, attacker, shared, fr = searcher_setup
+        victim = FakeVictim(machine, attacker, shared, 0x99_0007)
+        searcher = make_searcher(machine, attacker, shared, fr, victim)
+        with pytest.raises(ValueError):
+            searcher._train_group(list(range(25)))
+
+    def test_reload_index_reserved(self, searcher_setup):
+        """The reload loop's own index is excluded from the candidates —
+        training it would corrupt every measurement."""
+        machine, attacker, shared, fr = searcher_setup
+        victim = FakeVictim(machine, attacker, shared, 0x99_0011)
+        searcher = make_searcher(machine, attacker, shared, fr, victim)
+        searcher.search()
+        reserved = fr.reload_ip & 0xFF
+        for group, _positive in searcher._history:
+            assert reserved not in group

@@ -1,0 +1,110 @@
+"""Tests for the N-way switch-arm leak (Figures 1-2 patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.core.switch_leak import SwitchCaseLeak
+from repro.cpu.machine import Machine
+from repro.kernel.patterns import BatteryPropertySyscall, BluetoothTxSyscall
+from repro.kernel.syscalls import Kernel
+from repro.params import COFFEE_LAKE_I7_9700
+
+
+def build(machine, pattern_cls):
+    kernel = Kernel(machine)
+    pattern = pattern_cls(kernel)
+    user = machine.new_thread("user")
+    spy = machine.new_thread("spy")
+    machine.context_switch(spy)
+    leak = SwitchCaseLeak(machine, spy, pattern.case_ips)
+    return pattern, user, spy, leak
+
+
+class TestBluetoothLeak:
+    def test_every_arm_identified(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=200)
+        bt, user, spy, leak = build(machine, BluetoothTxSyscall)
+        for pkt in bt.PACKET_TYPES:
+            def victim(pkt=pkt):
+                machine.context_switch(user)
+                bt.send_frame(user, pkt)
+                machine.context_switch(spy)
+                return pkt
+
+            result = leak.run_round(victim)
+            assert result.success, (pkt, result)
+
+    def test_no_arm_executed_is_clean(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=201)
+        _bt, user, spy, leak = build(machine, BluetoothTxSyscall)
+
+        def idle_victim():
+            machine.context_switch(user)
+            machine.advance(10_000)
+            machine.context_switch(spy)
+            return None
+
+        result = leak.run_round(idle_victim)
+        assert result.disturbed_arms == []
+        assert result.inferred_arm is None
+
+
+class TestBatteryLeak:
+    def test_four_way_switch(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=202)
+        battery, user, spy, leak = build(machine, BatteryPropertySyscall)
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            prop = battery.PROPERTIES[int(rng.integers(0, 4))]
+
+            def victim(prop=prop):
+                machine.context_switch(user)
+                battery.get_property(user, prop)
+                machine.context_switch(spy)
+                return prop
+
+            assert leak.run_round(victim).success
+
+    def test_noisy_success_rate(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=203)
+        battery, user, spy, leak = build(machine, BatteryPropertySyscall)
+        rng = np.random.default_rng(1)
+        ok = 0
+        rounds = 40
+        for _ in range(rounds):
+            prop = battery.PROPERTIES[int(rng.integers(0, 4))]
+
+            def victim(prop=prop):
+                machine.context_switch(user)
+                battery.get_property(user, prop)
+                machine.context_switch(spy)
+                return prop
+
+            # The kernel path clobbers extra arms; intersecting a few
+            # repeated queries isolates the true one.
+            ok += leak.run_with_retries(victim, attempts=3).success
+        assert ok >= rounds * 0.85
+
+
+class TestValidation:
+    def test_empty_arms_rejected(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=204)
+        spy = machine.new_thread("spy")
+        machine.context_switch(spy)
+        with pytest.raises(ValueError):
+            SwitchCaseLeak(machine, spy, {})
+
+    def test_aliasing_arms_rejected(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=205)
+        spy = machine.new_thread("spy")
+        machine.context_switch(spy)
+        with pytest.raises(ValueError):
+            SwitchCaseLeak(machine, spy, {"a": 0x400010, "b": 0x500010})
+
+    def test_too_many_arms_rejected(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=206)
+        spy = machine.new_thread("spy")
+        machine.context_switch(spy)
+        arms = {f"arm{i}": 0x400000 + i for i in range(9)}
+        with pytest.raises(ValueError):
+            SwitchCaseLeak(machine, spy, arms)

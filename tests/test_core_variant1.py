@@ -1,0 +1,107 @@
+"""Tests for AfterImage Variant 1 (cross-thread and cross-process)."""
+
+import pytest
+
+from repro.core.variant1 import (
+    BranchLoadVictim,
+    RoundResult,
+    Variant1CrossProcess,
+    Variant1CrossThread,
+)
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+
+
+class TestBranchLoadVictim:
+    def test_if_path_loads_at_if_ip(self, quiet_machine):
+        ctx = quiet_machine.new_thread("victim")
+        quiet_machine.context_switch(ctx)
+        data = quiet_machine.new_buffer(ctx.space, PAGE_SIZE)
+        victim = BranchLoadVictim(quiet_machine, ctx, data)
+        victim.run(1, 10)
+        assert quiet_machine.ip_stride.entry_for_ip(victim.if_ip) is not None
+        assert quiet_machine.ip_stride.entry_for_ip(victim.else_ip) is None
+
+    def test_invalid_bit_rejected(self, quiet_machine):
+        ctx = quiet_machine.new_thread("victim")
+        quiet_machine.context_switch(ctx)
+        data = quiet_machine.new_buffer(ctx.space, PAGE_SIZE)
+        victim = BranchLoadVictim(quiet_machine, ctx, data)
+        with pytest.raises(ValueError):
+            victim.run(2, 10)
+
+
+class TestCrossProcessQuiet:
+    """On a noise-free machine the leak must be exact, every round."""
+
+    @pytest.fixture(scope="class")
+    def attack(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=21)
+        return Variant1CrossProcess(machine)
+
+    def test_if_path_leaks_as_one(self, attack):
+        assert attack.run_round(1).inferred_bit == 1
+
+    def test_else_path_leaks_as_zero(self, attack):
+        assert attack.run_round(0).inferred_bit == 0
+
+    def test_round_by_round_sequence(self, attack):
+        """Figure 13c: consecutive rounds leak the victim's bit stream."""
+        secret = [1, 0, 1, 1, 0, 0, 1, 0]
+        leaked = [attack.run_round(bit).inferred_bit for bit in secret]
+        assert leaked == secret
+
+    def test_hot_lines_contain_demand_and_prefetch(self, attack):
+        result = attack.run_round(1, line=20)
+        assert 20 in result.hot_lines
+        assert 27 in result.hot_lines  # 20 + S1(7)
+
+    def test_line_bound_checked(self, attack):
+        with pytest.raises(ValueError):
+            attack.run_round(1, line=60)
+
+
+class TestCrossThreadQuiet:
+    @pytest.fixture(scope="class")
+    def attack(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=22)
+        return Variant1CrossThread(machine)
+
+    def test_both_directions_leak(self, attack):
+        assert attack.run_round(1).inferred_bit == 1
+        assert attack.run_round(0).inferred_bit == 0
+
+    def test_probe_samples_show_cascade(self, attack):
+        """Figure 13a: the touched sets stand far above the rest."""
+        result = attack.run_round(1, line=20)
+        hot = {s.set_ordinal for s in result.probe_samples if s.delta > 1000}
+        cold_deltas = [s.delta for s in result.probe_samples if s.set_ordinal not in hot]
+        assert {20, 27} <= hot
+        assert max(abs(d) for d in cold_deltas) < 200
+
+    def test_attacker_and_victim_share_address_space(self, attack):
+        assert attack.attacker_ctx.space is attack.victim_ctx.space
+
+
+class TestNoisyRates:
+    """Success-rate bands of the paper's §7.2 (small sample; the full
+    200-round evaluation lives in benchmarks/test_table3_success_rates)."""
+
+    def test_cross_process_mostly_succeeds(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=23)
+        attack = Variant1CrossProcess(machine)
+        successes = sum(attack.run_round(i % 2).success for i in range(40))
+        assert successes >= 34
+
+    def test_cross_thread_mostly_succeeds(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=24)
+        attack = Variant1CrossThread(machine)
+        successes = sum(attack.run_round(i % 2).success for i in range(30))
+        assert successes >= 25
+
+
+class TestRoundResult:
+    def test_success_semantics(self):
+        assert RoundResult(true_bit=1, inferred_bit=1, victim_line=0).success
+        assert not RoundResult(true_bit=1, inferred_bit=0, victim_line=0).success
+        assert not RoundResult(true_bit=1, inferred_bit=None, victim_line=0).success

@@ -1,0 +1,87 @@
+"""Tests for Variant 2 (user→kernel) and the IP search."""
+
+import numpy as np
+import pytest
+
+from repro.core.variant2 import Variant2UserKernel
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.bits import low_bits
+
+
+@pytest.fixture(scope="module")
+def quiet_attack():
+    machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=31)
+    rng = np.random.default_rng(31)
+    return Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
+
+
+class TestIPSearchQuiet:
+    def test_search_finds_true_index(self, quiet_attack):
+        result = quiet_attack.find_target_index()
+        assert result.found
+        assert result.index == quiet_attack.true_target_index
+
+    def test_search_space_is_256(self, quiet_attack):
+        """KASLR slides are page-granular, so the low 8 bits are fixed and
+        the search space is exactly 256 indexes (§5.2)."""
+        assert 0 <= quiet_attack.true_target_index < 256
+
+    def test_search_records_history(self, quiet_attack):
+        result = quiet_attack.searcher._result(quiet_attack.true_target_index)
+        assert result.groups_tested >= 1
+
+    def test_ip_for_index_aliases(self, quiet_attack):
+        for index in (0, 0x7F, 0xFF):
+            ip = quiet_attack.searcher.ip_for_index(index)
+            assert low_bits(ip, 8) == index
+
+
+class TestAttackQuiet:
+    def test_taken_branch_detected(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=32)
+        attack = Variant2UserKernel(machine, secret_source=lambda: 1)
+        attack.find_target_index()
+        result = attack.run_round()
+        assert result.true_taken
+        assert result.inferred_taken
+        assert result.success
+
+    def test_untaken_branch_detected(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=33)
+        # Search needs taken branches; attack phase then sees untaken ones.
+        secrets = iter([1] * 5000 + [0] * 50)
+        attack = Variant2UserKernel(machine, secret_source=lambda: next(secrets))
+        attack.find_target_index()
+        while True:  # drain remaining taken secrets deterministically
+            result = attack.run_round()
+            if not result.true_taken:
+                break
+        assert not result.inferred_taken
+        assert result.success
+
+    def test_round_before_search_rejected(self):
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=34)
+        attack = Variant2UserKernel(machine, secret_source=lambda: 1)
+        with pytest.raises(RuntimeError):
+            attack.run_round()
+
+    def test_hot_lines_show_stride_11(self):
+        """Figure 14a: the detected stride is the trained 11."""
+        machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=35)
+        attack = Variant2UserKernel(machine, secret_source=lambda: 1)
+        attack.find_target_index()
+        result = attack.run_round(demand_line=20)
+        assert 20 in result.hot_lines
+        assert 31 in result.hot_lines  # 20 + 11
+
+
+class TestNoisyRate:
+    def test_mostly_succeeds_under_noise(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=36)
+        rng = np.random.default_rng(36)
+        attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
+        result = attack.find_target_index()
+        assert result.index == attack.true_target_index
+        successes = sum(attack.run_round().success for _ in range(60))
+        assert successes >= 48  # paper band: 91 %

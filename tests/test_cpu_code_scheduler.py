@@ -1,0 +1,141 @@
+"""Tests for CodeRegion/IP matching, the scheduler and the timing model."""
+
+import pytest
+
+from repro.cpu.code import CodeRegion, match_low_bits
+from repro.cpu.scheduler import Scheduler
+from repro.cpu.timing import TimingModel
+from repro.params import COFFEE_LAKE_I7_9700, NoiseParams
+from repro.utils.bits import low_bits
+from repro.utils.rng import make_rng
+
+
+class TestMatchLowBits:
+    def test_basic_aliasing(self):
+        ip = match_low_bits(0x600000, 0x4013A7)
+        assert ip >= 0x600000
+        assert low_bits(ip, 8) == 0xA7
+
+    def test_within_one_stride_of_base(self):
+        ip = match_low_bits(0x600000, 0x4013A7)
+        assert ip - 0x600000 < 256
+
+    def test_wider_match(self):
+        ip = match_low_bits(0x600000, 0x401FA7, n_bits=12)
+        assert low_bits(ip, 12) == 0xFA7
+
+
+class TestCodeRegion:
+    def test_place_and_lookup(self):
+        region = CodeRegion(0x400000)
+        ip = region.place("load_a", 0x120)
+        assert ip == 0x400120
+        assert region.ip("load_a") == ip
+
+    def test_duplicate_label_rejected(self):
+        region = CodeRegion(0x400000)
+        region.place("x", 0)
+        with pytest.raises(ValueError):
+            region.place("x", 8)
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            CodeRegion(0x400000).ip("nope")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            CodeRegion(0x400000).place("x", -4)
+
+    def test_place_aliasing(self):
+        region = CodeRegion(0x600000)
+        target = 0x4013A7
+        ip = region.place_aliasing("masq", target)
+        assert low_bits(ip, 8) == low_bits(target, 8)
+
+    def test_place_aliasing_twice_distinct_ips(self):
+        region = CodeRegion(0x600000)
+        a = region.place_aliasing("m1", 0x4013A7)
+        b = region.place_aliasing("m2", 0x4013A7)
+        assert a != b
+        assert low_bits(a, 8) == low_bits(b, 8)
+
+    def test_aslr_slide_preserves_low_bits(self, quiet_machine):
+        region = quiet_machine.code_region(0x400ABC)
+        assert low_bits(region.base, 12) == 0xABC
+
+    def test_labels_copy(self):
+        region = CodeRegion(0x400000)
+        region.place("a", 0)
+        labels = region.labels()
+        labels["b"] = 1
+        assert "b" not in region.labels()
+
+
+class TestScheduler:
+    def test_round_robin_yield(self, quiet_machine):
+        a = quiet_machine.new_thread("a")
+        b = quiet_machine.new_thread("b")
+        sched = Scheduler(quiet_machine, [a, b])
+        assert sched.running is a
+        assert sched.sched_yield() is b
+        assert sched.sched_yield() is a
+
+    def test_yield_performs_context_switch(self, quiet_machine):
+        a = quiet_machine.new_thread("a")
+        b = quiet_machine.new_thread("b")
+        sched = Scheduler(quiet_machine, [a, b])
+        before = quiet_machine.context_switches
+        sched.sched_yield()
+        assert quiet_machine.context_switches == before + 1
+
+    def test_switch_to(self, quiet_machine):
+        a = quiet_machine.new_thread("a")
+        b = quiet_machine.new_thread("b")
+        c = quiet_machine.new_thread("c")
+        sched = Scheduler(quiet_machine, [a, b, c])
+        sched.switch_to(c)
+        assert sched.running is c
+        assert quiet_machine.current is c
+
+    def test_switch_to_unmanaged_rejected(self, quiet_machine):
+        a = quiet_machine.new_thread("a")
+        stranger = quiet_machine.new_thread("stranger")
+        sched = Scheduler(quiet_machine, [a])
+        with pytest.raises(ValueError):
+            sched.switch_to(stranger)
+
+    def test_run_quantum_advances_clock(self, quiet_machine):
+        a = quiet_machine.new_thread("a")
+        sched = Scheduler(quiet_machine, [a], quantum_cycles=1000)
+        before = quiet_machine.cycles
+        sched.run_quantum()
+        assert quiet_machine.cycles == before + 1000
+
+    def test_empty_context_list_rejected(self, quiet_machine):
+        with pytest.raises(ValueError):
+            Scheduler(quiet_machine, [])
+
+
+class TestTimingModel:
+    def test_noise_free_is_exact(self):
+        quiet = COFFEE_LAKE_I7_9700.quiet().noise
+        model = TimingModel(quiet, make_rng(0))
+        assert all(model.measured(42) == 42 for _ in range(50))
+
+    def test_noise_is_zero_mean_ish(self):
+        model = TimingModel(NoiseParams(timing_sigma=3.0, timing_spike_prob=0.0), make_rng(0))
+        samples = [model.measured(100) for _ in range(2000)]
+        assert 99 < sum(samples) / len(samples) < 101
+
+    def test_latency_never_below_one(self):
+        model = TimingModel(NoiseParams(timing_sigma=50.0, timing_spike_prob=0.0), make_rng(0))
+        assert all(model.measured(2) >= 1 for _ in range(200))
+
+    def test_spikes_occur(self):
+        model = TimingModel(
+            NoiseParams(timing_sigma=0.0, timing_spike_prob=0.5, timing_spike_cycles=180),
+            make_rng(0),
+        )
+        samples = [model.measured(10) for _ in range(100)]
+        assert any(s > 100 for s in samples)
+        assert any(s == 10 for s in samples)

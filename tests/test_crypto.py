@@ -1,0 +1,242 @@
+"""Tests for the crypto victims: AES, RSA math, victims' load structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, SBOX, INV_SBOX, hamming_weight
+from repro.crypto.power_model import PowerModel, PowerTraceParams
+from repro.crypto.primes import RSAKey, generate_keypair, generate_prime, is_probable_prime
+from repro.crypto.rsa import (
+    MontgomeryLadderVictim,
+    SquareAndMultiplyVictim,
+    TimingConstantLadderVictim,
+    montgomery_ladder_modexp,
+)
+from repro.params import PAGE_SIZE
+from repro.utils.bits import low_bits
+
+
+class TestAES:
+    def test_fips197_vector(self):
+        aes = AES128(bytes(range(16)))
+        ct = aes.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        aes = AES128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = aes.encrypt_block(bytes.fromhex("6bc1bee22e409f96e93d7e117393172a"))
+        assert ct.hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+    def test_decrypt_inverts_encrypt(self):
+        aes = AES128(b"0123456789abcdef")
+        pt = bytes(range(16))
+        assert aes.decrypt_block(aes.encrypt_block(pt)) == pt
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, key, pt):
+        aes = AES128(key)
+        assert aes.decrypt_block(aes.encrypt_block(pt)) == pt
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+    def test_sbox_fixed_points(self):
+        assert SBOX[0x00] == 0x63  # FIPS-197 appendix
+
+    def test_first_round_outputs(self):
+        aes = AES128(bytes(16))
+        outputs = aes.first_round_sbox_outputs(bytes(16))
+        assert outputs == [SBOX[0]] * 16
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_block_length_checked(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(b"short")
+
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFF) == 8
+        assert hamming_weight(0b1010) == 2
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        rng = np.random.default_rng(0)
+        for p in (2, 3, 97, 7919):
+            assert is_probable_prime(p, rng)
+
+    def test_known_composites(self):
+        rng = np.random.default_rng(0)
+        for c in (1, 4, 100, 561, 7917):  # 561 is a Carmichael number
+            assert not is_probable_prime(c, rng)
+
+    def test_generated_prime_has_exact_bits(self):
+        rng = np.random.default_rng(1)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p, rng)
+
+    def test_keypair_roundtrip(self):
+        key = generate_keypair(128, np.random.default_rng(2))
+        message = 0x1234_5678
+        assert key.decrypt(key.encrypt(message)) == message
+
+    def test_keypair_consistency(self):
+        key = generate_keypair(128, np.random.default_rng(3))
+        assert key.n == key.p * key.q
+        assert (key.e * key.d) % ((key.p - 1) * (key.q - 1)) == 1
+
+    def test_bad_sizes_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_prime(4, rng)
+        with pytest.raises(ValueError):
+            generate_keypair(31, rng)
+
+    def test_message_range_checked(self):
+        key = generate_keypair(64, np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            key.encrypt(key.n)
+
+
+class TestLadderMath:
+    @given(
+        st.integers(min_value=2, max_value=2**40),
+        st.integers(min_value=1, max_value=2**40),
+        st.integers(min_value=3, max_value=2**40),
+    )
+    @settings(max_examples=50)
+    def test_matches_pow(self, base, exp, mod):
+        assert montgomery_ladder_modexp(base, exp, mod) == pow(base, exp, mod)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            montgomery_ladder_modexp(2, 3, 0)
+
+
+@pytest.fixture
+def victim_setup(quiet_machine):
+    ctx = quiet_machine.new_thread("rsa-victim")
+    quiet_machine.context_switch(ctx)
+    operands = quiet_machine.new_buffer(ctx.space, 2 * PAGE_SIZE)
+    code = quiet_machine.code_region(0x400000, name="bignum")
+    return quiet_machine, ctx, code, operands
+
+
+class TestRSAVictims:
+    @pytest.mark.parametrize(
+        "victim_cls", [SquareAndMultiplyVictim, MontgomeryLadderVictim, TimingConstantLadderVictim]
+    )
+    def test_victims_compute_correctly(self, victim_setup, victim_cls):
+        machine, ctx, code, operands = victim_setup
+        victim = victim_cls(machine, ctx, code, operands)
+        assert victim.modexp(7, 0b101101, 1019) == pow(7, 0b101101, 1019)
+
+    def test_stepper_protocol(self, victim_setup):
+        machine, ctx, code, operands = victim_setup
+        victim = MontgomeryLadderVictim(machine, ctx, code, operands)
+        victim.start(5, 0b1011, 999)
+        steps = 0
+        while victim.step():
+            steps += 1
+        assert steps + 1 == 4  # one step per exponent bit
+        assert victim.result() == pow(5, 0b1011, 999)
+
+    def test_step_before_start_rejected(self, victim_setup):
+        machine, ctx, code, operands = victim_setup
+        victim = MontgomeryLadderVictim(machine, ctx, code, operands)
+        with pytest.raises(RuntimeError):
+            victim.step()
+
+    def test_result_before_done_rejected(self, victim_setup):
+        machine, ctx, code, operands = victim_setup
+        victim = MontgomeryLadderVictim(machine, ctx, code, operands)
+        victim.start(5, 0b1011, 999)
+        with pytest.raises(RuntimeError):
+            victim.result()
+
+    def test_branch_loads_have_distinct_indexes(self, victim_setup):
+        machine, ctx, code, operands = victim_setup
+        victim = TimingConstantLadderVictim(machine, ctx, code, operands)
+        indexes = {
+            low_bits(ip, 8)
+            for ip in (victim.if_load_ip, victim.else_load_ip, victim.sign_if_ip, victim.sign_else_ip)
+        }
+        assert len(indexes) == 4
+
+    def test_if_load_only_on_one_bits(self, victim_setup):
+        machine, ctx, code, operands = victim_setup
+        victim = MontgomeryLadderVictim(machine, ctx, code, operands)
+        victim.modexp(5, 0b1000, 999)  # bits: 1,0,0,0
+        entry_if = machine.ip_stride.entry_for_ip(victim.if_load_ip)
+        entry_else = machine.ip_stride.entry_for_ip(victim.else_load_ip)
+        assert entry_if is not None
+        assert entry_else is not None
+
+    def test_square_multiply_is_timing_leaky_but_ladder_is_not(self, victim_setup):
+        """The motivation for the ladder: cycle counts must not depend on
+        the key for the timing-constant engines."""
+        machine, ctx, code, operands = victim_setup
+
+        def cycles_for(victim_cls, exponent, label):
+            local_code = machine.code_region(0x400000, name=label)
+            victim = victim_cls(machine, ctx, local_code, operands)
+            before = machine.cycles
+            victim.modexp(5, exponent, 10**9 + 7)
+            return machine.cycles - before
+
+        heavy = 0b1111111
+        light = 0b1000000
+        sm_delta = abs(
+            cycles_for(SquareAndMultiplyVictim, heavy, "sm-h")
+            - cycles_for(SquareAndMultiplyVictim, light, "sm-l")
+        )
+        ladder_delta = abs(
+            cycles_for(MontgomeryLadderVictim, heavy, "ml-h")
+            - cycles_for(MontgomeryLadderVictim, light, "ml-l")
+        )
+        assert sm_delta > 10 * max(ladder_delta, 1)
+
+
+class TestPowerModel:
+    def test_trace_shape(self):
+        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), np.random.default_rng(0))
+        trace = model.trace(bytes(16))
+        assert trace.shape == (PowerTraceParams().n_samples,)
+
+    def test_leak_sample_carries_hamming_weight(self):
+        params = PowerTraceParams(noise_sigma=0.0, activity_sigma=0.0, hw_scale=1.0)
+        aes = AES128(bytes(16))
+        model = PowerModel(aes, params, np.random.default_rng(0))
+        pt = bytes(range(16))
+        trace = model.trace(pt)
+        expected = params.baseline + sum(
+            hamming_weight(b) for b in aes.first_round_sbox_outputs(pt)
+        )
+        assert trace[params.sbox_cycle] == pytest.approx(expected)
+
+    def test_low_weight_plaintext_below_average(self):
+        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), np.random.default_rng(0))
+        chosen = model.low_weight_plaintext(search_rounds=512)
+        weight = sum(
+            hamming_weight(b) for b in model.aes.first_round_sbox_outputs(chosen)
+        )
+        assert weight < 64  # expected weight of a random plaintext is 64
+
+    def test_sbox_cycle_validated(self):
+        with pytest.raises(ValueError):
+            PowerTraceParams(n_samples=10, sbox_cycle=10)
+
+    def test_traces_stack(self):
+        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), np.random.default_rng(0))
+        stack = model.traces([bytes(16), bytes(range(16))])
+        assert stack.shape == (2, PowerTraceParams().n_samples)
+        with pytest.raises(ValueError):
+            model.traces([])

@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts must run and print their headlines.
+
+Only the fast examples run under pytest; the longer ones (covert_channel,
+defense_evaluation, leak_rsa_key with default size) are exercised by their
+own attack tests and by hand.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "accuracy: 8/8" in out
+
+    def test_sgx_leak(self):
+        out = run_example("sgx_leak.py")
+        assert "attacker infers secret = 0  [correct]" in out
+        assert "attacker infers secret = 1  [correct]" in out
+
+    def test_reverse_engineer(self):
+        out = run_example("reverse_engineer.py")
+        assert "24-entry table" in out
+        assert "Bit-PLRU-like" in out
+
+    def test_reverse_engineer_haswell(self):
+        out = run_example("reverse_engineer.py", "--machine", "i7-4770")
+        assert "i7-4770" in out
+        assert "no SGX" in out
+
+    def test_leak_rsa_key_small(self):
+        out = run_example("leak_rsa_key.py", "--bits", "64")
+        assert "recovered d == true d:     True" in out
+
+    @pytest.mark.slow
+    def test_power_attack_assist(self):
+        out = run_example("power_attack_assist.py")
+        assert "LEAKS" in out

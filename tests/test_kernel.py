@@ -1,0 +1,137 @@
+"""Tests for the kernel substrate: syscalls, privilege, victim patterns."""
+
+import pytest
+
+from repro.kernel.patterns import BatteryPropertySyscall, BluetoothTxSyscall
+from repro.kernel.syscalls import Kernel, VulnerableSyscall
+from repro.params import PAGE_SIZE
+from repro.utils.bits import low_bits
+
+
+@pytest.fixture
+def kernel(quiet_machine):
+    return Kernel(quiet_machine)
+
+
+@pytest.fixture
+def user(quiet_machine):
+    ctx = quiet_machine.new_thread("user")
+    quiet_machine.context_switch(ctx)
+    return ctx
+
+
+class TestSyscallDispatch:
+    def test_register_and_invoke(self, kernel, user):
+        calls = []
+        number = kernel.register(lambda x: calls.append(x) or 42)
+        assert kernel.syscall(user, number, "hello") == 42
+        assert calls == ["hello"]
+
+    def test_unknown_number_enosys(self, kernel, user):
+        with pytest.raises(KeyError):
+            kernel.syscall(user, 999)
+
+    def test_duplicate_number_rejected(self, kernel):
+        kernel.register(lambda: 0, number=400)
+        with pytest.raises(ValueError):
+            kernel.register(lambda: 1, number=400)
+
+    def test_numbers_start_at_333(self, kernel):
+        """The artifact's 'available system call number is 333'."""
+        assert kernel.register(lambda: 0) == 333
+
+    def test_returns_to_caller_context(self, kernel, user, quiet_machine):
+        number = kernel.register(lambda: 0)
+        kernel.syscall(user, number)
+        assert quiet_machine.current is user
+
+    def test_round_trip_recorded(self, kernel, user):
+        number = kernel.register(lambda: 0)
+        kernel.syscall(user, number)
+        record = kernel.records[-1]
+        assert record.number == number
+        assert record.cycles_after > record.cycles_before
+
+    def test_returns_even_if_handler_raises(self, kernel, user, quiet_machine):
+        def boom():
+            raise RuntimeError("EFAULT")
+
+        number = kernel.register(boom)
+        with pytest.raises(RuntimeError):
+            kernel.syscall(user, number)
+        assert quiet_machine.current is user
+
+    def test_kaslr_preserves_low_12_bits_of_text(self, quiet_machine):
+        kernel = Kernel(quiet_machine)
+        from repro.kernel.syscalls import KERNEL_TEXT_BASE
+
+        assert low_bits(kernel.text.base, 12) == low_bits(KERNEL_TEXT_BASE, 12)
+
+
+class TestVulnerableSyscall:
+    def test_taken_branch_loads_shared_memory(self, quiet_machine, user):
+        kernel = Kernel(quiet_machine)
+        syscall = VulnerableSyscall(kernel, secret_source=lambda: 1)
+        memory_space = quiet_machine.new_buffer(user.space, PAGE_SIZE)
+        syscall.invoke(user, memory_space, address_line=20)
+        assert syscall.executions == [True]
+        # The kernel's load went to the *shared* physical line.
+        assert quiet_machine.is_cached(user, memory_space.line_addr(20))
+
+    def test_untaken_branch_loads_nothing(self, quiet_machine, user):
+        kernel = Kernel(quiet_machine)
+        syscall = VulnerableSyscall(kernel, secret_source=lambda: 0)
+        memory_space = quiet_machine.new_buffer(user.space, PAGE_SIZE)
+        quiet_machine.flush_buffer(user, memory_space)
+        syscall.invoke(user, memory_space, address_line=20)
+        assert syscall.executions == [False]
+        assert not quiet_machine.is_cached(user, memory_space.line_addr(20))
+
+    def test_taken_branch_triggers_trained_prefetcher(self, quiet_machine, user):
+        """The Variant-2 mechanism end to end, without the IP search."""
+        m = quiet_machine
+        kernel = Kernel(m)
+        syscall = VulnerableSyscall(kernel, secret_source=lambda: 1)
+        memory_space = m.new_buffer(user.space, PAGE_SIZE)
+        syscall.share_user_buffer(memory_space)
+        train = m.new_buffer(user.space, PAGE_SIZE)
+        m.warm_buffer_tlb(user, train)
+        attacker_ip = 0x700000 + (syscall.load_ip - 0x700000) % 256
+        for i in range(3):
+            m.load(user, attacker_ip, train.line_addr(i * 11))
+        m.flush_buffer(user, memory_space)
+        syscall.invoke(user, memory_space, address_line=20)
+        assert m.is_cached(user, memory_space.line_addr(20 + 11))
+
+
+class TestKernelPatterns:
+    def test_bluetooth_case_ips_distinct(self, kernel):
+        bt = BluetoothTxSyscall(kernel)
+        indexes = {low_bits(ip, 8) for ip in bt.case_ips.values()}
+        assert len(indexes) == len(bt.PACKET_TYPES)
+
+    def test_bluetooth_counters(self, kernel, user):
+        bt = BluetoothTxSyscall(kernel)
+        bt.send_frame(user, "HCI_ACLDATA_PKT")
+        bt.send_frame(user, "HCI_ACLDATA_PKT")
+        bt.send_frame(user, "HCI_COMMAND_PKT")
+        assert bt.counters["HCI_ACLDATA_PKT"] == 2
+        assert bt.counters["HCI_COMMAND_PKT"] == 1
+
+    def test_bluetooth_unknown_type(self, kernel, user):
+        bt = BluetoothTxSyscall(kernel)
+        with pytest.raises(ValueError):
+            bt.send_frame(user, "HCI_BOGUS_PKT")
+
+    def test_battery_properties(self, kernel, user):
+        battery = BatteryPropertySyscall(kernel)
+        battery.get_property(user, "PROP_CAPACITY")
+        assert battery.queries == ["PROP_CAPACITY"]
+
+    def test_battery_case_load_is_observable(self, quiet_machine, user):
+        """Each switch arm loads at its own IP: trainable and leakable."""
+        kernel = Kernel(quiet_machine)
+        battery = BatteryPropertySyscall(kernel)
+        battery.get_property(user, "PROP_SCOPE")
+        entry = quiet_machine.ip_stride.entry_for_ip(battery.case_ips["PROP_SCOPE"])
+        assert entry is not None

@@ -1,0 +1,116 @@
+"""Tests for the TLB: residency, LRU, ASID tagging, global pages."""
+
+import pytest
+
+from repro.mmu.address_space import AddressSpace
+from repro.mmu.page_table import PhysicalMemory
+from repro.mmu.tlb import TLB
+from repro.params import PAGE_SIZE
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def physical():
+    return PhysicalMemory(make_rng(0))
+
+
+@pytest.fixture
+def tlb():
+    return TLB(n_entries=4, walk_latency=120)
+
+
+def make_space(physical, name="proc", global_pages=False):
+    return AddressSpace(name, physical, global_pages=global_pages)
+
+
+class TestTranslate:
+    def test_miss_then_hit(self, tlb, physical):
+        space = make_space(physical)
+        mapping = space.mmap(PAGE_SIZE)
+        first = tlb.translate(space, mapping.base)
+        assert not first.tlb_hit
+        assert first.latency == 120
+        second = tlb.translate(space, mapping.base + 8)
+        assert second.tlb_hit
+        assert second.latency == 0
+        assert second.paddr == first.paddr + 8
+
+    def test_unmapped_page_faults(self, tlb, physical):
+        space = make_space(physical)
+        with pytest.raises(KeyError):
+            tlb.translate(space, 0xDEAD_0000)
+
+    def test_capacity_eviction_is_lru(self, tlb, physical):
+        space = make_space(physical)
+        mapping = space.mmap(5 * PAGE_SIZE)
+        pages = [mapping.base + i * PAGE_SIZE for i in range(5)]
+        for page in pages[:4]:
+            tlb.translate(space, page)
+        tlb.translate(space, pages[0])  # refresh oldest
+        tlb.translate(space, pages[4])  # evicts pages[1]
+        assert tlb.is_resident(space, pages[0])
+        assert not tlb.is_resident(space, pages[1])
+
+
+class TestAsidTagging:
+    def test_same_vaddr_different_spaces(self, tlb, physical):
+        a = make_space(physical, "a")
+        b = make_space(physical, "b")
+        ma = a.mmap(PAGE_SIZE)
+        # Force the same virtual page in b by translating its own page.
+        mb = b.mmap(PAGE_SIZE)
+        tlb.translate(a, ma.base)
+        assert not tlb.is_resident(b, mb.base)
+
+
+class TestFlushSemantics:
+    def test_flush_drops_user_entries(self, tlb, physical):
+        space = make_space(physical)
+        mapping = space.mmap(PAGE_SIZE)
+        tlb.translate(space, mapping.base)
+        tlb.flush(keep_global=True)
+        assert not tlb.is_resident(space, mapping.base)
+
+    def test_global_pages_survive_flush(self, tlb, physical):
+        kernel = make_space(physical, "kernel", global_pages=True)
+        mapping = kernel.mmap(PAGE_SIZE)
+        tlb.translate(kernel, mapping.base)
+        tlb.flush(keep_global=True)
+        assert tlb.is_resident(kernel, mapping.base)
+
+    def test_full_flush_drops_global_too(self, tlb, physical):
+        kernel = make_space(physical, "kernel", global_pages=True)
+        mapping = kernel.mmap(PAGE_SIZE)
+        tlb.translate(kernel, mapping.base)
+        tlb.flush(keep_global=False)
+        assert not tlb.is_resident(kernel, mapping.base)
+
+    def test_invlpg(self, tlb, physical):
+        space = make_space(physical)
+        mapping = space.mmap(2 * PAGE_SIZE)
+        tlb.translate(space, mapping.base)
+        tlb.translate(space, mapping.base + PAGE_SIZE)
+        tlb.invalidate_page(space, mapping.base)
+        assert not tlb.is_resident(space, mapping.base)
+        assert tlb.is_resident(space, mapping.base + PAGE_SIZE)
+
+
+class TestWarm:
+    def test_warm_installs_without_latency(self, tlb, physical):
+        space = make_space(physical)
+        mapping = space.mmap(PAGE_SIZE)
+        tlb.warm(space, mapping.base)
+        assert tlb.translate(space, mapping.base).tlb_hit
+
+    def test_warm_unmapped_faults(self, tlb, physical):
+        space = make_space(physical)
+        with pytest.raises(KeyError):
+            tlb.warm(space, 0xBAD_0000)
+
+    def test_stats(self, tlb, physical):
+        space = make_space(physical)
+        mapping = space.mmap(PAGE_SIZE)
+        tlb.translate(space, mapping.base)
+        tlb.translate(space, mapping.base)
+        assert tlb.misses == 1
+        assert tlb.hits == 1

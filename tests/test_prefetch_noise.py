@@ -1,0 +1,115 @@
+"""Tests for the DCU, adjacent and streamer prefetchers (noise sources)."""
+
+from repro.memsys.hierarchy import MemoryLevel
+from repro.prefetch.adjacent import AdjacentPrefetcher
+from repro.prefetch.base import LoadEvent
+from repro.prefetch.dcu import DCUPrefetcher
+from repro.prefetch.streamer import StreamerPrefetcher
+
+LINE = 64
+
+
+def event(addr, level=MemoryLevel.DRAM, ip=0x100):
+    return LoadEvent(ip=ip, vaddr=addr, paddr=addr, hit_level=level)
+
+
+def null_translate(_vaddr):
+    return None
+
+
+class TestDCU:
+    def test_single_access_no_prefetch(self):
+        dcu = DCUPrefetcher()
+        assert dcu.observe(event(0x1000), null_translate) == []
+
+    def test_ascending_pair_prefetches_next_line(self):
+        dcu = DCUPrefetcher()
+        dcu.observe(event(0x1000), null_translate)
+        requests = dcu.observe(event(0x1040), null_translate)
+        assert [r.paddr for r in requests] == [0x1080]
+        assert requests[0].source == "dcu"
+
+    def test_descending_pair_silent(self):
+        dcu = DCUPrefetcher()
+        dcu.observe(event(0x1040), null_translate)
+        assert dcu.observe(event(0x1000), null_translate) == []
+
+    def test_never_crosses_page(self):
+        dcu = DCUPrefetcher()
+        last = 4096 - 2 * LINE
+        dcu.observe(event(last), null_translate)
+        assert dcu.observe(event(last + LINE), null_translate) == []
+
+    def test_clear(self):
+        dcu = DCUPrefetcher()
+        dcu.observe(event(0x1000), null_translate)
+        dcu.clear()
+        assert dcu.observe(event(0x1040), null_translate) == []
+
+
+class TestAdjacent:
+    def test_miss_fetches_buddy(self):
+        adj = AdjacentPrefetcher()
+        requests = adj.observe(event(0x1000), null_translate)
+        assert [r.paddr for r in requests] == [0x1040]
+
+    def test_buddy_is_symmetric(self):
+        adj = AdjacentPrefetcher()
+        requests = adj.observe(event(0x1040), null_translate)
+        assert [r.paddr for r in requests] == [0x1000]
+
+    def test_hits_do_not_trigger(self):
+        adj = AdjacentPrefetcher()
+        assert adj.observe(event(0x1000, MemoryLevel.L1), null_translate) == []
+        assert adj.observe(event(0x1000, MemoryLevel.LLC), null_translate) == []
+
+    def test_reach_is_one_line(self):
+        """§7.1: strides > 4 lines cannot be confused with the DPL."""
+        adj = AdjacentPrefetcher()
+        requests = adj.observe(event(0x1000), null_translate)
+        assert all(abs(r.paddr - 0x1000) <= 2 * LINE for r in requests)
+
+
+class TestStreamer:
+    def test_needs_confirmations(self):
+        streamer = StreamerPrefetcher()
+        assert streamer.observe(event(0x1000), null_translate) == []
+        assert streamer.observe(event(0x1040), null_translate) == []
+
+    def test_ascending_stream(self):
+        streamer = StreamerPrefetcher()
+        for i in range(3):
+            requests = streamer.observe(event(0x1000 + i * LINE), null_translate)
+        assert [r.paddr for r in requests] == [0x1000 + 3 * LINE, 0x1000 + 4 * LINE]
+
+    def test_descending_stream(self):
+        streamer = StreamerPrefetcher()
+        base = 0x1000 + 10 * LINE
+        for i in range(3):
+            requests = streamer.observe(event(base - i * LINE), null_translate)
+        assert [r.paddr for r in requests] == [base - 3 * LINE, base - 4 * LINE]
+
+    def test_strided_access_not_a_stream(self):
+        """A 7-line stride never looks sequential to the streamer."""
+        streamer = StreamerPrefetcher()
+        for i in range(6):
+            assert streamer.observe(event(0x1000 + i * 7 * LINE), null_translate) == []
+
+    def test_direction_change_resets(self):
+        streamer = StreamerPrefetcher()
+        for i in range(3):
+            streamer.observe(event(0x1000 + i * LINE), null_translate)
+        assert streamer.observe(event(0x1000 + LINE), null_translate) == []
+
+    def test_tracking_table_bounded(self):
+        streamer = StreamerPrefetcher()
+        for page in range(64):
+            streamer.observe(event(page * 4096), null_translate)
+        assert len(streamer._streams) <= 16
+
+    def test_stays_in_page(self):
+        streamer = StreamerPrefetcher()
+        base = 4096 - 3 * LINE
+        for i in range(3):
+            requests = streamer.observe(event(base + i * LINE), null_translate)
+        assert all(r.paddr < 4096 for r in requests)

@@ -1,0 +1,161 @@
+"""System-level property tests (hypothesis) over the simulator.
+
+These pin down invariants that must hold for *any* access sequence — the
+guarantees the attack code silently depends on.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sgx_attack import SGXCovertChannel
+from repro.cpu.machine import Machine
+from repro.memsys.hierarchy import MemoryLevel
+from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+
+
+def fresh_machine(seed=0):
+    return Machine(COFFEE_LAKE_I7_9700.quiet(), seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=60),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_inclusive_hierarchy_invariant(lines, seed):
+    """L1/L2 residency implies LLC residency after any access mix."""
+    machine = fresh_machine(seed)
+    ctx = machine.new_thread("p")
+    machine.context_switch(ctx)
+    buf = machine.new_buffer(ctx.space, 4 * PAGE_SIZE)
+    machine.warm_buffer_tlb(ctx, buf)
+    for line in lines:
+        machine.load(ctx, 0x400000 + line, buf.line_addr(line))
+    hierarchy = machine.hierarchy
+    for paddr in hierarchy.l1.resident_lines():
+        assert hierarchy.llc_slice(paddr).contains(paddr)
+    for paddr in hierarchy.l2.resident_lines():
+        assert hierarchy.llc_slice(paddr).contains(paddr)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=40),
+)
+def test_loaded_line_is_always_cached_afterwards(lines):
+    machine = fresh_machine(3)
+    ctx = machine.new_thread("p")
+    machine.context_switch(ctx)
+    buf = machine.new_buffer(ctx.space, PAGE_SIZE)
+    machine.warm_buffer_tlb(ctx, buf)
+    for line in lines:
+        machine.load(ctx, 0x400000, buf.line_addr(line))
+        assert machine.is_cached(ctx, buf.line_addr(line))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["load", "flush"]), st.integers(0, 63)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_clflush_always_wins(ops):
+    """After a flush with no subsequent load, the line is never cached."""
+    machine = fresh_machine(4)
+    ctx = machine.new_thread("p")
+    machine.context_switch(ctx)
+    buf = machine.new_buffer(ctx.space, PAGE_SIZE)
+    machine.warm_buffer_tlb(ctx, buf)
+    last_op: dict[int, str] = {}
+    for op, line in ops:
+        if op == "load":
+            machine.load(ctx, 0x400000 + line, buf.line_addr(line), fenced=True)
+        else:
+            machine.clflush(ctx, buf.line_addr(line))
+        last_op[line] = op
+    for line, op in last_op.items():
+        if op == "flush":
+            assert not machine.is_cached(ctx, buf.line_addr(line))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_machine_determinism(seed):
+    """Identical seeds produce identical latency streams and clocks."""
+
+    def run(seed):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=seed)
+        a = machine.new_thread("a")
+        b = machine.new_thread("b")
+        machine.context_switch(a)
+        buf = machine.new_buffer(a.space, PAGE_SIZE)
+        machine.warm_buffer_tlb(a, buf)
+        latencies = []
+        for i in range(24):
+            latencies.append(machine.load(a, 0x400000 + i, buf.line_addr(i % 64)))
+            if i % 8 == 7:
+                machine.context_switch(b if machine.current is a else a)
+        return latencies, machine.cycles
+
+    assert run(seed) == run(seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=4))
+def test_sgx_covert_channel_roundtrip(bits):
+    machine = fresh_machine(5)
+    channel = SGXCovertChannel(machine)
+    assert channel.transmit(bits) == bits
+
+
+def test_sgx_covert_rejects_non_bits():
+    channel = SGXCovertChannel(fresh_machine(6))
+    with pytest.raises(ValueError):
+        channel.send_and_receive(2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_procs=st.integers(min_value=2, max_value=5),
+    rounds=st.integers(min_value=1, max_value=10),
+)
+def test_shared_prefetcher_entry_count_never_exceeds_capacity(n_procs, rounds):
+    machine = fresh_machine(7)
+    contexts = [machine.new_thread(f"p{i}") for i in range(n_procs)]
+    buffers = []
+    for ctx in contexts:
+        machine.context_switch(ctx)
+        buffers.append(machine.new_buffer(ctx.space, PAGE_SIZE))
+    for r in range(rounds):
+        for ctx, buf in zip(contexts, buffers):
+            machine.context_switch(ctx)
+            machine.warm_buffer_tlb(ctx, buf)
+            machine.load(ctx, 0x400000 + r * 7 + id(ctx) % 97, buf.line_addr(r % 64))
+    assert machine.ip_stride.occupancy <= machine.params.prefetcher.n_entries
+
+
+@settings(max_examples=20, deadline=None)
+@given(noise_sigma=st.floats(min_value=0.0, max_value=10.0))
+def test_threshold_classification_robust_to_configured_noise(noise_sigma):
+    """The hit/miss gap must dominate the calibrated noise levels."""
+    params = dataclasses.replace(
+        COFFEE_LAKE_I7_9700,
+        noise=dataclasses.replace(
+            COFFEE_LAKE_I7_9700.noise, timing_sigma=noise_sigma, timing_spike_prob=0.0
+        ),
+    )
+    machine = Machine(params, seed=8)
+    ctx = machine.new_thread("p")
+    machine.context_switch(ctx)
+    buf = machine.new_buffer(ctx.space, PAGE_SIZE)
+    machine.warm_buffer_tlb(ctx, buf)
+    threshold = machine.hit_threshold()
+    miss = machine.load(ctx, 0x400000, buf.base, fenced=True)
+    hit = machine.load(ctx, 0x400000, buf.base, fenced=True)
+    assert miss >= threshold
+    assert hit < threshold

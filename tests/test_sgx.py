@@ -1,0 +1,99 @@
+"""Tests for the SGX enclave model."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700, HASWELL_I7_4770, PAGE_SIZE
+from repro.sgx.enclave import Enclave, StrideSecretEnclave
+
+
+@pytest.fixture
+def machine():
+    return Machine(COFFEE_LAKE_I7_9700.quiet(), seed=9)
+
+
+@pytest.fixture
+def untrusted(machine):
+    ctx = machine.new_thread("untrusted")
+    machine.context_switch(ctx)
+    return ctx
+
+
+class TestEnclaveBasics:
+    def test_requires_sgx_machine(self):
+        no_sgx = Machine(HASWELL_I7_4770.quiet(), seed=0)
+        with pytest.raises(RuntimeError):
+            Enclave(no_sgx)
+
+    def test_ecall_dispatch(self, machine, untrusted):
+        enclave = Enclave(machine)
+        enclave.register_ecall("f", lambda x: x * 2)
+        assert enclave.ecall(untrusted, "f", 21) == 42
+
+    def test_unknown_ecall(self, machine, untrusted):
+        with pytest.raises(KeyError):
+            Enclave(machine).ecall(untrusted, "nope")
+
+    def test_duplicate_ecall_rejected(self, machine):
+        enclave = Enclave(machine)
+        enclave.register_ecall("f", lambda: 0)
+        with pytest.raises(ValueError):
+            enclave.register_ecall("f", lambda: 1)
+
+    def test_ecall_returns_to_caller(self, machine, untrusted):
+        enclave = Enclave(machine)
+        enclave.register_ecall("f", lambda: None)
+        enclave.ecall(untrusted, "f")
+        assert machine.current is untrusted
+
+    def test_enclave_space_is_private(self, machine, untrusted):
+        enclave = Enclave(machine)
+        assert enclave.space is not untrusted.space
+
+    def test_map_untrusted_shares_frames(self, machine, untrusted):
+        enclave = Enclave(machine)
+        buffer = machine.new_buffer(untrusted.space, PAGE_SIZE)
+        view = enclave.map_untrusted(buffer)
+        assert view.mapping.frames() == buffer.mapping.frames()
+
+
+class TestSharedMicroarchitecture:
+    def test_enclave_loads_share_prefetcher(self, machine, untrusted):
+        """§4.6: the IP-stride prefetcher is shared with the enclave."""
+        enclave = Enclave(machine)
+        buffer = machine.new_buffer(untrusted.space, PAGE_SIZE)
+        view = enclave.map_untrusted(buffer)
+        ip = enclave.text.place("walk", 0x100)
+
+        def walk():
+            machine.warm_buffer_tlb(enclave.ctx, view)
+            for i in range(4):
+                machine.load(enclave.ctx, ip, view.line_addr(i * 7))
+
+        enclave.register_ecall("walk", walk)
+        enclave.ecall(untrusted, "walk")
+        entry = machine.ip_stride.entry_for_ip(ip)
+        assert entry is not None
+        assert entry.confidence >= 2
+
+    def test_prefetched_lines_survive_eexit(self, machine, untrusted):
+        """§4.6: 'we always get a cache hit for the prefetched cache line'."""
+        enclave = StrideSecretEnclave(machine, secret=1)
+        buffer = machine.new_buffer(untrusted.space, PAGE_SIZE)
+        machine.flush_buffer(untrusted, buffer)
+        enclave.run(untrusted, buffer)
+        prefetched = buffer.line_addr(
+            StrideSecretEnclave.N_TRAIN_LOADS * StrideSecretEnclave.STRIDE_IF_SECRET_SET
+        )
+        assert machine.is_cached(untrusted, prefetched)
+
+
+class TestStrideSecretEnclave:
+    @pytest.mark.parametrize("secret,stride", [(1, 3), (0, 5)])
+    def test_stride_encodes_secret(self, machine, untrusted, secret, stride):
+        enclave = StrideSecretEnclave(machine, secret=secret)
+        buffer = machine.new_buffer(untrusted.space, PAGE_SIZE)
+        machine.flush_buffer(untrusted, buffer)
+        enclave.run(untrusted, buffer)
+        entry = machine.ip_stride.entry_for_ip(enclave.load_ip)
+        assert entry.stride == stride * 64

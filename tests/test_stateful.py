@@ -1,0 +1,110 @@
+"""Stateful (rule-based) hypothesis test of the whole machine model.
+
+A random interleaving of loads, flushes, TLB warms, context switches and
+prefetcher clears must never violate the core invariants:
+
+* residency: a line loaded (and not flushed since) by anyone is cached;
+  a line flushed (and not loaded since) is not;
+* inclusivity: private-cache residents are LLC residents;
+* prefetcher occupancy never exceeds 24, indexes stay unique;
+* the cycle clock is monotonic.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import settings
+
+from repro.cpu.machine import Machine
+from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+
+N_CONTEXTS = 3
+N_LINES = 64
+
+
+class MachineModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=99)
+        self.contexts = []
+        self.buffers = []
+        for i in range(N_CONTEXTS):
+            ctx = self.machine.new_thread(f"p{i}")
+            self.machine.context_switch(ctx)
+            self.contexts.append(ctx)
+            self.buffers.append(self.machine.new_buffer(ctx.space, PAGE_SIZE))
+        self.machine.context_switch(self.contexts[0])
+        #: line-level oracle: True = must be cached, False = must not be,
+        #: None = unknown (e.g. prefetches may have filled it).
+        self.oracle: dict[tuple[int, int], bool] = {}
+        self.last_cycles = self.machine.cycles
+
+    # ------------------------------------------------------------------ #
+
+    def _mark_unknown_neighbourhood(self, who: int, line: int) -> None:
+        """A demand load may trigger prefetch fills nearby: drop oracle
+        certainty for every other line of the same buffer."""
+        for other in range(N_LINES):
+            if other != line:
+                self.oracle.pop((who, other), None)
+
+    @rule(who=st.integers(0, N_CONTEXTS - 1), line=st.integers(0, N_LINES - 1),
+          ip=st.integers(0, 2**20))
+    def load(self, who, line, ip):
+        ctx, buf = self.contexts[who], self.buffers[who]
+        self.machine.context_switch(ctx)
+        self.machine.warm_tlb(ctx, buf.line_addr(line))
+        self.machine.load(ctx, 0x400000 + ip, buf.line_addr(line))
+        self.oracle[(who, line)] = True
+        self._mark_unknown_neighbourhood(who, line)
+
+    @rule(who=st.integers(0, N_CONTEXTS - 1), line=st.integers(0, N_LINES - 1))
+    def flush(self, who, line):
+        ctx, buf = self.contexts[who], self.buffers[who]
+        self.machine.context_switch(ctx)
+        self.machine.clflush(ctx, buf.line_addr(line))
+        self.oracle[(who, line)] = False
+
+    @rule(who=st.integers(0, N_CONTEXTS - 1))
+    def switch(self, who):
+        self.machine.context_switch(self.contexts[who])
+
+    @rule()
+    def clear_prefetcher(self):
+        self.machine.run_prefetcher_clear()
+
+    @rule(cycles=st.integers(1, 10_000))
+    def compute(self, cycles):
+        self.machine.advance(cycles)
+
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def residency_matches_oracle(self):
+        for (who, line), expected in self.oracle.items():
+            ctx, buf = self.contexts[who], self.buffers[who]
+            actual = self.machine.is_cached(ctx, buf.line_addr(line))
+            assert actual == expected, (who, line, expected)
+
+    @invariant()
+    def hierarchy_is_inclusive(self):
+        hierarchy = self.machine.hierarchy
+        for paddr in hierarchy.l1.resident_lines():
+            assert hierarchy.llc_slice(paddr).contains(paddr)
+
+    @invariant()
+    def prefetcher_bounded(self):
+        pf = self.machine.ip_stride
+        assert pf.occupancy <= 24
+        indexes = [e.index for e in pf.entries()]
+        assert len(indexes) == len(set(indexes))
+
+    @invariant()
+    def clock_monotonic(self):
+        assert self.machine.cycles >= self.last_cycles
+        self.last_cycles = self.machine.cycles
+
+
+MachineModelTest = MachineModel.TestCase
+MachineModelTest.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

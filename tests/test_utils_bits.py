@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    align_down,
+    align_up,
+    cache_line_index,
+    low_bits,
+    page_number,
+    page_offset,
+    sign_extend,
+)
+
+
+class TestLowBits:
+    def test_extracts_low_byte(self):
+        assert low_bits(0x1234_56AB, 8) == 0xAB
+
+    def test_zero_bits_is_zero(self):
+        assert low_bits(0xFFFF, 0) == 0
+
+    def test_full_width(self):
+        assert low_bits(0xAB, 16) == 0xAB
+
+    def test_negative_bit_count_rejected(self):
+        with pytest.raises(ValueError):
+            low_bits(1, -1)
+
+    @given(st.integers(min_value=0, max_value=2**64), st.integers(min_value=0, max_value=64))
+    def test_result_bounded(self, value, n_bits):
+        assert 0 <= low_bits(value, n_bits) < max(1 << n_bits, 1)
+
+    def test_prefetcher_aliasing_property(self):
+        # Two IPs 256 bytes apart share the prefetcher index.
+        assert low_bits(0x400123, 8) == low_bits(0x400123 + 0x100, 8)
+
+
+class TestSignExtend:
+    def test_positive_value_unchanged(self):
+        assert sign_extend(5, 13) == 5
+
+    def test_negative_value(self):
+        assert sign_extend(0b1_1111_1111_1111, 13) == -1
+
+    def test_most_negative(self):
+        assert sign_extend(1 << 12, 13) == -(1 << 12)
+
+    def test_wraps_large_positive(self):
+        # Cross-frame "strides" wrap into the 13-bit register.
+        assert sign_extend(0x2000, 13) == 0
+        assert sign_extend(0x2001, 13) == 1
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=-(2**12), max_value=2**12 - 1))
+    def test_roundtrip_13_bits(self, value):
+        assert sign_extend(value & 0x1FFF, 13) == value
+
+    @given(st.integers(), st.integers(min_value=1, max_value=32))
+    def test_range_invariant(self, value, bits):
+        result = sign_extend(value, bits)
+        assert -(1 << (bits - 1)) <= result < (1 << (bits - 1))
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+
+    def test_align_down_exact(self):
+        assert align_down(8192, 4096) == 8192
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+
+    def test_align_up_exact(self):
+        assert align_up(4096, 4096) == 4096
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_down(100, 3)
+        with pytest.raises(ValueError):
+            align_up(100, 0)
+
+    @given(st.integers(min_value=0, max_value=2**48), st.sampled_from([64, 4096, 2**21]))
+    def test_down_le_up(self, addr, gran):
+        assert align_down(addr, gran) <= addr <= align_up(addr, gran)
+
+
+class TestPageAndLineHelpers:
+    def test_cache_line_index(self):
+        assert cache_line_index(0) == 0
+        assert cache_line_index(63) == 0
+        assert cache_line_index(64) == 1
+
+    def test_page_number(self):
+        assert page_number(4095) == 0
+        assert page_number(4096) == 1
+
+    def test_page_offset(self):
+        assert page_offset(4097) == 1
+        assert page_offset(8192) == 0
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_page_decomposition(self, addr):
+        assert page_number(addr) * 4096 + page_offset(addr) == addr

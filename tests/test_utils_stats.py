@@ -1,0 +1,105 @@
+"""Unit tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import mean, median, percentile, welch_t_statistic
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_median_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+    def test_percentile(self):
+        assert percentile(list(range(101)), 90) == pytest.approx(90.0)
+
+    def test_empty_rejected(self):
+        for fn in (mean, median):
+            with pytest.raises(ValueError):
+                fn([])
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestWelch:
+    def test_identical_samples_zero(self):
+        assert welch_t_statistic([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_sign_convention(self):
+        # mean(a) < mean(b) → negative t, the paper's Figure 16 convention.
+        t = welch_t_statistic([1.0, 1.1, 0.9], [5.0, 5.1, 4.9])
+        assert t < 0
+
+    def test_magnitude_grows_with_n(self):
+        rng = np.random.default_rng(0)
+        a_small = list(rng.normal(0.0, 1.0, 50))
+        b_small = list(rng.normal(1.0, 1.0, 50))
+        a_big = list(rng.normal(0.0, 1.0, 5000))
+        b_big = list(rng.normal(1.0, 1.0, 5000))
+        assert abs(welch_t_statistic(a_big, b_big)) > abs(
+            welch_t_statistic(a_small, b_small)
+        )
+
+    def test_zero_variance_equal_means(self):
+        assert welch_t_statistic([2.0, 2.0], [2.0, 2.0]) == 0.0
+
+    def test_zero_variance_different_means_is_infinite(self):
+        assert math.isinf(welch_t_statistic([1.0, 1.0], [2.0, 2.0]))
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_statistic([1.0], [1.0, 2.0])
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+    )
+    def test_antisymmetry(self, a, b):
+        t_ab = welch_t_statistic(a, b)
+        t_ba = welch_t_statistic(b, a)
+        if math.isfinite(t_ab):
+            assert t_ab == pytest.approx(-t_ba, abs=1e-9)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        from repro.utils.rng import make_rng
+
+        a, b = make_rng(7), make_rng(7)
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)
+
+    def test_default_seed_is_stable(self):
+        from repro.utils.rng import make_rng
+
+        assert make_rng(None).integers(0, 2**31) == make_rng(None).integers(0, 2**31)
+
+    def test_derived_streams_differ_by_label(self):
+        from repro.utils.rng import derive_rng, make_rng
+
+        parent1, parent2 = make_rng(7), make_rng(7)
+        child_a = derive_rng(parent1, "timing")
+        child_b = derive_rng(parent2, "frames")
+        draws_a = [int(child_a.integers(0, 2**31)) for _ in range(4)]
+        draws_b = [int(child_b.integers(0, 2**31)) for _ in range(4)]
+        assert draws_a != draws_b
+
+    def test_derivation_deterministic(self):
+        from repro.utils.rng import derive_rng, make_rng
+
+        c1 = derive_rng(make_rng(7), "timing")
+        c2 = derive_rng(make_rng(7), "timing")
+        assert int(c1.integers(0, 2**31)) == int(c2.integers(0, 2**31))
