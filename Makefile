@@ -1,0 +1,21 @@
+# Convenience targets; everything works without make, see docs/LINT.md.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-sanitize lint lint-json bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.lint src tests benchmarks examples
+
+lint-json:
+	$(PYTHON) -m repro.lint src tests benchmarks examples --format json
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

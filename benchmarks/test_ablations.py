@@ -10,8 +10,6 @@
 
 import dataclasses
 
-import numpy as np
-
 from benchmarks.conftest import print_series
 from repro.core.covert import CovertChannel
 from repro.core.variant1 import Variant1CrossProcess
@@ -21,6 +19,7 @@ from repro.mitigation.champsim_lite import ChampSimLite
 from repro.mitigation.traces import generate_trace, suite_by_name
 from repro.params import COFFEE_LAKE_I7_9700
 from repro.revng.page_boundary import PageBoundaryExperiment
+from repro.utils.rng import make_rng
 
 
 def test_ablation_stride_choice(benchmark):
@@ -103,7 +102,7 @@ def test_ablation_defenses_vs_attacks(benchmark):
 
     def evaluate():
         rows = []
-        rng = np.random.default_rng(183)
+        rng = make_rng(183)
         symbols = [int(x) for x in rng.integers(5, 32, 30)]
 
         # Baseline: vulnerable.

@@ -5,17 +5,16 @@ training it with stride 11 makes the kernel's if-path visible as a hit pair
 11 lines apart in the shared memory_space.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_series
 from repro.core.variant2 import Variant2UserKernel
 from repro.cpu.machine import Machine
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
 
 def test_fig14a_user_kernel_leak(benchmark):
     machine = Machine(COFFEE_LAKE_I7_9700, seed=141)
-    rng = np.random.default_rng(141)
+    rng = make_rng(141)
     attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
 
     search = attack.find_target_index()

@@ -5,12 +5,11 @@ shows b'11110 = 30); single-entry bandwidth 833 bps at <6 % error; training
 all 24 entries approaches 20 kbps at >25 % error.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_series
 from repro.core.covert import CovertChannel
 from repro.cpu.machine import Machine
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
 
 def test_fig14b_stride_detection(benchmark):
@@ -29,7 +28,7 @@ def test_fig14b_stride_detection(benchmark):
 def test_single_entry_bandwidth_and_error(benchmark):
     machine = Machine(COFFEE_LAKE_I7_9700, seed=144)
     channel = CovertChannel(machine, n_entries=1)
-    rng = np.random.default_rng(144)
+    rng = make_rng(144)
     symbols = [int(x) for x in rng.integers(5, 32, 200)]
     report = benchmark.pedantic(lambda: channel.transmit(symbols), rounds=1, iterations=1)
     print(
@@ -44,7 +43,7 @@ def test_single_entry_bandwidth_and_error(benchmark):
 def test_24_entry_bandwidth_and_error(benchmark):
     machine = Machine(COFFEE_LAKE_I7_9700, seed=145)
     channel = CovertChannel(machine, n_entries=24)
-    rng = np.random.default_rng(145)
+    rng = make_rng(145)
     symbols = [int(x) for x in rng.integers(5, 32, 480)]
     report = benchmark.pedantic(lambda: channel.transmit(symbols), rounds=1, iterations=1)
     print(

@@ -5,22 +5,21 @@ b'01010101 in the figure); at most 5 iterations per bit at PSC's 82 %
 single-shot success rate; 1024 bits project to ≈188 minutes of wall clock.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_series
 from repro.core.tc_rsa_attack import TimingConstantRSAAttack
 from repro.cpu.machine import Machine
 from repro.crypto.primes import RSAKey
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
 
 def _key_with_alternating_window() -> RSAKey:
     """A small real keypair whose exponent starts with ...01010101..."""
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     from repro.crypto.primes import generate_keypair
 
     for seed in range(200):
-        key = generate_keypair(64, np.random.default_rng(seed))
+        key = generate_keypair(64, make_rng(seed))
         bits = [(key.d >> i) & 1 for i in range(key.d.bit_length() - 1, -1, -1)]
         for start in range(len(bits) - 8):
             if bits[start : start + 8] == [0, 1, 0, 1, 0, 1, 0, 1]:
@@ -56,7 +55,7 @@ def test_fig14c_bit_latencies(benchmark):
 def test_full_key_recovery_and_projection(benchmark):
     from repro.crypto.primes import generate_keypair
 
-    key = generate_keypair(128, np.random.default_rng(77))
+    key = generate_keypair(128, make_rng(77))
     machine = Machine(COFFEE_LAKE_I7_9700, seed=147)
     attack = TimingConstantRSAAttack(machine, key)
     result = benchmark.pedantic(

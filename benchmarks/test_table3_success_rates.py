@@ -6,13 +6,12 @@ Variant 2 (user-kernel) 91 %.  We assert the bands and the ordering
 noise model (DESIGN.md §5).
 """
 
-import numpy as np
-
 from repro.analysis.success_rate import measure_success_rate
 from repro.core.variant1 import Variant1CrossProcess, Variant1CrossThread
 from repro.core.variant2 import Variant2UserKernel
 from repro.cpu.machine import Machine
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
 ROUNDS = 200  # the paper's evaluation size
 
@@ -20,7 +19,7 @@ ROUNDS = 200  # the paper's evaluation size
 def test_table3_variant1_cross_thread(benchmark):
     machine = Machine(COFFEE_LAKE_I7_9700, seed=171)
     attack = Variant1CrossThread(machine)
-    rng = np.random.default_rng(171)
+    rng = make_rng(171)
 
     def evaluate():
         return measure_success_rate(
@@ -37,7 +36,7 @@ def test_table3_variant1_cross_thread(benchmark):
 def test_table3_variant1_cross_process(benchmark):
     machine = Machine(COFFEE_LAKE_I7_9700, seed=172)
     attack = Variant1CrossProcess(machine)
-    rng = np.random.default_rng(172)
+    rng = make_rng(172)
 
     def evaluate():
         return measure_success_rate(
@@ -53,7 +52,7 @@ def test_table3_variant1_cross_process(benchmark):
 
 def test_table3_variant2_user_kernel(benchmark):
     machine = Machine(COFFEE_LAKE_I7_9700, seed=173)
-    rng = np.random.default_rng(173)
+    rng = make_rng(173)
     attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
     search = attack.find_target_index()
     assert search.index == attack.true_target_index
@@ -73,7 +72,7 @@ def test_table3_variant2_user_kernel(benchmark):
 def test_table3_ordering(benchmark):
     """Crossing a stronger isolation boundary costs accuracy: the kernel
     variant trails both user-space variants (the paper's 99/97/91 shape)."""
-    rng = np.random.default_rng(174)
+    rng = make_rng(174)
 
     def evaluate():
         at = Variant1CrossThread(Machine(COFFEE_LAKE_I7_9700, seed=174))

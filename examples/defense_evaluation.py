@@ -14,13 +14,12 @@ workload, via the ChampSim-lite IPC model.
 Run:  python examples/defense_evaluation.py
 """
 
-import numpy as np
-
 from repro import COFFEE_LAKE_I7_9700, PAGE_SIZE, Machine
 from repro.core import CovertChannel, TrainingGadget, Variant1CrossProcess
 from repro.defenses import ObliviousBranchVictim, harden_machine
 from repro.mitigation import ChampSimLite
 from repro.mitigation.traces import generate_trace, suite_by_name
+from repro.utils.rng import make_rng
 
 ROUNDS = 40
 
@@ -31,7 +30,7 @@ def variant1_success(machine: Machine) -> float:
 
 
 def covert_delivery(machine: Machine) -> float:
-    rng = np.random.default_rng(1)
+    rng = make_rng(1)
     symbols = [int(x) for x in rng.integers(5, 32, ROUNDS)]
     report = CovertChannel(machine, n_entries=1).transmit(symbols)
     return 1 - report.error_rate
@@ -46,7 +45,7 @@ def oblivious_leak(machine: Machine) -> float:
     data = machine.new_buffer(space, PAGE_SIZE)
     victim = ObliviousBranchVictim(machine, vctx, data)
     gadget = TrainingGadget(machine, actx, victim.if_ip, victim.else_ip)
-    coin = np.random.default_rng(2)
+    coin = make_rng(2)
     correct = 0
     for i in range(ROUNDS):
         bit = i % 2

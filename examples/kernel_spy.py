@@ -13,15 +13,14 @@ type another user sent, from the kernel's per-type statistics load.
 Run:  python examples/kernel_spy.py
 """
 
-import numpy as np
-
 from repro import COFFEE_LAKE_I7_9700, PAGE_SIZE, Machine
 from repro.core import Variant2UserKernel
 from repro.kernel import BluetoothTxSyscall, Kernel
+from repro.utils.rng import make_rng
 
 
 def spy_on_vulnerable_syscall() -> None:
-    rng = np.random.default_rng(11)
+    rng = make_rng(11)
     machine = Machine(COFFEE_LAKE_I7_9700, seed=11)
     attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
 

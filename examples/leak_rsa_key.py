@@ -11,11 +11,10 @@ Run:  python examples/leak_rsa_key.py [--bits 128]
 
 import argparse
 
-import numpy as np
-
 from repro import COFFEE_LAKE_I7_9700, Machine
 from repro.core import TimingConstantRSAAttack
 from repro.crypto import generate_keypair
+from repro.utils.rng import make_rng
 
 
 def main() -> None:
@@ -24,7 +23,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7, help="simulation seed")
     args = parser.parse_args()
 
-    key = generate_keypair(args.bits, np.random.default_rng(args.seed))
+    key = generate_keypair(args.bits, make_rng(args.seed))
     machine = Machine(COFFEE_LAKE_I7_9700, seed=args.seed)
     attack = TimingConstantRSAAttack(machine, key)
 

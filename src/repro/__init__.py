@@ -30,6 +30,8 @@ Package map (see DESIGN.md for the full inventory):
 ``revng``     reverse-engineering microbenchmarks (Figs 6-8, Table 1)
 ``analysis``  TVLA t-test, success-rate harness
 ``mitigation``  clear-ip-prefetcher cost models (§8.3)
+``lint``      static-analysis pass over the repo's own conventions
+``sanitize``  runtime µarch invariant auditing (``Machine(sanitize=True)``)
 ============  =======================================================
 """
 

@@ -6,9 +6,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.params import MachineParams
+from repro.utils.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -71,7 +70,7 @@ def generate_report(
     )
 
     # Variant 1 rates.
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     ct = Variant1CrossThread(Machine(params, seed=seed))
     ct_rate = sum(ct.run_round(int(rng.integers(0, 2))).success for _ in range(rounds)) / rounds
     rows.append(
@@ -97,7 +96,7 @@ def generate_report(
     )
 
     # TC-RSA.
-    key = generate_keypair(64 if quick else 128, np.random.default_rng(seed))
+    key = generate_keypair(64 if quick else 128, make_rng(seed))
     attack = TimingConstantRSAAttack(Machine(params, seed=seed + 3), key)
     recovery = attack.recover_key_bits(key.encrypt(0xBEEF))
     usable = sum(len(o.votes) for o in recovery.observations)

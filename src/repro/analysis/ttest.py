@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.crypto.aes import AES128
 from repro.crypto.power_model import PowerModel, PowerTraceParams
 from repro.utils.stats import welch_t_statistic
+from repro.utils.rng import make_rng
 
 #: The TVLA PASS/FAIL threshold the paper uses (negative side: -4.5).
 LEAKAGE_THRESHOLD = 4.5
@@ -46,7 +45,7 @@ class TVLATest:
     ) -> None:
         self.aes = AES128(key)
         self.params = params if params is not None else PowerTraceParams()
-        self._rng = np.random.default_rng(seed)
+        self._rng = make_rng(seed)
         self.model = PowerModel(self.aes, self.params, self._rng)
         self.fixed_plaintext = self.model.low_weight_plaintext()
 

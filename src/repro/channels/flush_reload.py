@@ -19,14 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.channels.thresholds import classify_hit
 from repro.cpu.context import ThreadContext
 from repro.cpu.machine import Machine
 from repro.mmu.buffer import Buffer
 from repro.params import LINES_PER_PAGE
 from repro.utils.bits import low_bits
+from repro.utils.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -59,7 +58,7 @@ class FlushReload:
         self.ctx = ctx
         self.shared = shared
         self.reload_ip = reload_ip
-        self._rng = np.random.default_rng(int(machine.rng.integers(0, 2**63 - 1)))
+        self._rng = make_rng(int(machine.rng.integers(0, 2**63 - 1)))
 
     def flush(self, page: int | None = None) -> None:
         """clflush the shared lines (one page, or the whole buffer)."""

@@ -8,6 +8,7 @@ Installed as the ``afterimage`` console script::
     afterimage rsa --bits 128
     afterimage mitigation
     afterimage covert --entries 24
+    afterimage lint src tests --format json
 
 Each subcommand prints the corresponding figure/table series, like the
 benchmark suite, but without pytest in the loop.
@@ -19,9 +20,8 @@ import argparse
 import sys
 from collections.abc import Callable, Sequence
 
-import numpy as np
-
 from repro.params import MachineParams, preset
+from repro.utils.rng import make_rng
 
 
 def _table(rows: list[tuple], header: tuple[str, ...]) -> None:
@@ -101,7 +101,7 @@ def cmd_variant1(params: MachineParams, args: argparse.Namespace) -> None:
 
     cls = Variant1CrossThread if args.mode == "thread" else Variant1CrossProcess
     attack = cls(Machine(params, seed=args.seed))
-    rng = np.random.default_rng(args.seed)
+    rng = make_rng(args.seed)
     successes = 0
     for index in range(args.rounds):
         bit = int(rng.integers(0, 2))
@@ -116,7 +116,7 @@ def cmd_variant2(params: MachineParams, args: argparse.Namespace) -> None:
     from repro.core.variant2 import Variant2UserKernel
     from repro.cpu.machine import Machine
 
-    rng = np.random.default_rng(args.seed)
+    rng = make_rng(args.seed)
     attack = Variant2UserKernel(
         Machine(params, seed=args.seed), secret_source=lambda: int(rng.integers(0, 2))
     )
@@ -137,7 +137,7 @@ def cmd_covert(params: MachineParams, args: argparse.Namespace) -> None:
     from repro.cpu.machine import Machine
 
     channel = CovertChannel(Machine(params, seed=args.seed), n_entries=args.entries)
-    rng = np.random.default_rng(args.seed)
+    rng = make_rng(args.seed)
     n = args.rounds * args.entries
     symbols = [int(x) for x in rng.integers(5, 32, n)]
     report = channel.transmit(symbols)
@@ -152,7 +152,7 @@ def cmd_rsa(params: MachineParams, args: argparse.Namespace) -> None:
     from repro.cpu.machine import Machine
     from repro.crypto.primes import generate_keypair
 
-    key = generate_keypair(args.bits, np.random.default_rng(args.seed))
+    key = generate_keypair(args.bits, make_rng(args.seed))
     attack = TimingConstantRSAAttack(Machine(params, seed=args.seed), key)
     result = attack.recover_key_bits(key.encrypt(0x5EC5E7))
     usable = sum(len(o.votes) for o in result.observations)
@@ -260,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2023)
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
+    lint = sub.add_parser("lint", help="static-analysis pass (repro.lint) over the tree")
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None, help="comma-separated rule ids (e.g. RL001,RL006)")
+    lint.add_argument("--list-rules", action="store_true")
     for name, (_fn, help_text) in _COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         if name in ("variant1", "variant2", "covert"):
@@ -288,6 +293,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             for name, (_fn, help_text) in _COMMANDS.items():
                 print(f"{name:12s} {help_text}")
             return 0
+        if args.command == "lint":
+            # The linter takes no machine model; dispatch before preset lookup.
+            from repro.lint.engine import main as lint_main
+
+            lint_argv = list(args.paths) + ["--format", args.format]
+            if args.select:
+                lint_argv += ["--select", args.select]
+            if args.list_rules:
+                lint_argv.append("--list-rules")
+            return lint_main(lint_argv)
         params = preset(args.machine)
         _COMMANDS[args.command][0](params, args)
     except BrokenPipeError:  # e.g. `afterimage fig06 | head`

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from repro.mmu.address_space import AddressSpace
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadContext:
     """An execution context scheduled on the simulated logical core.
 

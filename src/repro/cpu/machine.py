@@ -29,10 +29,11 @@ from repro.mmu.page_table import PhysicalMemory
 from repro.mmu.tlb import TLB
 from repro.params import CACHE_LINE_SIZE, PAGE_SIZE, DEFAULT_MACHINE, MachineParams
 from repro.prefetch.adjacent import AdjacentPrefetcher
-from repro.prefetch.base import LoadEvent, Prefetcher
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest
 from repro.prefetch.dcu import DCUPrefetcher
 from repro.prefetch.ip_stride import IPStridePrefetcher
 from repro.prefetch.streamer import StreamerPrefetcher
+from repro.sanitize.sanitizer import Sanitizer, sanitize_enabled
 from repro.utils.rng import derive_rng, make_rng
 
 #: Cycle cost of a clflush instruction (order of an LLC round trip).
@@ -49,7 +50,12 @@ CLEAR_PREFETCHER_CYCLES_PER_ENTRY = 1
 class Machine:
     """A simulated Intel machine (one logical core's view)."""
 
-    def __init__(self, params: MachineParams = DEFAULT_MACHINE, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        params: MachineParams = DEFAULT_MACHINE,
+        seed: int | None = None,
+        sanitize: bool | None = None,
+    ) -> None:
         self.params = params
         self.rng = make_rng(seed)
         self._timing = TimingModel(params.noise, derive_rng(self.rng, "timing"))
@@ -70,9 +76,17 @@ class Machine:
         if params.enable_streamer_prefetcher:
             self.noise_prefetchers.append(StreamerPrefetcher())
 
+        #: Runtime invariant auditing (repro.sanitize); ``None`` when off, so
+        #: the hot path pays a single identity test per load.
+        self.sanitizer: Sanitizer | None = (
+            Sanitizer(self) if sanitize_enabled(sanitize) else None
+        )
+
         self.kernel_space = AddressSpace(
             "kernel", self.physical, aslr=self.kaslr, global_pages=True
         )
+        if self.sanitizer is not None:
+            self.sanitizer.register_space(self.kernel_space)
         # The kernel working set touched by switch/IRQ paths.  It must be
         # large: a tiny pool would revisit the same lines every switch, so a
         # single page that happens to be slice-hash-equivalent to a victim
@@ -106,7 +120,10 @@ class Machine:
 
     def new_address_space(self, name: str) -> AddressSpace:
         """Create a fresh user address space (one per process)."""
-        return AddressSpace(name, self.physical, aslr=self.aslr)
+        space = AddressSpace(name, self.physical, aslr=self.aslr)
+        if self.sanitizer is not None:
+            self.sanitizer.register_space(space)
+        return space
 
     def new_thread(
         self, name: str, space: AddressSpace | None = None, privileged: bool = False
@@ -158,6 +175,8 @@ class Machine:
         self._maybe_timer_interrupt()
         translation = self.tlb.translate(ctx.space, vaddr)
         result = self.hierarchy.access(translation.paddr)
+        event: LoadEvent | None = None
+        issued: list[PrefetchRequest] = []
         if not fenced:
             event = LoadEvent(
                 ip=ip,
@@ -167,27 +186,33 @@ class Machine:
                 asid=ctx.space.asid,
             )
             if translation.tlb_hit:
-                self._feed_prefetchers(ctx, event)
+                issued = self._feed_prefetchers(ctx, event)
             else:
                 # §4.3: a TLB-missing first touch creates the translation but
                 # leaves the prefetcher state untouched — only the next-page
                 # prefetcher may carry a pattern across.
                 for request in self.ip_stride.observe_tlb_miss(event):
                     self.hierarchy.insert_prefetch(request.paddr)
+                    issued.append(request)
         latency = self._timing.measured(translation.latency + result.latency)
         self._charge(ctx, latency)
+        if self.sanitizer is not None:
+            self.sanitizer.after_load(event, translation, issued)
         return latency
 
-    def _feed_prefetchers(self, ctx: ThreadContext, event: LoadEvent) -> None:
+    def _feed_prefetchers(self, ctx: ThreadContext, event: LoadEvent) -> list[PrefetchRequest]:
         def translate(vaddr: int) -> int | None:
             try:
                 return ctx.space.translate(vaddr)
             except KeyError:
                 return None
 
+        issued: list[PrefetchRequest] = []
         for prefetcher in (self.ip_stride, *self.noise_prefetchers):
             for request in prefetcher.observe(event, translate):
                 self.hierarchy.insert_prefetch(request.paddr)
+                issued.append(request)
+        return issued
 
     def clflush(self, ctx: ThreadContext, vaddr: int) -> None:
         """Flush the line holding ``vaddr`` from the whole hierarchy."""
@@ -249,6 +274,8 @@ class Machine:
         if self.flush_prefetcher_on_switch:
             self.run_prefetcher_clear()
         self.current = to_ctx
+        if self.sanitizer is not None:
+            self.sanitizer.after_switch()
 
     def run_prefetcher_clear(self) -> None:
         """Execute the proposed privileged clear-ip-prefetcher instruction."""

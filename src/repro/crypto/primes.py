@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.rng import make_rng
+
 #: Small primes for fast trial division before Miller-Rabin.
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -92,7 +94,7 @@ def generate_keypair(bits: int = 512, rng: np.random.Generator | None = None) ->
     1024-bit figure is reproduced by projection (DESIGN.md §5).
     """
     if rng is None:
-        rng = np.random.default_rng(2023)
+        rng = make_rng(2023)
     if bits < 32 or bits % 2:
         raise ValueError(f"modulus bits must be even and >= 32, got {bits}")
     e = 65537

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.cpu.context import ThreadContext
 from repro.kernel.syscalls import Kernel
+from repro.params import PAGE_SIZE
 
 
 class BluetoothTxSyscall:
@@ -27,7 +28,7 @@ class BluetoothTxSyscall:
         self.machine = kernel.machine
         # hdev->stat lives in one kernel cache line per counter.
         self._stats = self.machine.new_buffer(
-            self.machine.kernel_space, 4096, locked=True, name="hdev-stat"
+            self.machine.kernel_space, PAGE_SIZE, locked=True, name="hdev-stat"
         )
         self.case_ips = {
             pkt: kernel.text.place(f"bt_stat_{pkt}", text_offset + 0x40 * i)
@@ -65,7 +66,7 @@ class BatteryPropertySyscall:
         self.kernel = kernel
         self.machine = kernel.machine
         self._val = self.machine.new_buffer(
-            self.machine.kernel_space, 4096, locked=True, name="psy-val"
+            self.machine.kernel_space, PAGE_SIZE, locked=True, name="psy-val"
         )
         self.case_ips = {
             prop: kernel.text.place(f"battery_{prop}", text_offset + 0x40 * i)

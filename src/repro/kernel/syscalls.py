@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.cpu.context import ThreadContext
 from repro.cpu.machine import Machine
 from repro.mmu.buffer import Buffer
+from repro.params import PAGE_SIZE
 
 #: Default virtual base of the kernel text image (before KASLR slide).
 KERNEL_TEXT_BASE = 0xFFFF_8000_0100_0000
@@ -51,7 +52,7 @@ class Kernel:
         self._table: dict[int, Callable[..., object]] = {}
         self._next_number = 333  # the artifact's "available system call number"
         self._entry_path = machine.new_buffer(
-            machine.kernel_space, 16 * 4096, locked=True, name="kernel-entry-data"
+            machine.kernel_space, 16 * PAGE_SIZE, locked=True, name="kernel-entry-data"
         )
         self.records: list[SyscallRecord] = []
 

@@ -1,0 +1,393 @@
+"""Lint rules RL001–RL008: the conventions the reproduction depends on.
+
+Each rule is a class with a stable id, a one-line title, and an autofix
+hint.  Rules receive a :class:`~repro.lint.engine.FileContext` (parsed AST
+plus parent links and path helpers) and yield findings.  A rule may scope
+itself to parts of the tree via :meth:`Rule.applies_to` — e.g. the
+magic-number rule exempts ``repro/params.py`` (the canonical home of the
+constants) and ``tests/`` (golden-value assertions are the point of a
+test).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import FileContext, Finding
+
+#: Packages holding per-cycle model state (the sanitizer's subjects).
+MODEL_PACKAGES = ("repro/prefetch", "repro/memsys", "repro/mmu", "repro/cpu")
+
+#: Packages where even the small paper constants (24 entries, 64-byte
+#: lines) are load-bearing and must come from :mod:`repro.params`.
+CORE_MODEL_PACKAGES = MODEL_PACKAGES + ("repro/channels", "repro/revng")
+
+
+def _in_package(path: str, package: str) -> bool:
+    return f"/{package}/" in path or path.startswith(f"{package}/")
+
+
+def _in_any_package(path: str, packages: tuple[str, ...]) -> bool:
+    return any(_in_package(path, package) for package in packages)
+
+
+def _is_test_path(path: str) -> bool:
+    return "tests" in path.split("/")[:-1]
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+class Rule:
+    """One lint rule.  Subclasses set the class attributes and ``check``."""
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    hint: ClassVar[str]
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on ``path`` (posix-style, repo-relative)."""
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> dict[str, str]:
+        return {"id": cls.rule_id, "title": cls.title, "hint": cls.hint}
+
+
+class StdlibRandomRule(Rule):
+    """RL001 — the stdlib ``random`` module is process-global, shared state.
+
+    A single un-namespaced draw anywhere silently couples every stochastic
+    component and breaks the one-seed reproducibility contract of
+    ``cpu/machine.py``.
+    """
+
+    rule_id = "RL001"
+    title = "stdlib `random` module is banned (global, unseeded state)"
+    hint = "draw from a generator built with repro.utils.rng.make_rng/derive_rng"
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(self, node, "`import random` pulls in the process-global RNG")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (node.module or "").startswith("random."):
+                    yield ctx.finding(self, node, "`from random import ...` uses the process-global RNG")
+
+
+class NumpyRngRule(Rule):
+    """RL002 — numpy RNG construction must flow through ``repro.utils.rng``.
+
+    ``np.random.default_rng()`` without a seed is OS entropy; the legacy
+    ``np.random.<dist>`` functions share one global state.  Even *seeded*
+    ``default_rng(seed)`` calls are banned outside ``repro/utils/rng.py`` so
+    that every stream in the codebase is greppable through one chokepoint.
+    """
+
+    rule_id = "RL002"
+    title = "direct numpy RNG construction (use make_rng/derive_rng)"
+    hint = "replace np.random.default_rng(seed) with repro.utils.rng.make_rng(seed)"
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if chain and len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+                    yield ctx.finding(self, node, f"call to {'.'.join(chain)}")
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                yield ctx.finding(self, node, "`from numpy.random import ...` bypasses repro.utils.rng")
+
+
+class WallClockRule(Rule):
+    """RL003 — wall-clock reads in a cycle-accurate simulator are always bugs.
+
+    The model's only clock is ``Machine.cycles``; host time leaking into
+    model code makes results machine- and load-dependent.
+    """
+
+    rule_id = "RL003"
+    title = "wall-clock call in model code"
+    hint = "use Machine.cycles / Machine.seconds() — the simulator owns time"
+
+    _BANNED = (
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if chain is None:
+                    continue
+                if len(chain) == 2 and chain[0] == "time" and chain[1] in self._BANNED:
+                    yield ctx.finding(self, node, f"call to time.{chain[1]}")
+                elif chain[-1] in ("now", "utcnow") and "datetime" in chain:
+                    yield ctx.finding(self, node, f"call to {'.'.join(chain)}")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                banned = [alias.name for alias in node.names if alias.name in self._BANNED]
+                if banned:
+                    yield ctx.finding(self, node, f"imports wall-clock function(s): {', '.join(banned)}")
+
+
+class FloatEqualityRule(Rule):
+    """RL004 — ``==``/``!=`` against float literals.
+
+    Latencies, thresholds and rates go through noise models; exact float
+    comparison is either dead code or a latent flake.
+    """
+
+    rule_id = "RL004"
+    title = "float equality comparison"
+    hint = "compare integer cycle counts, or use math.isclose with an explicit tolerance"
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Compare):
+                continue
+            if any(isinstance(ancestor, ast.Assert) for ancestor in ctx.ancestors(node)):
+                continue  # asserting an exactly-configured value is the test's point
+            operands = [node.left, *node.comparators]
+            for position, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (operands[position], operands[position + 1]):
+                    if isinstance(side, ast.Constant) and isinstance(side.value, float):
+                        yield ctx.finding(self, node, f"float literal {side.value!r} compared with ==/!=")
+                        break
+
+
+_MUTATOR_METHODS = frozenset(
+    {"append", "add", "clear", "discard", "extend", "insert", "pop", "popitem",
+     "remove", "setdefault", "sort", "update", "reverse"}
+)
+
+
+def _foreign_private_attr(node: ast.AST) -> ast.Attribute | None:
+    """``obj._x`` (or deeper, ``a.b._x``) where ``obj`` is not self/cls."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    if not node.attr.startswith("_") or node.attr.startswith("__"):
+        return None
+    if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+        return None
+    return node
+
+
+class PrivateMutationRule(Rule):
+    """RL005 — mutating another component's ``_``-private state.
+
+    ``machine.hierarchy._levels = ...`` or ``pf._slots[0] = ...`` from
+    outside the owning class bypasses every invariant the component
+    maintains; the sanitizer exists precisely because such writes are
+    silent.  Reads are allowed (experiments and checkers introspect state);
+    writes must go through the public API.
+    """
+
+    rule_id = "RL005"
+    title = "cross-component mutation of private state"
+    hint = "use the owning component's public API (or # repro: noqa[RL005] in a corruption test)"
+
+    def _mutated_targets(self, node: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(node, ast.Assign):
+            yield from node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            yield node.target
+        elif isinstance(node, ast.Delete):
+            yield from node.targets
+
+    def _flatten(self, target: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._flatten(element)
+        else:
+            yield target
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            for raw_target in self._mutated_targets(node):
+                for target in self._flatten(raw_target):
+                    if isinstance(target, ast.Subscript):
+                        target = target.value
+                    attr = _foreign_private_attr(target)
+                    if attr is not None:
+                        yield ctx.finding(self, node, f"write to private attribute `{attr.attr}` of another object")
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATOR_METHODS:
+                    attr = _foreign_private_attr(node.func.value)
+                    if attr is not None:
+                        yield ctx.finding(
+                            self, node,
+                            f"mutating call `.{node.func.attr}()` on private attribute `{attr.attr}` of another object",
+                        )
+
+
+class MagicNumberRule(Rule):
+    """RL006 — re-typed paper constants.
+
+    The reverse-engineered values (24 entries, 64-byte lines, 120-cycle
+    threshold, 2 KiB stride cap, 4 KiB pages) live in :mod:`repro.params`;
+    a literal copy silently diverges the moment a parameter study changes
+    the canonical value.  Named-constant definitions (module/class-level
+    assignments), function parameter defaults and ``assert`` statements are
+    exempt; 24 and 64 are only enforced inside the core model packages
+    (elsewhere they are usually RSA bit-widths or unrelated counts); hex and
+    binary spellings (``0x40``) denote deliberate address/layout arithmetic
+    and are exempt.
+    """
+
+    rule_id = "RL006"
+    title = "paper constant written as a literal (import it from repro.params)"
+    hint = "import PAGE_SIZE / CACHE_LINE_SIZE / IPStrideParams / llc_hit_threshold from repro.params"
+
+    _SUGGESTION = {
+        24: "IPStrideParams.n_entries",
+        64: "CACHE_LINE_SIZE",
+        120: "MachineParams.llc_hit_threshold (or page_walk_latency)",
+        2048: "IPStrideParams.max_stride_bytes",
+        4096: "PAGE_SIZE",
+    }
+    _NARROW = frozenset({24, 64})
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith("repro/params.py") and not _is_test_path(path)
+
+    def _exempt(self, ctx: "FileContext", node: ast.AST) -> bool:
+        seen_stmt = False
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.Assert):
+                return True
+            if isinstance(ancestor, ast.arguments):  # parameter defaults
+                return True
+            if isinstance(ancestor, ast.stmt) and not seen_stmt:
+                seen_stmt = True
+                if isinstance(ancestor, (ast.Assign, ast.AnnAssign)):
+                    parent = ctx.parent(ancestor)
+                    if isinstance(parent, (ast.Module, ast.ClassDef)):
+                        return True  # named-constant definition
+        return False
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        narrow_scope = _in_any_package(ctx.path, CORE_MODEL_PACKAGES)
+        for node in ctx.walk():
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if not isinstance(value, int) or isinstance(value, bool):
+                continue
+            if value not in self._SUGGESTION:
+                continue
+            if value in self._NARROW and not narrow_scope:
+                continue
+            if self._exempt(ctx, node) or not self._decimal_spelling(ctx, node):
+                continue
+            yield ctx.finding(self, node, f"literal {value} duplicates {self._SUGGESTION[value]}")
+
+    @staticmethod
+    def _decimal_spelling(ctx: "FileContext", node: ast.Constant) -> bool:
+        if node.lineno != getattr(node, "end_lineno", node.lineno):
+            return True
+        line = ctx.lines[node.lineno - 1] if node.lineno <= len(ctx.lines) else ""
+        segment = line[node.col_offset : node.end_col_offset]
+        return not segment.lower().startswith(("0x", "0b", "0o"))
+
+
+class SlotsRule(Rule):
+    """RL007 — hot per-cycle dataclasses must declare ``slots=True``.
+
+    ``LoadEvent``, ``PrefetchRequest``, cache/TLB results and prefetcher
+    entries are allocated on every simulated load; a ``__dict__`` per
+    instance roughly doubles their footprint and allows silent attribute
+    typos (``entry.confidnce = 1`` would just... work).
+    """
+
+    rule_id = "RL007"
+    title = "per-cycle dataclass without slots=True"
+    hint = "declare @dataclass(slots=True) (add frozen=True where instances are immutable)"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_any_package(path, MODEL_PACKAGES)
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef) -> tuple[ast.expr, ast.Call | None] | None:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            chain = _dotted(target)
+            if chain and chain[-1] == "dataclass":
+                return decorator, decorator if isinstance(decorator, ast.Call) else None
+        return None
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            found = self._dataclass_decorator(node)
+            if found is None:
+                continue
+            _decorator, call = found
+            has_slots = call is not None and any(
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in call.keywords
+            )
+            if not has_slots:
+                yield ctx.finding(self, node, f"dataclass `{node.name}` allocated per cycle lacks slots=True")
+
+
+class UnstableHashRule(Rule):
+    """RL008 — builtin ``hash()`` on the seed path is nondeterministic.
+
+    ``str``/``bytes`` hashes are randomized per process (PYTHONHASHSEED),
+    so ``seed ^ hash(name)`` produces a different stream on every run —
+    results change while every test keeps passing.  This rule caught a real
+    instance in ``mitigation/traces.py``.
+    """
+
+    rule_id = "RL008"
+    title = "builtin hash() is salted per process (nondeterministic seeds)"
+    hint = "use repro.utils.rng.stable_seed(label) or zlib.crc32 for deterministic label mixing"
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield ctx.finding(self, node, "builtin hash() result varies across processes")
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    StdlibRandomRule,
+    NumpyRngRule,
+    WallClockRule,
+    FloatEqualityRule,
+    PrivateMutationRule,
+    MagicNumberRule,
+    SlotsRule,
+    UnstableHashRule,
+)

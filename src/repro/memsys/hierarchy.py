@@ -28,7 +28,7 @@ class MemoryLevel(enum.IntEnum):
     DRAM = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one demand access."""
 

@@ -21,6 +21,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.utils.rng import make_rng
+
 
 class ReplacementPolicy(ABC):
     """Replacement state for one associative set of ``n_ways`` ways."""
@@ -176,7 +178,7 @@ class RandomPolicy(ReplacementPolicy):
 
     def __init__(self, n_ways: int, rng: np.random.Generator | None = None) -> None:
         super().__init__(n_ways)
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else make_rng(0)
 
     def touch(self, way: int) -> None:
         self._check_way(way)

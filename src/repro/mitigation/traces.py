@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.params import CACHE_LINE_SIZE
+from repro.utils.rng import make_rng, stable_seed
 
 
 @dataclass(frozen=True)
@@ -100,7 +101,10 @@ def generate_trace(
     """
     if n_instructions <= 0:
         raise ValueError("n_instructions must be positive")
-    rng = np.random.default_rng(seed ^ hash(spec.name) & 0x7FFF_FFFF)
+    # Builtin hash() is salted per process (PYTHONHASHSEED): the previous
+    # `seed ^ hash(spec.name)` produced a different trace stream on every
+    # run without failing any test.  stable_seed() is fully specified.
+    rng = make_rng(seed ^ (stable_seed(spec.name) & 0x7FFF_FFFF))
     line = CACHE_LINE_SIZE
 
     ips = np.empty(n_instructions, dtype=np.int64)

@@ -13,7 +13,7 @@ from repro.utils.bits import align_up
 _ASID_COUNTER = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Mapping:
     """One contiguous virtual mapping inside an address space."""
 

@@ -15,7 +15,7 @@ from repro.mmu.address_space import AddressSpace
 from repro.params import PAGE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TranslationResult:
     """Outcome of translating one virtual address."""
 

@@ -14,7 +14,7 @@ from repro.memsys.hierarchy import MemoryLevel
 TranslateFn = Callable[[int], int | None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadEvent:
     """One retired demand load, as seen by the prefetchers.
 
@@ -31,7 +31,7 @@ class LoadEvent:
     asid: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """A line the prefetcher wants brought into the cache."""
 

@@ -38,7 +38,7 @@ from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, Translat
 from repro.utils.bits import low_bits, sign_extend
 
 
-@dataclass
+@dataclass(slots=True)
 class IPStrideEntry:
     """One history-table entry (Figure 5: IP | Last Addr | Stride | Conf.)."""
 

@@ -17,7 +17,7 @@ _MAX_TRACKED_PAGES = 16
 _LINES_AHEAD = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class _Stream:
     last_line: int
     direction: int = 0  # +1 ascending, -1 descending, 0 undecided

@@ -1,0 +1,28 @@
+"""Runtime µarch sanitizer: invariant auditing for the simulated machine.
+
+Companion to the :mod:`repro.lint` static pass — the linter catches
+convention violations at rest, this package catches state corruption in
+motion.  See ``docs/LINT.md`` for the invariant catalogue.
+
+Usage::
+
+    machine = Machine(params, seed=7, sanitize=True)   # per machine
+    REPRO_SANITIZE=1 python -m pytest ...              # globally
+
+Violations raise :class:`InvariantViolation` with the component, the
+broken invariant's name, the simulated cycle, and a state snapshot.
+"""
+
+from repro.sanitize.checkers import HierarchyChecker, PrefetcherChecker, TLBChecker
+from repro.sanitize.sanitizer import ENV_VAR, Sanitizer, sanitize_enabled
+from repro.sanitize.violations import InvariantViolation
+
+__all__ = [
+    "ENV_VAR",
+    "HierarchyChecker",
+    "InvariantViolation",
+    "PrefetcherChecker",
+    "Sanitizer",
+    "TLBChecker",
+    "sanitize_enabled",
+]

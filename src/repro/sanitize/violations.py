@@ -1,0 +1,35 @@
+"""Structured invariant-violation errors raised by the sanitizer."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class InvariantViolation(AssertionError):
+    """A µarch model invariant was broken.
+
+    Carries enough structure for a test (or a user staring at a traceback)
+    to see *which* component broke *which* documented invariant, at what
+    simulated cycle, with a snapshot of the offending state — instead of a
+    bare assert deep inside a model class.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        invariant: str,
+        message: str,
+        cycle: int | None = None,
+        snapshot: dict[str, Any] | None = None,
+    ) -> None:
+        self.component = component
+        self.invariant = invariant
+        self.message = message
+        self.cycle = cycle
+        self.snapshot = dict(snapshot or {})
+        detail = f"[{component}] {invariant}: {message}"
+        if cycle is not None:
+            detail += f" (cycle {cycle})"
+        for key, value in self.snapshot.items():
+            detail += f"\n    {key} = {value!r}"
+        super().__init__(detail)

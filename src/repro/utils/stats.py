@@ -48,8 +48,8 @@ def welch_t_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> f
         raise ValueError("welch_t_statistic needs at least two observations per sample")
     var_term = a.var(ddof=1) / a.size + b.var(ddof=1) / b.size
     delta = float(a.mean() - b.mean())
-    if var_term == 0.0:
-        if delta == 0.0:
+    if var_term == 0.0:  # repro: noqa[RL004] - exact zero variance means identical samples
+        if delta == 0.0:  # repro: noqa[RL004] - exact equality is the degenerate-case guard
             return 0.0
         return math.copysign(math.inf, delta)
     return delta / math.sqrt(var_term)

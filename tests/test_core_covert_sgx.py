@@ -1,12 +1,12 @@
 """Tests for the covert channel (§5.3) and the SGX attack (§5.4)."""
 
-import numpy as np
 import pytest
 
 from repro.core.covert import CovertChannel
 from repro.core.sgx_attack import SGXControlFlowAttack
 from repro.cpu.machine import Machine
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
 
 class TestCovertChannelQuiet:
@@ -47,7 +47,7 @@ class TestCovertChannelMultiEntry:
         traffic pushes the error rate past 25 %."""
         machine = Machine(COFFEE_LAKE_I7_9700, seed=42)
         channel = CovertChannel(machine, n_entries=24)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         symbols = [int(x) for x in rng.integers(5, 32, 240)]
         report = channel.transmit(symbols)
         assert report.bandwidth_bps > 15_000
@@ -139,15 +139,14 @@ class TestReliableTransmission:
         """§7.2's >25%-error configuration becomes dependable with a
         3x repetition code, at a net goodput still far above the
         single-entry channel."""
-        import numpy as np
-
+        
         from repro.core.covert import CovertChannel
         from repro.cpu.machine import Machine
         from repro.params import COFFEE_LAKE_I7_9700
 
         machine = Machine(COFFEE_LAKE_I7_9700, seed=310)
         channel = CovertChannel(machine, n_entries=24)
-        rng = np.random.default_rng(310)
+        rng = make_rng(310)
         symbols = [int(x) for x in rng.integers(5, 32, 240)]
 
         raw = channel.transmit(symbols)

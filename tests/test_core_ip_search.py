@@ -1,12 +1,12 @@
 """Focused unit tests for the IP searcher, with a controllable victim."""
 
-import numpy as np
 import pytest
 
 from repro.channels.flush_reload import FlushReload
 from repro.core.ip_search import IPSearcher
 from repro.cpu.machine import Machine
 from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+from repro.utils.rng import make_rng
 
 
 class FakeVictim:
@@ -19,7 +19,7 @@ class FakeVictim:
         self.shared = shared
         self.hidden_ip = hidden_ip
         self.take_rate = take_rate
-        self._rng = np.random.default_rng(seed)
+        self._rng = make_rng(seed)
         self.invocations = 0
 
     def __call__(self, demand_line: int) -> None:

@@ -1,6 +1,5 @@
 """Tests for the TC-RSA key recovery (§6.2/§7.3) and load tracking (§6.3/§7.4)."""
 
-import numpy as np
 import pytest
 
 from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim, VictimPhase
@@ -8,8 +7,9 @@ from repro.core.tc_rsa_attack import TimingConstantRSAAttack
 from repro.cpu.machine import Machine
 from repro.crypto.primes import generate_keypair
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
-KEY = generate_keypair(64, np.random.default_rng(50))
+KEY = generate_keypair(64, make_rng(50))
 
 
 class TestTCRSAQuiet:

@@ -1,6 +1,5 @@
 """Tests for the N-way switch-arm leak (Figures 1-2 patterns)."""
 
-import numpy as np
 import pytest
 
 from repro.core.switch_leak import SwitchCaseLeak
@@ -8,6 +7,7 @@ from repro.cpu.machine import Machine
 from repro.kernel.patterns import BatteryPropertySyscall, BluetoothTxSyscall
 from repro.kernel.syscalls import Kernel
 from repro.params import COFFEE_LAKE_I7_9700
+from repro.utils.rng import make_rng
 
 
 def build(machine, pattern_cls):
@@ -53,7 +53,7 @@ class TestBatteryLeak:
     def test_four_way_switch(self):
         machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=202)
         battery, user, spy, leak = build(machine, BatteryPropertySyscall)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for _ in range(8):
             prop = battery.PROPERTIES[int(rng.integers(0, 4))]
 
@@ -68,7 +68,7 @@ class TestBatteryLeak:
     def test_noisy_success_rate(self):
         machine = Machine(COFFEE_LAKE_I7_9700, seed=203)
         battery, user, spy, leak = build(machine, BatteryPropertySyscall)
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         ok = 0
         rounds = 40
         for _ in range(rounds):

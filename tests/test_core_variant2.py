@@ -1,18 +1,18 @@
 """Tests for Variant 2 (user→kernel) and the IP search."""
 
-import numpy as np
 import pytest
 
 from repro.core.variant2 import Variant2UserKernel
 from repro.cpu.machine import Machine
 from repro.params import COFFEE_LAKE_I7_9700
 from repro.utils.bits import low_bits
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture(scope="module")
 def quiet_attack():
     machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=31)
-    rng = np.random.default_rng(31)
+    rng = make_rng(31)
     return Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
 
 
@@ -79,7 +79,7 @@ class TestAttackQuiet:
 class TestNoisyRate:
     def test_mostly_succeeds_under_noise(self):
         machine = Machine(COFFEE_LAKE_I7_9700, seed=36)
-        rng = np.random.default_rng(36)
+        rng = make_rng(36)
         attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
         result = attack.find_target_index()
         assert result.index == attack.true_target_index

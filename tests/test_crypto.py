@@ -1,6 +1,5 @@
 """Tests for the crypto victims: AES, RSA math, victims' load structure."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -16,6 +15,7 @@ from repro.crypto.rsa import (
 )
 from repro.params import PAGE_SIZE
 from repro.utils.bits import low_bits
+from repro.utils.rng import make_rng
 
 
 class TestAES:
@@ -68,40 +68,40 @@ class TestAES:
 
 class TestPrimes:
     def test_known_primes(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for p in (2, 3, 97, 7919):
             assert is_probable_prime(p, rng)
 
     def test_known_composites(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for c in (1, 4, 100, 561, 7917):  # 561 is a Carmichael number
             assert not is_probable_prime(c, rng)
 
     def test_generated_prime_has_exact_bits(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         p = generate_prime(64, rng)
         assert p.bit_length() == 64
         assert is_probable_prime(p, rng)
 
     def test_keypair_roundtrip(self):
-        key = generate_keypair(128, np.random.default_rng(2))
+        key = generate_keypair(128, make_rng(2))
         message = 0x1234_5678
         assert key.decrypt(key.encrypt(message)) == message
 
     def test_keypair_consistency(self):
-        key = generate_keypair(128, np.random.default_rng(3))
+        key = generate_keypair(128, make_rng(3))
         assert key.n == key.p * key.q
         assert (key.e * key.d) % ((key.p - 1) * (key.q - 1)) == 1
 
     def test_bad_sizes_rejected(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         with pytest.raises(ValueError):
             generate_prime(4, rng)
         with pytest.raises(ValueError):
             generate_keypair(31, rng)
 
     def test_message_range_checked(self):
-        key = generate_keypair(64, np.random.default_rng(4))
+        key = generate_keypair(64, make_rng(4))
         with pytest.raises(ValueError):
             key.encrypt(key.n)
 
@@ -207,14 +207,14 @@ class TestRSAVictims:
 
 class TestPowerModel:
     def test_trace_shape(self):
-        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), np.random.default_rng(0))
+        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), make_rng(0))
         trace = model.trace(bytes(16))
         assert trace.shape == (PowerTraceParams().n_samples,)
 
     def test_leak_sample_carries_hamming_weight(self):
         params = PowerTraceParams(noise_sigma=0.0, activity_sigma=0.0, hw_scale=1.0)
         aes = AES128(bytes(16))
-        model = PowerModel(aes, params, np.random.default_rng(0))
+        model = PowerModel(aes, params, make_rng(0))
         pt = bytes(range(16))
         trace = model.trace(pt)
         expected = params.baseline + sum(
@@ -223,7 +223,7 @@ class TestPowerModel:
         assert trace[params.sbox_cycle] == pytest.approx(expected)
 
     def test_low_weight_plaintext_below_average(self):
-        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), np.random.default_rng(0))
+        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), make_rng(0))
         chosen = model.low_weight_plaintext(search_rounds=512)
         weight = sum(
             hamming_weight(b) for b in model.aes.first_round_sbox_outputs(chosen)
@@ -235,7 +235,7 @@ class TestPowerModel:
             PowerTraceParams(n_samples=10, sbox_cycle=10)
 
     def test_traces_stack(self):
-        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), np.random.default_rng(0))
+        model = PowerModel(AES128(bytes(16)), PowerTraceParams(), make_rng(0))
         stack = model.traces([bytes(16), bytes(range(16))])
         assert stack.shape == (2, PowerTraceParams().n_samples)
         with pytest.raises(ValueError):

@@ -11,6 +11,7 @@ from repro.defenses.oblivious import ObliviousBranchVictim
 from repro.defenses.tagged_prefetcher import TaggedIPStridePrefetcher, harden_machine
 from repro.defenses.toggles import disable_ip_stride_prefetcher
 from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+from repro.utils.rng import make_rng
 
 
 def quiet_machine(seed=70):
@@ -225,7 +226,7 @@ class TestDetector:
         machine = Machine(COFFEE_LAKE_I7_9700, seed=80)
         from repro.core.variant2 import Variant2UserKernel
 
-        rng = np.random.default_rng(80)
+        rng = make_rng(80)
         attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
         detector = PerformanceCounterDetector(
             machine, sampling_period_cycles=3_000, threshold_allocations_per_sample=20

@@ -1,6 +1,5 @@
 """Cross-module integration tests: full attack stories on one machine."""
 
-import numpy as np
 import pytest
 
 from repro.core.covert import CovertChannel
@@ -12,6 +11,7 @@ from repro.kernel.patterns import BluetoothTxSyscall
 from repro.kernel.syscalls import Kernel
 from repro.params import COFFEE_LAKE_I7_9700, HASWELL_I7_4770, PAGE_SIZE
 from repro.utils.bits import low_bits
+from repro.utils.rng import make_rng
 
 
 class TestMitigationStopsAttacks:
@@ -35,7 +35,7 @@ class TestMitigationStopsAttacks:
     def test_tc_rsa_defeated(self):
         machine = Machine(COFFEE_LAKE_I7_9700.quiet(), seed=63)
         machine.flush_prefetcher_on_switch = True
-        key = generate_keypair(64, np.random.default_rng(63))
+        key = generate_keypair(64, make_rng(63))
         attack = TimingConstantRSAAttack(machine, key, sync_slip_prob=0.0)
         votes = attack.observe_pass(123, n_bits=12)
         # The entry is cleared before every victim slice, so every check

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.memsys.hierarchy import CacheHierarchy, MemoryLevel
 from repro.memsys.slice_hash import SliceHash
 from repro.params import COFFEE_LAKE_I7_9700, HASWELL_I7_4770
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture
@@ -114,13 +115,13 @@ class TestSliceHash:
     @pytest.mark.parametrize("n_slices", [2, 4, 8])
     def test_slices_in_range(self, n_slices):
         h = SliceHash(n_slices)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for addr in rng.integers(0, 2**33, 200):
             assert 0 <= h.slice_of(int(addr)) < n_slices
 
     def test_roughly_balanced(self):
         h = SliceHash(8)
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         counts = np.zeros(8)
         n = 8000
         for addr in rng.integers(0, 2**33, n):

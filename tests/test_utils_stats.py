@@ -2,11 +2,11 @@
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.utils.rng import derive_rng, make_rng
 from repro.utils.stats import mean, median, percentile, welch_t_statistic
 
 
@@ -45,7 +45,7 @@ class TestWelch:
         assert t < 0
 
     def test_magnitude_grows_with_n(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         a_small = list(rng.normal(0.0, 1.0, 50))
         b_small = list(rng.normal(1.0, 1.0, 50))
         a_big = list(rng.normal(0.0, 1.0, 5000))
@@ -77,19 +77,13 @@ class TestWelch:
 
 class TestRng:
     def test_same_seed_same_stream(self):
-        from repro.utils.rng import make_rng
-
         a, b = make_rng(7), make_rng(7)
         assert a.integers(0, 2**31) == b.integers(0, 2**31)
 
     def test_default_seed_is_stable(self):
-        from repro.utils.rng import make_rng
-
         assert make_rng(None).integers(0, 2**31) == make_rng(None).integers(0, 2**31)
 
     def test_derived_streams_differ_by_label(self):
-        from repro.utils.rng import derive_rng, make_rng
-
         parent1, parent2 = make_rng(7), make_rng(7)
         child_a = derive_rng(parent1, "timing")
         child_b = derive_rng(parent2, "frames")
@@ -98,8 +92,6 @@ class TestRng:
         assert draws_a != draws_b
 
     def test_derivation_deterministic(self):
-        from repro.utils.rng import derive_rng, make_rng
-
         c1 = derive_rng(make_rng(7), "timing")
         c2 = derive_rng(make_rng(7), "timing")
         assert int(c1.integers(0, 2**31)) == int(c2.integers(0, 2**31))
