@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-json bench
+.PHONY: test test-sanitize lint lint-json leakcheck bench check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,5 +17,14 @@ lint:
 lint-json:
 	$(PYTHON) -m repro.lint src tests benchmarks examples --format json
 
+leakcheck:
+	$(PYTHON) -m repro.leakcheck --suite
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# The CI gate: static analysis, the leakage-verdict matrix, and a
+# sanitizer-instrumented smoke slice of the test suite.
+check: lint leakcheck
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q tests/test_examples.py tests/test_leakcheck.py
+	@echo "check: all gates passed"

@@ -129,4 +129,28 @@ def generate_report(
         ReportRow("mitigation upper bound (§8.3)", "<7.3%", f"{bound:.2f}%", bound < 7.3)
     )
 
+    # Static leakage analysis (repro.leakcheck): the paper's victims must
+    # classify as leaky, and flip to safe under the tagged prefetcher.
+    from repro.leakcheck import analyze, get_victim
+
+    rsa_static = analyze(get_victim("rsa-square-multiply").spec)
+    rows.append(
+        ReportRow(
+            "leakcheck: RSA square-and-multiply",
+            "leaky (all exponent bits)",
+            f"{rsa_static.verdict}, {len(rsa_static.leaky_bits)}/{rsa_static.secret_bits} bits",
+            rsa_static.leaky and len(rsa_static.leaky_bits) == rsa_static.secret_bits,
+        )
+    )
+    tagged_static = analyze(get_victim("rsa-square-multiply").spec, defense="tagged")
+    aes_static = analyze(get_victim("aes-ttable").spec)
+    rows.append(
+        ReportRow(
+            "leakcheck: AES T-table / tagged defense",
+            "leaky / safe",
+            f"{aes_static.verdict} / {tagged_static.verdict}",
+            aes_static.leaky and not tagged_static.leaky,
+        )
+    )
+
     return _fmt(rows)

@@ -9,6 +9,7 @@ Installed as the ``afterimage`` console script::
     afterimage mitigation
     afterimage covert --entries 24
     afterimage lint src tests --format json
+    afterimage leakcheck --suite
 
 Each subcommand prints the corresponding figure/table series, like the
 benchmark suite, but without pytest in the loop.
@@ -265,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", default=None, help="comma-separated rule ids (e.g. RL001,RL006)")
     lint.add_argument("--list-rules", action="store_true")
+    leakcheck = sub.add_parser(
+        "leakcheck", help="static AfterImage-leakage analysis (repro.leakcheck)"
+    )
+    leakcheck.add_argument("victims", nargs="*")
+    leakcheck.add_argument(
+        "--defense", choices=("none", "tagged", "flush-on-switch", "oblivious"), default="none"
+    )
+    leakcheck.add_argument("--format", choices=("text", "json"), default="text")
+    leakcheck.add_argument("--list-victims", action="store_true")
+    leakcheck.add_argument("--suite", action="store_true")
     for name, (_fn, help_text) in _COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         if name in ("variant1", "variant2", "covert"):
@@ -303,6 +314,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.list_rules:
                 lint_argv.append("--list-rules")
             return lint_main(lint_argv)
+        if args.command == "leakcheck":
+            # Pure static analysis, no machine model; same early dispatch.
+            from repro.leakcheck.cli import main as leakcheck_main
+
+            leakcheck_argv = list(args.victims) + ["--format", args.format]
+            if args.defense != "none":
+                leakcheck_argv += ["--defense", args.defense]
+            if args.list_victims:
+                leakcheck_argv.append("--list-victims")
+            if args.suite:
+                leakcheck_argv.append("--suite")
+            return leakcheck_main(leakcheck_argv)
         params = preset(args.machine)
         _COMMANDS[args.command][0](params, args)
     except BrokenPipeError:  # e.g. `afterimage fig06 | head`

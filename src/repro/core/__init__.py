@@ -15,7 +15,7 @@ Attack building blocks and end-to-end attacks:
 
 from repro.core.covert import CovertChannel, CovertRoundResult, decode_text, encode_text
 from repro.core.detect import detect_stride, detect_stride_pairs, hot_pairs
-from repro.core.gadget import TrainingGadget
+from repro.core.gadget import MultiTargetTrainingGadget, TrainingGadget
 from repro.core.ip_search import IPSearcher, IPSearchResult
 from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim, TrackerSample
 from repro.core.sgx_attack import SGXControlFlowAttack, SGXCovertChannel
@@ -30,6 +30,7 @@ from repro.core.variant1 import (
 from repro.core.variant2 import Variant2UserKernel
 
 __all__ = [
+    "MultiTargetTrainingGadget",
     "TrainingGadget",
     "BranchLoadVictim",
     "RoundResult",

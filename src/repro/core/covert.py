@@ -139,7 +139,8 @@ class CovertChannel:
         self.entry_ips = [base + 0x101 * k for k in range(n_entries)]
         index_bits = machine.params.prefetcher.index_bits
         self._entry_indexes = {low_bits(ip, index_bits) for ip in self.entry_ips}
-        assert len(self._entry_indexes) == n_entries, "entry IPs must not alias each other"
+        if len(self._entry_indexes) != n_entries:
+            raise ValueError("entry IPs must not alias each other")
         reload_ip = base + 0x10_0000
         while low_bits(reload_ip, index_bits) in self._entry_indexes:
             reload_ip += 1

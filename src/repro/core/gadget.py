@@ -1,16 +1,23 @@
 """The AfterImage training gadget (paper Listing 6).
 
-Two local load instructions whose IPs are NOP-padded to alias the victim's
-if-path and else-path loads in the prefetcher's 8-bit index, each trained
-with its own distinctive stride (S1 / S2).  After training, both prefetcher
-entries sit at saturated confidence, so whichever victim load executes
-triggers a prefetch at *its* stride — encoding the branch direction in the
-cache (AfterImage-Cache) or in the entry's subsequent state
-(AfterImage-PSC).
+Local load instructions whose IPs are NOP-padded to alias the victim's
+loads in the prefetcher's 8-bit index, each trained with its own
+distinctive stride.  After training, every monitored prefetcher entry sits
+at saturated confidence, so whichever victim load executes triggers a
+prefetch at *its* stride — encoding the branch direction in the cache
+(AfterImage-Cache) or in the entry's subsequent state (AfterImage-PSC).
+
+:class:`MultiTargetTrainingGadget` is the general N-entry form (the
+leakcheck dynamic oracle and the kernel-switch attacks monitor one entry
+per case arm); :class:`TrainingGadget` keeps Listing 6's two-armed
+if/else shape on top of it.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+from repro.channels.thresholds import classify_hit
 from repro.cpu.code import CodeRegion
 from repro.cpu.context import ThreadContext
 from repro.cpu.machine import Machine
@@ -24,8 +31,134 @@ DEFAULT_S1 = 7
 DEFAULT_S2 = 13
 
 
-class TrainingGadget:
-    """Mistrain the IP-stride prefetcher for a victim's two branch loads."""
+class MultiTargetTrainingGadget:
+    """Mistrain one IP-stride entry per victim load, each with its own stride.
+
+    ``targets`` is a sequence of ``(victim_ip, stride_lines)`` pairs; the
+    gadget places one aliasing local load per target and trains each entry
+    on its own private page.  :meth:`check_entry` then reads one entry back
+    PSC-style (§6.1): continue that entry's progression by one load and
+    time the would-be prefetch target — a hit means the entry survived
+    undisturbed, a miss means a victim load aliased it.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        targets: Sequence[tuple[int, int]],
+        gadget_base: int = 0x0060_0000,
+        labels: Sequence[str] | None = None,
+        buffer_names: Sequence[str] | None = None,
+    ) -> None:
+        if not targets:
+            raise ValueError("need at least one (victim_ip, stride_lines) target")
+        index_bits = machine.params.prefetcher.index_bits
+        indexes = [low_bits(ip, index_bits) for ip, _stride in targets]
+        if len(set(indexes)) != len(indexes):
+            raise ValueError(
+                "two targets alias the same prefetcher entry; "
+                "their strides cannot be distinguished"
+            )
+        for _ip, stride in targets:
+            if not 0 < stride * CACHE_LINE_SIZE <= machine.params.prefetcher.max_stride_bytes:
+                raise ValueError(f"stride of {stride} lines is outside the prefetcher's range")
+        if labels is None:
+            labels = [f"gadget_load{k}" for k in range(len(targets))]
+        if buffer_names is None:
+            buffer_names = [f"gadget-train{k}" for k in range(len(targets))]
+
+        self.machine = machine
+        self.ctx = ctx
+        self.strides = tuple(stride for _ip, stride in targets)
+        self.code = CodeRegion(gadget_base, aslr=machine.aslr, name="gadget")
+        self.ips = tuple(
+            self.code.place_aliasing(label, ip, index_bits)
+            for label, (ip, _stride) in zip(labels, targets)
+        )
+        # One private page per load keeps the training sequences from
+        # interfering (and from confusing the streamer prefetcher).
+        self.buffers = tuple(
+            machine.new_buffer(ctx.space, PAGE_SIZE, name=name) for name in buffer_names
+        )
+        for buffer in self.buffers:
+            machine.warm_buffer_tlb(ctx, buffer)
+        # The PSC probe load must not alias any monitored entry.
+        probe_offset = 0x10_0000
+        while low_bits(gadget_base + probe_offset, index_bits) in set(indexes):
+            probe_offset += 1
+        self.probe_ip = self.code.place("gadget_probe", probe_offset)
+        self._next_line = [0] * len(targets)
+
+    @property
+    def monitored_indexes(self) -> frozenset[int]:
+        """Prefetcher indexes this gadget occupies (others must avoid them)."""
+        index_bits = self.machine.params.prefetcher.index_bits
+        return frozenset(low_bits(ip, index_bits) for ip in self.ips)
+
+    def train(self, iterations: int = 3) -> None:
+        """Execute the Listing 6 loop: strided loads for every entry.
+
+        Three iterations are the minimum to reach the prefetch threshold
+        (confidence 2); the paper uses 3–4 (§9.2 contrasts this with the
+        ~26000-cycle BPU mistraining of Spectre).
+        """
+        if iterations < 3:
+            raise ValueError("need at least 3 iterations to reach the prefetch threshold")
+        max_iterations = (self.buffers[0].n_lines - 1) // max(self.strides) + 1
+        if iterations > max_iterations:
+            raise ValueError(
+                f"{iterations} iterations would wrap the training page and break "
+                f"the stride; maximum here is {max_iterations}"
+            )
+        # A process switch flushed our TLB; re-touch the training pages so
+        # every training load is visible to the prefetcher (a TLB-missing
+        # load would be skipped per §4.3).
+        for buffer in self.buffers:
+            self.machine.warm_tlb(self.ctx, buffer.base)
+        for i in range(iterations):
+            for k, (ip, buffer, stride) in enumerate(
+                zip(self.ips, self.buffers, self.strides)
+            ):
+                self.machine.load(self.ctx, ip, buffer.line_addr(i * stride))
+                self._next_line[k] = (i + 1) * stride
+
+    def check_entry(self, k: int) -> bool:
+        """PSC-read entry ``k``: continue its stride by one load, time the
+        would-be prefetch target.  True = hit = entry undisturbed."""
+        if not 0 <= k < len(self.ips):
+            raise ValueError(f"no target {k}; gadget monitors {len(self.ips)} entries")
+        stride = self.strides[k]
+        line = self._next_line[k]
+        buffer = self.buffers[k]
+        if line + stride >= buffer.n_lines:
+            raise RuntimeError(
+                "training page exhausted; retrain before checking this entry again"
+            )
+        vaddr = buffer.line_addr(line)
+        target = vaddr + stride * CACHE_LINE_SIZE
+        self.machine.warm_tlb(self.ctx, vaddr)
+        self.machine.warm_tlb(self.ctx, target)
+        # The target must be uncached beforehand, or a stale line would
+        # masquerade as a prefetch.
+        self.machine.clflush(self.ctx, target)
+        self.machine.load(self.ctx, self.ips[k], vaddr)
+        self._next_line[k] = line + stride
+        latency = self.machine.load(self.ctx, self.probe_ip, target, fenced=True)
+        return classify_hit(latency, self.machine.hit_threshold())
+
+    def confidences(self) -> tuple[int | None, ...]:
+        """Per-entry confidence — white-box helper for tests."""
+        pf = self.machine.ip_stride
+        values = []
+        for ip in self.ips:
+            entry = pf.entry_for_ip(ip)
+            values.append(entry.confidence if entry is not None else None)
+        return tuple(values)
+
+
+class TrainingGadget(MultiTargetTrainingGadget):
+    """Listing 6's two-armed form: if-path stride S1, else-path stride S2."""
 
     def __init__(
         self,
@@ -45,60 +178,15 @@ class TrainingGadget:
             )
         if s1_lines == s2_lines:
             raise ValueError("S1 and S2 must differ to encode the branch direction")
-        for stride in (s1_lines, s2_lines):
-            if not 0 < stride * CACHE_LINE_SIZE <= machine.params.prefetcher.max_stride_bytes:
-                raise ValueError(f"stride of {stride} lines is outside the prefetcher's range")
-
-        self.machine = machine
-        self.ctx = ctx
+        super().__init__(
+            machine,
+            ctx,
+            [(if_target_ip, s1_lines), (else_target_ip, s2_lines)],
+            gadget_base=gadget_base,
+            labels=("gadget_if_load", "gadget_else_load"),
+            buffer_names=("gadget-train-if", "gadget-train-else"),
+        )
         self.s1_lines = s1_lines
         self.s2_lines = s2_lines
-        self.code = CodeRegion(gadget_base, aslr=machine.aslr, name="gadget")
-        self.if_ip = self.code.place_aliasing("gadget_if_load", if_target_ip, index_bits)
-        self.else_ip = self.code.place_aliasing("gadget_else_load", else_target_ip, index_bits)
-        # One private page per load keeps the two training sequences from
-        # interfering (and from confusing the streamer prefetcher).
-        self.train_if = machine.new_buffer(ctx.space, PAGE_SIZE, name="gadget-train-if")
-        self.train_else = machine.new_buffer(ctx.space, PAGE_SIZE, name="gadget-train-else")
-        machine.warm_buffer_tlb(ctx, self.train_if)
-        machine.warm_buffer_tlb(ctx, self.train_else)
-
-    @property
-    def monitored_indexes(self) -> frozenset[int]:
-        """Prefetcher indexes this gadget occupies (others must avoid them)."""
-        index_bits = self.machine.params.prefetcher.index_bits
-        return frozenset({low_bits(self.if_ip, index_bits), low_bits(self.else_ip, index_bits)})
-
-    def train(self, iterations: int = 3) -> None:
-        """Execute the Listing 6 loop: strided loads for both entries.
-
-        Three iterations are the minimum to reach the prefetch threshold
-        (confidence 2); the paper uses 3–4 (§9.2 contrasts this with the
-        ~26000-cycle BPU mistraining of Spectre).
-        """
-        if iterations < 3:
-            raise ValueError("need at least 3 iterations to reach the prefetch threshold")
-        max_iterations = (self.train_if.n_lines - 1) // max(self.s1_lines, self.s2_lines) + 1
-        if iterations > max_iterations:
-            raise ValueError(
-                f"{iterations} iterations would wrap the training page and break "
-                f"the stride; maximum here is {max_iterations}"
-            )
-        # A process switch flushed our TLB; re-touch the training pages so
-        # every training load is visible to the prefetcher (a TLB-missing
-        # load would be skipped per §4.3).
-        self.machine.warm_tlb(self.ctx, self.train_if.base)
-        self.machine.warm_tlb(self.ctx, self.train_else.base)
-        for i in range(iterations):
-            self.machine.load(self.ctx, self.if_ip, self.train_if.line_addr(i * self.s1_lines))
-            self.machine.load(self.ctx, self.else_ip, self.train_else.line_addr(i * self.s2_lines))
-
-    def confidences(self) -> tuple[int | None, int | None]:
-        """(if-entry, else-entry) confidence — white-box helper for tests."""
-        pf = self.machine.ip_stride
-        if_entry = pf.entry_for_ip(self.if_ip)
-        else_entry = pf.entry_for_ip(self.else_ip)
-        return (
-            if_entry.confidence if if_entry is not None else None,
-            else_entry.confidence if else_entry is not None else None,
-        )
+        self.if_ip, self.else_ip = self.ips
+        self.train_if, self.train_else = self.buffers

@@ -34,6 +34,11 @@ class CodeRegion:
         self.requested_base = base_ip
         self.base = aslr.randomize_base(base_ip) if aslr is not None else base_ip
         self._labels: dict[str, int] = {}
+        # Mirror of the placed IPs: place_aliasing probes "is this IP taken?"
+        # once per 256-byte step, and covert channels / leakcheck gadgets
+        # place hundreds of aliased copies — a linear scan of the label map
+        # per probe made that quadratic in the number of placed loads.
+        self._placed_ips: set[int] = set()
 
     def place(self, label: str, offset: int) -> int:
         """Register a load instruction at ``base + offset``; returns its IP."""
@@ -43,6 +48,7 @@ class CodeRegion:
             raise ValueError(f"offset must be non-negative, got {offset}")
         ip = self.base + offset
         self._labels[label] = ip
+        self._placed_ips.add(ip)
         return ip
 
     def place_aliasing(self, label: str, target_ip: int, n_bits: int = 8) -> int:
@@ -51,12 +57,13 @@ class CodeRegion:
         Successive calls for the same target land 256 bytes apart, mirroring
         NOP-padded copies of the gadget load.
         """
-        candidate = match_low_bits(self.base, target_ip, n_bits)
-        while candidate in self._labels.values():
-            candidate += 1 << n_bits
         if label in self._labels:
             raise ValueError(f"label {label!r} already placed in region {self.name!r}")
+        candidate = match_low_bits(self.base, target_ip, n_bits)
+        while candidate in self._placed_ips:
+            candidate += 1 << n_bits
         self._labels[label] = candidate
+        self._placed_ips.add(candidate)
         return candidate
 
     def ip(self, label: str) -> int:

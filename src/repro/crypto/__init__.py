@@ -15,6 +15,7 @@ from repro.crypto.rsa import (
     TimingConstantLadderVictim,
     montgomery_ladder_modexp,
 )
+from repro.crypto.ttable import TTableAESVictim, ttable_offsets
 
 __all__ = [
     "AES128",
@@ -28,4 +29,6 @@ __all__ = [
     "MontgomeryLadderVictim",
     "TimingConstantLadderVictim",
     "SquareAndMultiplyVictim",
+    "TTableAESVictim",
+    "ttable_offsets",
 ]

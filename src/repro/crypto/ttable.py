@@ -1,0 +1,65 @@
+"""T-table AES first round as a machine victim.
+
+OpenSSL-style table-based AES replaces the first-round S-box with lookups
+into 1 KiB "T-tables" indexed by ``pt[i] ^ key[i]`` — a *data*-dependent
+load address at a *fixed* IP.  That is the complementary shape to the
+branch victims: the secret modulates the stride/last-address state of one
+IP-stride entry instead of selecting which entry gets touched, which is
+exactly what the leakcheck abstract domain tracks at byte granularity.
+
+:func:`ttable_offsets` is the pure index computation (shared with
+:mod:`repro.leakcheck.victims`); :class:`TTableAESVictim` executes the
+same lookups on a :class:`~repro.cpu.Machine` for dynamic experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.variant1 import VICTIM_TEXT_BASE
+from repro.cpu.context import ThreadContext
+from repro.cpu.machine import Machine
+from repro.params import PAGE_SIZE
+
+#: Offset of the (single) T-table load instruction in the victim image.
+TTABLE_LOAD_OFFSET = 0x09C0
+
+#: One table entry is a 32-bit word.
+TTABLE_ENTRY_BYTES = 4
+
+
+def ttable_offsets(key: bytes, plaintext: bytes) -> list[int]:
+    """Byte offsets of the first-round T-table lookups, in access order."""
+    if len(key) != len(plaintext):
+        raise ValueError(
+            f"key and plaintext lengths differ ({len(key)} vs {len(plaintext)})"
+        )
+    return [(p ^ k) * TTABLE_ENTRY_BYTES for p, k in zip(plaintext, key)]
+
+
+class TTableAESVictim:
+    """First-round T-table lookups, executed on the simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        ctx: ThreadContext,
+        key: bytes,
+        text_base: int = VICTIM_TEXT_BASE,
+    ) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self.machine = machine
+        self.ctx = ctx
+        self.key = bytes(key)
+        code = machine.code_region(text_base, name="aes-victim")
+        self.lookup_ip = code.place("ttable_lookup", TTABLE_LOAD_OFFSET)
+        # The 256 x 4-byte table fits comfortably in one page, so every
+        # lookup shares one physical frame (no page-boundary effects).
+        self.table = machine.new_buffer(ctx.space, PAGE_SIZE, name="aes-ttable")
+        machine.warm_buffer_tlb(ctx, self.table)
+
+    def first_round(self, plaintext: bytes) -> None:
+        """Execute the 16 first-round lookups for one block."""
+        for offset in ttable_offsets(self.key, plaintext):
+            vaddr = self.table.addr(offset)
+            self.machine.warm_tlb(self.ctx, vaddr)
+            self.machine.load(self.ctx, self.lookup_ip, vaddr)

@@ -19,10 +19,13 @@ rather than argued:
 
 from repro.defenses.detector import DetectorReport, PerformanceCounterDetector
 from repro.defenses.oblivious import ObliviousBranchVictim
+from repro.defenses.static_model import STATIC_DEFENSES, StaticDefenseModel
 from repro.defenses.tagged_prefetcher import TaggedIPStridePrefetcher, harden_machine
 from repro.defenses.toggles import disable_ip_stride_prefetcher
 
 __all__ = [
+    "STATIC_DEFENSES",
+    "StaticDefenseModel",
     "TaggedIPStridePrefetcher",
     "harden_machine",
     "disable_ip_stride_prefetcher",

@@ -1,0 +1,72 @@
+"""Static semantics of each defense, for the leakcheck analyzer.
+
+The dynamic defense implementations in this package (tagged prefetcher,
+oblivious victims, flush-on-switch in the core model) each admit a
+one-line *static* characterization — what they do to the attacker's view
+of the history table — and that is all :mod:`repro.leakcheck` needs to
+flip a verdict:
+
+* **tagged** — entries gain a full-IP + ASID tag
+  (:class:`~repro.defenses.tagged_prefetcher.TaggedIPStridePrefetcher`):
+  the low-8-bit aliasing disappears, so secret-dependent entries still
+  exist but no attacker load can reach them.
+* **flush-on-switch** — ``Machine.flush_prefetcher_on_switch`` /
+  the §8.3 ``clear-ip-prefetcher`` instruction: trained state never
+  survives a domain switch into the attacker's time slice.
+* **oblivious** — the developer rewrote the victim
+  (:class:`~repro.defenses.oblivious.ObliviousBranchVictim`): analyze the
+  rewrite; the table itself is unchanged.
+* **none** — the baseline: any divergent entry is attacker-reachable.
+
+New defenses only need a descriptor here (plus, for ``rewrites_victim``
+ones, an ``oblivious_fn`` on the victim specs) to become analyzable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class StaticDefenseModel:
+    """How one defense changes the attacker's view, statically."""
+
+    name: str
+    description: str
+    #: Entry tags make aliased attacker loads miss (tagged prefetcher).
+    removes_aliasing: bool = False
+    #: The table is cleared before the attacker runs (flush-on-switch).
+    clears_on_switch: bool = False
+    #: Analyze the victim's secret-independent rewrite instead.
+    rewrites_victim: bool = False
+
+    @property
+    def blocks_readback(self) -> bool:
+        """Attacker cannot observe the victim's trained state at all."""
+        return self.removes_aliasing or self.clears_on_switch
+
+
+STATIC_DEFENSES: dict[str, StaticDefenseModel] = {
+    model.name: model
+    for model in (
+        StaticDefenseModel(
+            name="none",
+            description="baseline: untagged, never-flushed history table",
+        ),
+        StaticDefenseModel(
+            name="tagged",
+            description="full-IP + ASID entry tags (TaggedIPStridePrefetcher)",
+            removes_aliasing=True,
+        ),
+        StaticDefenseModel(
+            name="flush-on-switch",
+            description="clear-ip-prefetcher on every domain switch (paper §8.3)",
+            clears_on_switch=True,
+        ),
+        StaticDefenseModel(
+            name="oblivious",
+            description="secret-independent victim rewrite (paper §8.2)",
+            rewrites_victim=True,
+        ),
+    )
+}

@@ -1,0 +1,7 @@
+"""``python -m repro.leakcheck`` entry point."""
+
+import sys
+
+from repro.leakcheck.cli import main
+
+sys.exit(main())

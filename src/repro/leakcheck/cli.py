@@ -1,0 +1,81 @@
+"""CLI driver: ``python -m repro.leakcheck`` / ``afterimage leakcheck``.
+
+Exit codes mirror :mod:`repro.lint`: 0 when every analyzed victim is safe,
+1 when any is leaky (a "finding"), 2 on usage errors.  ``--suite`` runs
+the registered victims against the full defense matrix and instead returns
+0 only when every verdict matches its expectation — the CI mode wired
+into ``make check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.leakcheck.analyzer import DEFENSES, analyze
+from repro.leakcheck.report import render_json, render_text
+from repro.leakcheck.victims import get_victim, victim_names
+
+
+def _run_suite() -> int:
+    failures = 0
+    for name in victim_names():
+        registered = get_victim(name)
+        cells = []
+        for defense in DEFENSES:
+            verdict = analyze(registered.spec, defense=defense).verdict
+            expected = registered.expected.get(defense)
+            ok = verdict == expected
+            failures += not ok
+            cells.append(f"{defense}={verdict}" + ("" if ok else f" (expected {expected})"))
+        print(f"{name:24s} {'  '.join(cells)}")
+    total = len(victim_names()) * len(DEFENSES)
+    print(f"suite: {total - failures}/{total} verdicts as expected")
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.leakcheck",
+        description="Static AfterImage-leakage analyzer over the Algorithm-1 state machine.",
+    )
+    parser.add_argument(
+        "victims",
+        nargs="*",
+        help="victim names to analyze (default: all registered victims)",
+    )
+    parser.add_argument("--defense", choices=DEFENSES, default="none")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--list-victims", action="store_true", help="print the victim registry and exit"
+    )
+    parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="check every victim against its expected verdict matrix (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_victims:
+        for name in victim_names():
+            print(f"{name:24s} {get_victim(name).spec.description}")
+        return 0
+    if args.suite:
+        return _run_suite()
+
+    names = args.victims or victim_names()
+    reports = []
+    try:
+        for name in names:
+            reports.append(analyze(get_victim(name).spec, defense=args.defense))
+    except ValueError as error:
+        print(f"repro.leakcheck: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(reports))
+    return 1 if any(report.leaky for report in reports) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Structured output of the static analyzer: ``LeakReport`` + renderers.
+
+The shapes mirror :mod:`repro.lint.engine`'s ``Finding``/render split so
+the two static passes compose in CI the same way: a machine-readable JSON
+mode, a human text mode, and exit codes derived from the verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from collections.abc import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class LeakyEntry:
+    """One secret-dependent history-table entry.
+
+    ``kinds`` says *how* the entry's state differs between the witness
+    secrets (``existence``, ``stride``, ``confidence``, ``last-addr``,
+    ``prefetch``); ``bits`` which secret bits drive it; ``labels`` the
+    victim load instructions responsible (taint); ``attacker_ip`` a
+    concrete aliasing IP an attacker gadget at the default base could use,
+    or ``None`` when the defense makes the entry unreachable.
+    """
+
+    index: int
+    labels: tuple[str, ...]
+    ips: tuple[int, ...]
+    kinds: tuple[str, ...]
+    bits: tuple[int, ...]
+    reachable: bool
+    attacker_ip: int | None
+    self_triggered: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LeakReport:
+    """The static verdict for one victim under one defense."""
+
+    victim: str
+    defense: str
+    verdict: str  # "leaky" | "safe"
+    severity: str  # "high" | "medium" | "none"
+    secret_bits: int
+    leaky_bits: tuple[int, ...]
+    witness: tuple[int, int] | None
+    entries: tuple[LeakyEntry, ...]
+    notes: tuple[str, ...] = field(default=())
+
+    @property
+    def leaky(self) -> bool:
+        return self.verdict == "leaky"
+
+
+def render_text(reports: Sequence[LeakReport]) -> str:
+    lines: list[str] = []
+    for report in reports:
+        lines.append(
+            f"{report.victim} [defense={report.defense}]: {report.verdict.upper()}"
+            + (f" (severity {report.severity})" if report.leaky else "")
+        )
+        if report.witness is not None:
+            a, b = report.witness
+            lines.append(
+                f"  witness secrets: {a:#x} vs {b:#x} "
+                f"({len(report.leaky_bits)}/{report.secret_bits} bits leak)"
+            )
+        for entry in report.entries:
+            kinds = ",".join(entry.kinds)
+            labels = ",".join(entry.labels)
+            alias = (
+                f"aliased by attacker load at {entry.attacker_ip:#x}"
+                if entry.reachable and entry.attacker_ip is not None
+                else "not attacker-reachable under this defense"
+            )
+            lines.append(
+                f"  entry {entry.index:#04x}: {kinds} divergence from [{labels}]; {alias}"
+            )
+        for note in report.notes:
+            lines.append(f"  note: {note}")
+    n_leaky = sum(report.leaky for report in reports)
+    noun = "victim" if len(reports) == 1 else "victims"
+    lines.append(f"{n_leaky} leaky / {len(reports)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[LeakReport]) -> str:
+    payload = {
+        "victims_checked": len(reports),
+        "leaky": sum(report.leaky for report in reports),
+        "reports": [asdict(report) for report in reports],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,121 @@
+"""Victim descriptions for the static analyzer.
+
+A victim is a set of *labeled load instructions* (label → IP, exactly the
+:class:`~repro.cpu.code.CodeRegion` vocabulary the simulator uses) plus a
+pure function from the secret to the sequence of loads the victim executes:
+each :class:`TraceLoad` names which instruction ran and which byte of which
+data region it touched.  That is all the IP-stride prefetcher can see of a
+program — IPs and address deltas — so it is all the analyzer needs.
+
+Data regions are named, page-counted blobs; the analyzer assigns each one a
+page-aligned abstract base address.  Keeping every region within the pages
+it declares is what makes the identity virtual→physical translation of the
+abstract domain sound (docs/LEAKCHECK.md, "soundness caveats").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.params import PAGE_SIZE
+from repro.utils.bits import low_bits
+
+
+@dataclass(frozen=True, slots=True)
+class TraceLoad:
+    """One retired, TLB-resident load: instruction ``label`` touched
+    ``region[offset]``.
+
+    ``taint`` names which secret bits (by convention ``"bit3"``-style
+    strings, but any labels work) influenced *this load's existence or
+    address*; it defaults to the instruction label and is what the report
+    attributes leaky entries to.
+    """
+
+    label: str
+    region: str
+    offset: int
+    taint: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class VictimSpec:
+    """A victim program, described to the analyzer.
+
+    ``trace_fn`` must be a *pure* function of the secret (an integer of
+    ``secret_bits`` bits): the analyzer replays it for several witness
+    secrets and diffs the outcomes, so any hidden state would corrupt the
+    comparison.
+
+    ``oblivious_fn``, when given, returns the secret-independent rewrite of
+    the victim (paper §8.2's developer-side defense) so ``--defense
+    oblivious`` can be applied statically.
+    """
+
+    name: str
+    description: str
+    secret_bits: int
+    labels: Mapping[str, int]
+    region_pages: Mapping[str, int]
+    trace_fn: Callable[[int], Sequence[TraceLoad]]
+    oblivious_fn: Callable[[], "VictimSpec"] | None = None
+    witness_bases: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.secret_bits <= 0:
+            raise ValueError(f"secret_bits must be positive, got {self.secret_bits}")
+        if not self.labels:
+            raise ValueError(f"victim {self.name!r} declares no load instructions")
+        for region, pages in self.region_pages.items():
+            if pages <= 0:
+                raise ValueError(f"region {region!r} must span at least one page")
+        if not self.witness_bases:
+            # Default witness bases: all-zeros and all-ones, so each bit is
+            # flipped against both backgrounds.
+            object.__setattr__(
+                self, "witness_bases", (0, (1 << self.secret_bits) - 1)
+            )
+
+    def trace(self, secret: int) -> list[TraceLoad]:
+        """The validated load trace for one concrete secret."""
+        if not 0 <= secret < (1 << self.secret_bits):
+            raise ValueError(
+                f"secret {secret:#x} out of range for {self.secret_bits} bits"
+            )
+        loads = []
+        for load in self.trace_fn(secret):
+            if load.label not in self.labels:
+                raise ValueError(
+                    f"victim {self.name!r} trace uses unknown label {load.label!r}"
+                )
+            if load.region not in self.region_pages:
+                raise ValueError(
+                    f"victim {self.name!r} trace uses unknown region {load.region!r}"
+                )
+            limit = self.region_pages[load.region] * PAGE_SIZE
+            if not 0 <= load.offset < limit:
+                raise ValueError(
+                    f"offset {load.offset:#x} outside region {load.region!r} "
+                    f"({limit:#x} bytes)"
+                )
+            if not load.taint:
+                load = TraceLoad(
+                    label=load.label,
+                    region=load.region,
+                    offset=load.offset,
+                    taint=frozenset({load.label}),
+                )
+            loads.append(load)
+        return loads
+
+    def oblivious(self) -> "VictimSpec | None":
+        """The secret-independent rewrite, when the victim defines one."""
+        return self.oblivious_fn() if self.oblivious_fn is not None else None
+
+    def indexes(self, index_bits: int = 8) -> dict[int, list[str]]:
+        """Prefetcher index → labels that map there (the aliasing targets)."""
+        by_index: dict[int, list[str]] = {}
+        for label in sorted(self.labels):
+            by_index.setdefault(low_bits(self.labels[label], index_bits), []).append(label)
+        return by_index

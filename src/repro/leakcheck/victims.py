@@ -1,0 +1,343 @@
+"""The paper's victims, described as :class:`VictimSpec`\\ s.
+
+Each spec mirrors the load structure of an existing simulator victim —
+same image bases, same instruction offsets, same per-step operand
+addressing — so the static verdict and the dynamic success rate talk about
+the same program.  Every registered victim also carries its *expected*
+verdict per defense; ``afterimage leakcheck --suite`` checks the whole
+matrix and is wired into ``make check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.variant1 import VICTIM_ELSE_OFFSET, VICTIM_IF_OFFSET, VICTIM_TEXT_BASE
+from repro.crypto.rsa import SquareAndMultiplyVictim, TimingConstantLadderVictim
+from repro.crypto.ttable import TTABLE_LOAD_OFFSET, ttable_offsets
+from repro.kernel.patterns import BatteryPropertySyscall, BluetoothTxSyscall
+from repro.kernel.syscalls import KERNEL_TEXT_BASE
+from repro.leakcheck.trace import TraceLoad, VictimSpec
+from repro.params import CACHE_LINE_SIZE
+
+#: Fixed known plaintext for the AES spec (the attacker's chosen input).
+AES_PLAINTEXT = bytes(range(16))
+
+#: All leaky victims flip to safe under every modeled defense.
+_LEAKY = {"none": "leaky", "tagged": "safe", "flush-on-switch": "safe", "oblivious": "safe"}
+_SAFE = {"none": "safe", "tagged": "safe", "flush-on-switch": "safe", "oblivious": "safe"}
+
+
+@dataclass(frozen=True)
+class RegisteredVictim:
+    """A spec plus the verdict matrix the suite asserts."""
+
+    spec: VictimSpec
+    expected: Mapping[str, str]
+
+
+def _bits_msb_first(secret: int, n_bits: int) -> list[tuple[int, int]]:
+    """(bit position, bit value) pairs in processing (MSB-first) order."""
+    return [(i, (secret >> i) & 1) for i in range(n_bits - 1, -1, -1)]
+
+
+# --------------------------------------------------------------------- #
+# Listing 1: the two-armed branch victim (Variant 1)                     #
+# --------------------------------------------------------------------- #
+
+
+def _branch_load_spec() -> VictimSpec:
+    labels = {
+        "victim_if_load": VICTIM_TEXT_BASE + VICTIM_IF_OFFSET,
+        "victim_else_load": VICTIM_TEXT_BASE + VICTIM_ELSE_OFFSET,
+    }
+
+    def trace(secret: int) -> list[TraceLoad]:
+        label = "victim_if_load" if secret else "victim_else_load"
+        return [TraceLoad(label=label, region="data", offset=0)]
+
+    def oblivious() -> VictimSpec:
+        return _oblivious_branch_spec()
+
+    return VictimSpec(
+        name="branch-load",
+        description="Listing 1: one load in each branch direction (Variant 1 victim)",
+        secret_bits=1,
+        labels=labels,
+        region_pages={"data": 1},
+        trace_fn=trace,
+        oblivious_fn=oblivious,
+    )
+
+
+def _oblivious_branch_spec() -> VictimSpec:
+    labels = {
+        "victim_if_load": VICTIM_TEXT_BASE + VICTIM_IF_OFFSET,
+        "victim_else_load": VICTIM_TEXT_BASE + VICTIM_ELSE_OFFSET,
+    }
+
+    def trace(_secret: int) -> list[TraceLoad]:
+        return [
+            TraceLoad(label="victim_if_load", region="data", offset=0),
+            TraceLoad(label="victim_else_load", region="data", offset=0),
+        ]
+
+    return VictimSpec(
+        name="oblivious-branch",
+        description="Listing 1 rewritten obliviously: both loads run, a mask selects",
+        secret_bits=1,
+        labels=labels,
+        region_pages={"data": 1},
+        trace_fn=trace,
+        # Already oblivious: the rewrite is itself.
+        oblivious_fn=_oblivious_branch_spec,
+    )
+
+
+# --------------------------------------------------------------------- #
+# RSA modular exponentiation (paper Figures 3-4, 8-bit exponent window)  #
+# --------------------------------------------------------------------- #
+
+_RSA_LABELS = {
+    "rsa_if_load": VICTIM_TEXT_BASE + SquareAndMultiplyVictim.IF_LOAD_OFFSET,
+    "rsa_else_load": VICTIM_TEXT_BASE + SquareAndMultiplyVictim.ELSE_LOAD_OFFSET,
+}
+_RSA_SIGN_LABELS = {
+    "rsa_sign_if_load": VICTIM_TEXT_BASE + TimingConstantLadderVictim.SIGN_IF_OFFSET,
+    "rsa_sign_else_load": VICTIM_TEXT_BASE + TimingConstantLadderVictim.SIGN_ELSE_OFFSET,
+}
+_RSA_BITS = 8
+
+
+def _operand(step: int) -> int:
+    """Byte offset of the operand line touched at exponent step ``step``."""
+    return step * CACHE_LINE_SIZE
+
+
+def _rsa_spec(name, description, per_bit, labels, oblivious_per_bit) -> VictimSpec:
+    def trace(secret: int) -> list[TraceLoad]:
+        loads: list[TraceLoad] = []
+        for step, (position, bit) in enumerate(_bits_msb_first(secret, _RSA_BITS)):
+            taint = frozenset({f"exp-bit{position}"})
+            for label in per_bit(bit):
+                loads.append(
+                    TraceLoad(
+                        label=label,
+                        region="operands",
+                        offset=_operand(step),
+                        taint=taint | {label},
+                    )
+                )
+        return loads
+
+    def oblivious() -> VictimSpec:
+        def oblivious_trace(_secret: int) -> list[TraceLoad]:
+            return [
+                TraceLoad(label=label, region="operands", offset=_operand(step))
+                for step in range(_RSA_BITS)
+                for label in oblivious_per_bit
+            ]
+
+        return VictimSpec(
+            name=f"{name}(oblivious)",
+            description=f"{description} — oblivious rewrite (all arms every bit)",
+            secret_bits=_RSA_BITS,
+            labels=labels,
+            region_pages={"operands": 1},
+            trace_fn=oblivious_trace,
+        )
+
+    return VictimSpec(
+        name=name,
+        description=description,
+        secret_bits=_RSA_BITS,
+        labels=labels,
+        region_pages={"operands": 1},
+        trace_fn=trace,
+        oblivious_fn=oblivious,
+    )
+
+
+def _square_multiply_spec() -> VictimSpec:
+    return _rsa_spec(
+        "rsa-square-multiply",
+        "square-and-multiply modexp: the multiply's operand load runs only for 1-bits",
+        per_bit=lambda bit: ["rsa_if_load"] if bit else [],
+        labels=_RSA_LABELS,
+        oblivious_per_bit=("rsa_if_load", "rsa_else_load"),
+    )
+
+
+def _montgomery_ladder_spec() -> VictimSpec:
+    return _rsa_spec(
+        "rsa-montgomery-ladder",
+        "Figure 3: both ladder directions multiply, each behind its own operand load",
+        per_bit=lambda bit: ["rsa_if_load" if bit else "rsa_else_load"],
+        labels=_RSA_LABELS,
+        oblivious_per_bit=("rsa_if_load", "rsa_else_load"),
+    )
+
+
+def _timing_constant_spec() -> VictimSpec:
+    return _rsa_spec(
+        "rsa-timing-constant",
+        "Figure 4: the ladder plus the X->s = ±s sign fix-up load per bit",
+        per_bit=lambda bit: (
+            ["rsa_if_load", "rsa_sign_if_load"]
+            if bit
+            else ["rsa_else_load", "rsa_sign_else_load"]
+        ),
+        labels={**_RSA_LABELS, **_RSA_SIGN_LABELS},
+        oblivious_per_bit=(
+            "rsa_if_load",
+            "rsa_else_load",
+            "rsa_sign_if_load",
+            "rsa_sign_else_load",
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# AES T-table: data-dependent address at a fixed IP                      #
+# --------------------------------------------------------------------- #
+
+
+def _aes_ttable_spec() -> VictimSpec:
+    labels = {"ttable_lookup": VICTIM_TEXT_BASE + TTABLE_LOAD_OFFSET}
+    key_taint = frozenset({f"key-bit{j}" for j in range(8)} | {"ttable_lookup"})
+    table_lines = 256 * 4 // CACHE_LINE_SIZE
+
+    def trace(secret: int) -> list[TraceLoad]:
+        key = bytes([secret]) * len(AES_PLAINTEXT)
+        return [
+            TraceLoad(label="ttable_lookup", region="ttable", offset=offset, taint=key_taint)
+            for offset in ttable_offsets(key, AES_PLAINTEXT)
+        ]
+
+    def oblivious() -> VictimSpec:
+        def scan(_secret: int) -> list[TraceLoad]:
+            # Constant-time table scan: touch every line, in order.
+            return [
+                TraceLoad(
+                    label="ttable_lookup", region="ttable", offset=line * CACHE_LINE_SIZE
+                )
+                for line in range(table_lines)
+            ]
+
+        return VictimSpec(
+            name="aes-ttable(oblivious)",
+            description="first-round lookups replaced by a full-table scan",
+            secret_bits=8,
+            labels=labels,
+            region_pages={"ttable": 1},
+            trace_fn=scan,
+        )
+
+    return VictimSpec(
+        name="aes-ttable",
+        description="table AES first round: 16 lookups at (pt[i]^k)*4 from one IP",
+        secret_bits=8,
+        labels=labels,
+        region_pages={"ttable": 1},
+        trace_fn=trace,
+        oblivious_fn=oblivious,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Kernel switch patterns (paper Figures 1-2)                             #
+# --------------------------------------------------------------------- #
+
+
+def _kernel_switch_spec(name, description, arms, text_offset, region) -> VictimSpec:
+    labels = {
+        arm: KERNEL_TEXT_BASE + text_offset + 0x40 * slot
+        for slot, arm in enumerate(arms)
+    }
+
+    def trace(secret: int) -> list[TraceLoad]:
+        slot = secret % len(arms)
+        return [
+            TraceLoad(
+                label=arms[slot], region=region, offset=slot * CACHE_LINE_SIZE
+            )
+        ]
+
+    def oblivious() -> VictimSpec:
+        def all_arms(_secret: int) -> list[TraceLoad]:
+            return [
+                TraceLoad(label=arm, region=region, offset=slot * CACHE_LINE_SIZE)
+                for slot, arm in enumerate(arms)
+            ]
+
+        return VictimSpec(
+            name=f"{name}(oblivious)",
+            description=f"{description} — every arm's load runs each call",
+            secret_bits=2,
+            labels=labels,
+            region_pages={region: 1},
+            trace_fn=all_arms,
+        )
+
+    return VictimSpec(
+        name=name,
+        description=description,
+        secret_bits=2,
+        labels=labels,
+        region_pages={region: 1},
+        trace_fn=trace,
+        oblivious_fn=oblivious,
+    )
+
+
+def _bluetooth_spec() -> VictimSpec:
+    return _kernel_switch_spec(
+        "kernel-bluetooth",
+        "Figure 1: hci_send_frame switch, one stat-counter load per packet type",
+        BluetoothTxSyscall.PACKET_TYPES,
+        0x2470,
+        "hdev-stat",
+    )
+
+
+def _battery_spec() -> VictimSpec:
+    return _kernel_switch_spec(
+        "kernel-battery",
+        "Figure 2: power-supply property getter, one val-field load per property",
+        BatteryPropertySyscall.PROPERTIES,
+        0x5310,
+        "psy-val",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Registry                                                               #
+# --------------------------------------------------------------------- #
+
+VICTIMS: dict[str, RegisteredVictim] = {
+    spec.name: RegisteredVictim(spec=spec, expected=expected)
+    for spec, expected in (
+        (_branch_load_spec(), _LEAKY),
+        (_oblivious_branch_spec(), _SAFE),
+        (_square_multiply_spec(), _LEAKY),
+        (_montgomery_ladder_spec(), _LEAKY),
+        (_timing_constant_spec(), _LEAKY),
+        (_aes_ttable_spec(), _LEAKY),
+        (_bluetooth_spec(), _LEAKY),
+        (_battery_spec(), _LEAKY),
+    )
+}
+
+
+def victim_names() -> list[str]:
+    """Registered victim names, in registration order."""
+    return list(VICTIMS)
+
+
+def get_victim(name: str) -> RegisteredVictim:
+    if name not in VICTIMS:
+        raise ValueError(
+            f"unknown victim {name!r} (known: {', '.join(victim_names())})"
+        )
+    return VICTIMS[name]

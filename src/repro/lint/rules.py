@@ -1,4 +1,4 @@
-"""Lint rules RL001–RL008: the conventions the reproduction depends on.
+"""Lint rules RL001–RL010: the conventions the reproduction depends on.
 
 Each rule is a class with a stable id, a one-line title, and an autofix
 hint.  Rules receive a :class:`~repro.lint.engine.FileContext` (parsed AST
@@ -381,6 +381,109 @@ class UnstableHashRule(Rule):
                 yield ctx.finding(self, node, "builtin hash() result varies across processes")
 
 
+class MutableDefaultRule(Rule):
+    """RL009 — mutable default arguments.
+
+    A ``def f(xs=[])`` default is evaluated once at definition time, so
+    every call shares (and mutates) one list.  In a simulator where attack
+    objects are constructed per experiment, a shared default silently
+    couples rounds the same way a global RNG would — results depend on
+    call history instead of the seed.
+    """
+
+    rule_id = "RL009"
+    title = "mutable default argument (shared across calls)"
+    hint = "default to None and create the list/dict/set inside the function body"
+
+    _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CONSTRUCTORS
+        )
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = node.name if not isinstance(node, ast.Lambda) else "<lambda>"
+                    yield ctx.finding(
+                        self, default,
+                        f"mutable default in `{name}()` is shared across all calls",
+                    )
+
+
+class AssertValidationRule(Rule):
+    """RL010 — ``assert`` used for input validation in library code.
+
+    ``python -O`` strips asserts, so an assert guarding a *caller-supplied*
+    value is a validation that can silently vanish.  The tell is an assert
+    whose condition mentions a parameter of the enclosing function: that is
+    the caller's input, and rejecting it must raise ``ValueError`` /
+    ``TypeError``.  Asserts over locals (``assert entry is not None``
+    narrowing, internal invariants) remain fine, as do tests — asserting is
+    what tests do.
+    """
+
+    rule_id = "RL010"
+    title = "bare assert validates a caller-supplied argument"
+    hint = "raise ValueError/TypeError for bad inputs; assert only internal invariants"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, "repro") and not _is_test_path(path)
+
+    @staticmethod
+    def _parameter_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+        args = func.args
+        names = [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return frozenset(names) - {"self", "cls"}
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Assert):
+                continue
+            enclosing = next(
+                (
+                    ancestor
+                    for ancestor in ctx.ancestors(node)
+                    if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ),
+                None,
+            )
+            if enclosing is None:
+                continue
+            params = self._parameter_names(enclosing)
+            referenced = sorted(
+                {
+                    name.id
+                    for name in ast.walk(node.test)
+                    if isinstance(name, ast.Name) and name.id in params
+                }
+            )
+            if referenced:
+                yield ctx.finding(
+                    self, node,
+                    f"assert checks parameter(s) {', '.join(referenced)} of "
+                    f"`{enclosing.name}()`; stripped under -O",
+                )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     StdlibRandomRule,
     NumpyRngRule,
@@ -390,4 +493,6 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MagicNumberRule,
     SlotsRule,
     UnstableHashRule,
+    MutableDefaultRule,
+    AssertValidationRule,
 )

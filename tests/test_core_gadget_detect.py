@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.detect import detect_stride, detect_stride_pairs, hot_pairs
-from repro.core.gadget import TrainingGadget
+from repro.core.gadget import MultiTargetTrainingGadget, TrainingGadget
 from repro.utils.bits import low_bits
 
 
@@ -105,6 +105,13 @@ class TestTrainingGadget:
         gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
         assert gadget.monitored_indexes == {0xE6, 0x3A}
 
+    def test_is_a_two_target_gadget(self, quiet_machine, attacker):
+        gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
+        assert isinstance(gadget, MultiTargetTrainingGadget)
+        assert gadget.ips == (gadget.if_ip, gadget.else_ip)
+        assert gadget.buffers == (gadget.train_if, gadget.train_else)
+        assert gadget.strides == (gadget.s1_lines, gadget.s2_lines)
+
     def test_retraining_after_clobber(self, quiet_machine, attacker):
         gadget = TrainingGadget(quiet_machine, attacker, 0x4018E6, 0x40193A)
         gadget.train()
@@ -115,3 +122,65 @@ class TestTrainingGadget:
         assert quiet_machine.ip_stride.entry_for_ip(gadget.if_ip).confidence == 1
         gadget.train()
         assert gadget.confidences()[0] >= 2
+
+
+class TestMultiTargetGadget:
+    TARGETS = [(0x4013A7, 5), (0x4014B2, 7), (0x4015C3, 11)]
+
+    @pytest.fixture
+    def attacker(self, quiet_machine):
+        ctx = quiet_machine.new_thread("attacker")
+        quiet_machine.context_switch(ctx)
+        return ctx
+
+    def test_empty_targets_rejected(self, quiet_machine, attacker):
+        with pytest.raises(ValueError):
+            MultiTargetTrainingGadget(quiet_machine, attacker, [])
+
+    def test_aliasing_targets_rejected(self, quiet_machine, attacker):
+        with pytest.raises(ValueError):
+            MultiTargetTrainingGadget(
+                quiet_machine, attacker, [(0x4013A7, 5), (0x4019A7, 7)]
+            )
+
+    def test_stride_out_of_range_rejected(self, quiet_machine, attacker):
+        with pytest.raises(ValueError):
+            MultiTargetTrainingGadget(quiet_machine, attacker, [(0x4013A7, 40)])
+
+    def test_trains_one_entry_per_target(self, quiet_machine, attacker):
+        gadget = MultiTargetTrainingGadget(quiet_machine, attacker, self.TARGETS)
+        gadget.train()
+        assert gadget.confidences() == (2, 2, 2)
+        assert gadget.monitored_indexes == {0xA7, 0xB2, 0xC3}
+        for ip, (target_ip, stride) in zip(gadget.ips, self.TARGETS):
+            assert low_bits(ip, 8) == low_bits(target_ip, 8)
+            entry = quiet_machine.ip_stride.entry_for_ip(ip)
+            assert entry.stride == stride * 64
+
+    def test_check_entry_reads_back_disturbance(self, quiet_machine, attacker):
+        gadget = MultiTargetTrainingGadget(quiet_machine, attacker, self.TARGETS)
+        gadget.train()
+        victim = quiet_machine.new_thread("victim")
+        quiet_machine.context_switch(victim)
+        buf = quiet_machine.new_buffer(victim.space, 4096)
+        quiet_machine.warm_tlb(victim, buf.base)
+        # The victim's single load aliases target 0 only.
+        quiet_machine.load(victim, 0x9913A7, buf.base)
+        quiet_machine.context_switch(attacker)
+        assert [gadget.check_entry(k) for k in range(3)] == [False, True, True]
+
+    def test_check_entry_out_of_range(self, quiet_machine, attacker):
+        gadget = MultiTargetTrainingGadget(quiet_machine, attacker, self.TARGETS)
+        gadget.train()
+        with pytest.raises(ValueError):
+            gadget.check_entry(3)
+
+    def test_check_entry_page_exhaustion(self, quiet_machine, attacker):
+        # Stride 13 on a 64-line page: train(3) ends at line 39, so exactly
+        # one check (39 -> probe 52) fits before the page runs out.
+        gadget = MultiTargetTrainingGadget(quiet_machine, attacker, [(0x4013A7, 13)])
+        gadget.train()
+        assert gadget.check_entry(0)
+        with pytest.raises(RuntimeError, match="retrain"):
+            gadget.check_entry(0)
+

@@ -59,6 +59,27 @@ class TestCodeRegion:
         assert a != b
         assert low_bits(a, 8) == low_bits(b, 8)
 
+    def test_place_aliasing_thousand_copies(self):
+        """~1k aliased copies stay distinct, aligned, and 256 bytes apart.
+
+        Regression test for the quadratic `candidate in labels.values()`
+        probe: with 1000 copies this finishes instantly on the set-based
+        implementation and took visible seconds on the old linear scan.
+        """
+        region = CodeRegion(0x600000)
+        target = 0x4013A7
+        ips = [region.place_aliasing(f"m{i}", target) for i in range(1000)]
+        assert len(set(ips)) == 1000
+        assert all(low_bits(ip, 8) == low_bits(target, 8) for ip in ips)
+        assert sorted(ips) == [ips[0] + 256 * i for i in range(1000)]
+
+    def test_place_aliasing_skips_directly_placed_ip(self):
+        region = CodeRegion(0x600000)
+        taken = region.place("direct", 0xA7)
+        aliased = region.place_aliasing("masq", 0x4013A7)
+        assert aliased == taken + 256
+        assert low_bits(aliased, 8) == 0xA7
+
     def test_aslr_slide_preserves_low_bits(self, quiet_machine):
         region = quiet_machine.code_region(0x400ABC)
         assert low_bits(region.base, 12) == 0xABC

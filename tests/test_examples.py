@@ -49,6 +49,12 @@ class TestExamples:
         out = run_example("leak_rsa_key.py", "--bits", "64")
         assert "recovered d == true d:     True" in out
 
+    def test_static_leakcheck(self):
+        out = run_example("static_leakcheck.py")
+        assert "verdict: leaky" in out
+        assert "verdicts agree" in out
+        assert "password-check=safe" in out
+
     @pytest.mark.slow
     def test_power_attack_assist(self):
         out = run_example("power_attack_assist.py")

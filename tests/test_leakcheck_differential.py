@@ -1,0 +1,167 @@
+"""Differential validation of repro.leakcheck (ISSUE 2, satellite 3).
+
+Fifty seeded random single-bit gadgets across five families — secret-
+dependent branch loads (two-sided and one-sided), oblivious double loads,
+constant loads, and stride-encoding loops — are each classified statically
+(`analyze`) and dynamically (`dynamic_leaky`, which runs the victim on the
+simulated machine and reads the prefetcher back with PSC canaries and
+footprint probes).  The two verdicts must agree on every gadget: the
+static analyzer is only trustworthy if it neither misses a dynamically
+demonstrable leak nor cries wolf on a dynamically silent victim.
+"""
+
+import pytest
+
+from repro.leakcheck import analyze
+from repro.leakcheck.dynamic import dynamic_leaky
+from repro.leakcheck.trace import TraceLoad, VictimSpec
+from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.utils.bits import low_bits
+from repro.utils.rng import make_rng
+
+VICTIM_CODE_BASE = 0x0040_0000
+
+#: Victim stride palette, in lines: small and disjoint from the analyzer's
+#: 7/11/13 canary palette so a victim stride can never masquerade as an
+#: undisturbed canary.
+VICTIM_STRIDES = (1, 2, 3, 4)
+
+
+def _random_ips(rng, n):
+    """``n`` victim load IPs with pairwise-distinct low 8 bits."""
+    ips = []
+    taken = set()
+    while len(ips) < n:
+        ip = VICTIM_CODE_BASE + int(rng.integers(0, 1 << 14))
+        if low_bits(ip, 8) not in taken:
+            taken.add(low_bits(ip, 8))
+            ips.append(ip)
+    return ips
+
+
+def _random_line(rng):
+    return int(rng.integers(0, PAGE_SIZE // CACHE_LINE_SIZE)) * CACHE_LINE_SIZE
+
+
+def _spec(name, labels, trace_fn):
+    return VictimSpec(
+        name=name,
+        description=f"random differential gadget {name}",
+        secret_bits=1,
+        labels=labels,
+        region_pages={"data": 1},
+        trace_fn=trace_fn,
+    )
+
+
+def branch_two_ips(seed):
+    """if (bit) load A else load B — the canonical AfterImage victim."""
+    rng = make_rng(seed)
+    if_ip, else_ip = _random_ips(rng, 2)
+    if_off, else_off = _random_line(rng), _random_line(rng)
+    return _spec(
+        f"branch-two-ips-{seed}",
+        {"if_load": if_ip, "else_load": else_ip},
+        lambda bit: [
+            TraceLoad("if_load", "data", if_off)
+            if bit
+            else TraceLoad("else_load", "data", else_off)
+        ],
+    )
+
+
+def branch_one_sided(seed):
+    """if (bit) load A — square-and-multiply's shape."""
+    rng = make_rng(seed)
+    (ip,) = _random_ips(rng, 1)
+    off = _random_line(rng)
+    return _spec(
+        f"branch-one-sided-{seed}",
+        {"cond_load": ip},
+        lambda bit: [TraceLoad("cond_load", "data", off)] if bit else [],
+    )
+
+
+def oblivious_pair(seed):
+    """Both arms always execute — the classic constant-flow rewrite."""
+    rng = make_rng(seed)
+    if_ip, else_ip = _random_ips(rng, 2)
+    if_off, else_off = _random_line(rng), _random_line(rng)
+    return _spec(
+        f"oblivious-{seed}",
+        {"if_load": if_ip, "else_load": else_ip},
+        lambda bit: [
+            TraceLoad("if_load", "data", if_off),
+            TraceLoad("else_load", "data", else_off),
+        ],
+    )
+
+
+def constant(seed):
+    """A secret-independent strided loop — ordinary innocent code."""
+    rng = make_rng(seed)
+    (ip,) = _random_ips(rng, 1)
+    stride = VICTIM_STRIDES[int(rng.integers(0, len(VICTIM_STRIDES)))]
+    return _spec(
+        f"constant-{seed}",
+        {"loop_load": ip},
+        lambda bit: [
+            TraceLoad("loop_load", "data", i * stride * CACHE_LINE_SIZE)
+            for i in range(4)
+        ],
+    )
+
+
+def stride_encode(seed):
+    """One IP, stride chosen by the secret bit: both secrets leave a live
+    entry, so only the *stride/footprint* divergence reveals the bit."""
+    rng = make_rng(seed)
+    (ip,) = _random_ips(rng, 1)
+    s0 = VICTIM_STRIDES[int(rng.integers(0, len(VICTIM_STRIDES)))]
+    s1 = s0
+    while s1 == s0:
+        s1 = VICTIM_STRIDES[int(rng.integers(0, len(VICTIM_STRIDES)))]
+    return _spec(
+        f"stride-encode-{seed}",
+        {"loop_load": ip},
+        lambda bit: [
+            TraceLoad("loop_load", "data", i * (s1 if bit else s0) * CACHE_LINE_SIZE)
+            for i in range(4)
+        ],
+    )
+
+
+FAMILIES = {
+    branch_two_ips: True,
+    branch_one_sided: True,
+    oblivious_pair: False,
+    constant: False,
+    stride_encode: True,
+}
+
+CASES = [
+    pytest.param(family, seed, id=f"{family.__name__}-{seed}")
+    for family in FAMILIES
+    for seed in range(10)
+]
+
+
+class TestStaticDynamicAgreement:
+    @pytest.mark.parametrize("family, seed", CASES)
+    def test_verdicts_agree(self, family, seed):
+        spec = family(seed)
+        static = analyze(spec)
+        dynamic = dynamic_leaky(spec, seed=seed)
+        assert static.leaky == dynamic, (
+            f"{spec.name}: static says {static.verdict}, "
+            f"dynamic says {'leaky' if dynamic else 'safe'}"
+        )
+        assert static.leaky == FAMILIES[family]
+
+    @pytest.mark.parametrize(
+        "family", [branch_two_ips, stride_encode], ids=lambda f: f.__name__
+    )
+    def test_defended_gadgets_go_safe_statically(self, family):
+        spec = family(0)
+        for defense in ("tagged", "flush-on-switch"):
+            assert not analyze(spec, defense=defense).leaky

@@ -236,6 +236,111 @@ class TestUnstableHash:
 
 
 # --------------------------------------------------------------------- #
+# RL009 — mutable default arguments                                      #
+# --------------------------------------------------------------------- #
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        source = "def f(xs=[]):\n    return xs\n"
+        assert "RL009" in rule_ids(lint(source))
+
+    def test_dict_literal_flagged(self):
+        source = "def f(table={}):\n    return table\n"
+        assert "RL009" in rule_ids(lint(source))
+
+    def test_constructor_call_flagged(self):
+        source = "def f(xs=list()):\n    return xs\n"
+        assert "RL009" in rule_ids(lint(source))
+
+    def test_kwonly_default_flagged(self):
+        source = "def f(*, xs=set()):\n    return xs\n"
+        assert "RL009" in rule_ids(lint(source))
+
+    def test_lambda_default_flagged(self):
+        source = "g = lambda xs=[]: xs\n"
+        assert "RL009" in rule_ids(lint(source))
+
+    def test_comprehension_default_flagged(self):
+        source = "def f(xs=[i for i in range(3)]):\n    return xs\n"
+        assert "RL009" in rule_ids(lint(source))
+
+    def test_none_sentinel_clean(self):
+        source = (
+            "def f(xs=None):\n"
+            "    if xs is None:\n"
+            "        xs = []\n"
+            "    return xs\n"
+        )
+        assert lint(source) == []
+
+    def test_immutable_defaults_clean(self):
+        source = "def f(xs=(), name='x', n=0, mask=frozenset()):\n    return xs\n"
+        assert lint(source) == []
+
+    def test_flagged_in_tests_too(self):
+        source = "def f(xs=[]):\n    return xs\n"
+        assert "RL009" in rule_ids(lint(source, path=TEST_PATH))
+
+
+# --------------------------------------------------------------------- #
+# RL010 — assert used for input validation                               #
+# --------------------------------------------------------------------- #
+
+
+class TestAssertValidation:
+    def test_assert_on_parameter_flagged(self):
+        source = "def f(stride):\n    assert stride > 0\n    return stride\n"
+        assert "RL010" in rule_ids(lint(source))
+
+    def test_assert_on_kwonly_parameter_flagged(self):
+        source = "def f(*, n_bits):\n    assert n_bits <= 8\n"
+        assert "RL010" in rule_ids(lint(source))
+
+    def test_message_names_parameter(self):
+        findings = lint("def f(stride):\n    assert stride > 0\n")
+        messages = [f.message for f in findings if f.rule == "RL010"]
+        assert messages and "stride" in messages[0]
+
+    def test_raise_clean(self):
+        source = (
+            "def f(stride):\n"
+            "    if stride <= 0:\n"
+            "        raise ValueError('stride must be positive')\n"
+            "    return stride\n"
+        )
+        assert lint(source) == []
+
+    def test_assert_on_local_clean(self):
+        source = (
+            "def f(label):\n"
+            "    entry = lookup(label)\n"
+            "    assert entry is not None\n"
+            "    return entry\n"
+        )
+        assert lint(source) == []
+
+    def test_assert_on_self_attribute_clean(self):
+        source = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        assert self.ready\n"
+        )
+        assert lint(source) == []
+
+    def test_module_level_assert_clean(self):
+        assert lint("assert True\n") == []
+
+    def test_exempt_in_tests(self):
+        source = "def test_f(quiet_machine):\n    assert quiet_machine.cycles == 0\n"
+        assert lint(source, path=TEST_PATH) == []
+
+    def test_noqa_suppresses(self):
+        source = "def f(stride):\n    assert stride > 0  # repro: noqa[RL010]\n"
+        assert lint(source) == []
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour: suppression, syntax errors, JSON, CLI                #
 # --------------------------------------------------------------------- #
 
