@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-json leakcheck bench check
+.PHONY: test test-sanitize lint lint-json leakcheck bench bench-figures check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,11 +20,18 @@ lint-json:
 leakcheck:
 	$(PYTHON) -m repro.leakcheck --suite
 
+# Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json.
 bench:
+	$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json
+
+# The paper-figure pytest benchmarks (the old `make bench`).
+bench-figures:
 	$(PYTHON) -m pytest benchmarks -q
 
-# The CI gate: static analysis, the leakage-verdict matrix, and a
-# sanitizer-instrumented smoke slice of the test suite.
+# The CI gate: static analysis, the leakage-verdict matrix, a
+# sanitizer-instrumented smoke slice of the test suite, and the
+# observability overhead/determinism tests.
 check: lint leakcheck
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q tests/test_examples.py tests/test_leakcheck.py
+	$(PYTHON) -m pytest -x -q tests/test_obs.py tests/test_obs_metrics.py tests/test_obs_overhead.py
 	@echo "check: all gates passed"

@@ -1,0 +1,98 @@
+"""Observability benchmark: wall-clock and simulated-cycle totals per attack.
+
+Runs every attack the :mod:`repro.obs.runner` knows through one untraced
+machine each and writes ``BENCH_obs.json`` — the `make bench` artifact that
+lets sessions compare simulator throughput over time::
+
+    python benchmarks/bench_obs.py --out BENCH_obs.json --rounds-scale 0.5
+
+Wall-clock numbers come from the profiler's host-time column and are of
+course machine-dependent; the simulated-cycle totals are deterministic for
+a given seed and the real regression signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.obs.runner import ATTACK_NAMES, DEFAULT_ROUNDS, run_attack
+from repro.params import preset
+
+#: Bump when the JSON layout changes so downstream diffing can gate on it.
+SCHEMA_VERSION = 1
+
+
+def bench(
+    machine_name: str, seed: int, rounds_scale: float, attacks: Sequence[str]
+) -> dict:
+    """Run each attack once; returns the JSON-ready result document."""
+    params = preset(machine_name)
+    results = []
+    for name in attacks:
+        rounds = max(1, int(DEFAULT_ROUNDS[name] * rounds_scale))
+        run = run_attack(name, params, seed=seed, rounds=rounds)
+        total = run.machine.profile["total"]
+        results.append(
+            {
+                "attack": name,
+                "rounds": rounds,
+                "quality": run.quality,
+                "detail": run.detail,
+                "simulated_cycles": run.machine.cycles,
+                "wall_seconds": round(total.wall_seconds, 4),
+                "cycles_per_wall_second": (
+                    round(run.machine.cycles / total.wall_seconds)
+                    if total.wall_seconds > 0
+                    else None
+                ),
+                "spans": run.machine.profile.as_dict(),
+            }
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_name,
+        "seed": seed,
+        "rounds_scale": rounds_scale,
+        "results": results,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument("--machine", default="i7-9700")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--rounds-scale",
+        type=float,
+        default=1.0,
+        help="multiply every attack's default round count (0.25 for a quick pass)",
+    )
+    parser.add_argument(
+        "--attacks",
+        nargs="*",
+        default=list(ATTACK_NAMES),
+        choices=ATTACK_NAMES,
+        help="subset of attacks to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    document = bench(args.machine, args.seed, args.rounds_scale, args.attacks)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    for result in document["results"]:
+        print(
+            f"{result['attack']:16s} {result['rounds']:4d} rounds  "
+            f"{result['simulated_cycles']:>13,} cycles  "
+            f"{result['wall_seconds']:8.3f} s  quality {result['quality']:.2f}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

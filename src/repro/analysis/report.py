@@ -153,4 +153,17 @@ def generate_report(
         )
     )
 
-    return _fmt(rows)
+    # Machine metrics (repro.obs): the cross-thread Variant 1 machine's
+    # counter snapshot after its measurement rounds — the same numbers
+    # `afterimage metrics` prints, inlined so a report archives them.
+    sections = [
+        _fmt(rows),
+        "## Machine metrics",
+        "",
+        "Variant 1 cross-thread machine after its "
+        f"{rounds} measurement rounds (seed {seed}):",
+        "",
+        ct.machine.metrics().render_markdown(),
+        "",
+    ]
+    return "\n".join(sections)

@@ -10,6 +10,8 @@ Installed as the ``afterimage`` console script::
     afterimage covert --entries 24
     afterimage lint src tests --format json
     afterimage leakcheck --suite
+    afterimage trace variant1 --out run.trace.json
+    afterimage metrics covert --format json
 
 Each subcommand prints the corresponding figure/table series, like the
 benchmark suite, but without pytest in the loop.
@@ -18,9 +20,11 @@ benchmark suite, but without pytest in the loop.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Callable, Sequence
 
+from repro.obs.runner import ATTACK_NAMES
 from repro.params import MachineParams, preset
 from repro.utils.rng import make_rng
 
@@ -236,6 +240,39 @@ def cmd_tracker(params: MachineParams, args: argparse.Namespace) -> None:
     )
 
 
+def cmd_trace(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.obs.runner import run_attack
+    from repro.obs.sinks import ChromeTraceSink, RingBufferSink
+    from repro.obs.tracer import Tracer
+
+    ring = RingBufferSink(capacity=None)
+    chrome = ChromeTraceSink(args.out, cycles_per_us=params.frequency_hz / 1e6)
+    tracer = Tracer([ring, chrome])
+    run = run_attack(args.attack, params, seed=args.seed, rounds=args.rounds, trace=tracer)
+    tracer.close()
+    counts: dict[str, int] = {}
+    for event in ring.events():
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    print(f"{run.name}: {run.detail}")
+    _table(sorted(counts.items()), ("event", "count"))
+    print(f"wrote {args.out}: {len(ring)} events over {run.machine.cycles} cycles")
+
+
+def cmd_metrics(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.obs.runner import run_attack
+
+    run = run_attack(args.attack, params, seed=args.seed, rounds=args.rounds)
+    registry = run.machine.metrics()
+    if args.format == "json":
+        print(json.dumps({"run": run.as_dict(), "metrics": registry.as_dict()}, indent=2))
+        return
+    print(f"{run.name}: {run.detail}")
+    print()
+    print(registry.render_text())
+    print()
+    print(run.machine.profile.render_text())
+
+
 _COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig06": (cmd_fig06, "Figure 6: IP indexing microbenchmark"),
     "fig07": (cmd_fig07, "Figure 7: stride update policy"),
@@ -250,6 +287,8 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "ttest": (cmd_ttest, "Figure 16: TVLA t-test"),
     "mitigation": (cmd_mitigation, "Section 8.3: mitigation cost study"),
     "report": (cmd_report, "Run headline experiments, emit a markdown report"),
+    "trace": (cmd_trace, "Run an attack with tracing, write a Chrome trace_event file"),
+    "metrics": (cmd_metrics, "Run an attack, dump the machine's metrics registry"),
 }
 
 
@@ -294,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--rounds", type=int, default=100)
             cmd.add_argument("--quick", action="store_true")
             cmd.add_argument("-o", "--output", default=None)
+        if name in ("trace", "metrics"):
+            cmd.add_argument("attack", choices=ATTACK_NAMES)
+            cmd.add_argument("--rounds", type=int, default=None)
+        if name == "trace":
+            cmd.add_argument("--out", default="run.trace.json")
+        if name == "metrics":
+            cmd.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 
 
@@ -306,7 +352,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "lint":
             # The linter takes no machine model; dispatch before preset lookup.
-            from repro.lint.engine import main as lint_main
+            from repro.lint.cli import main as lint_main
 
             lint_argv = list(args.paths) + ["--format", args.format]
             if args.select:

@@ -252,15 +252,18 @@ class CovertChannel:
         for start in range(0, len(symbols), self.n_entries):
             batch = symbols[start : start + self.n_entries]
             self.machine.context_switch(self.sender_ctx)
-            self.send_symbols(batch)
+            with self.machine.span("send"):
+                self.send_symbols(batch)
             self.machine.context_switch(self.receiver_ctx)
-            received = self.receive_symbols()
+            with self.machine.span("receive"):
+                received = self.receive_symbols()
             for sent, (value, hits) in zip(batch, received):
                 rounds.append(
                     CovertRoundResult(sent_value=sent, received_value=value, hot_lines=hits)
                 )
             # Rendezvous overhead: the dominant cost of a round (§7.2).
-            self.machine.advance(RENDEZVOUS_QUANTA * DEFAULT_QUANTUM_CYCLES)
+            with self.machine.span("rendezvous"):
+                self.machine.advance(RENDEZVOUS_QUANTA * DEFAULT_QUANTUM_CYCLES)
         return CovertChannelReport(
             rounds=rounds,
             cycles=self.machine.cycles - start_cycles,

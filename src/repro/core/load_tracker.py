@@ -148,13 +148,16 @@ class LoadTimingTracker:
         it.
         """
         self.machine.context_switch(self.attacker_ctx)
-        self.psc.train()
+        with self.machine.span("train"):
+            self.psc.train()
         samples: list[TrackerSample] = []
         for poll in range(self.victim.total_slices):
             self.machine.context_switch(self.victim.ctx)  # sched_yield()
-            phase = self.victim.work_slice()
+            with self.machine.span("victim"):
+                phase = self.victim.work_slice()
             self.machine.context_switch(self.attacker_ctx)
-            observation = self.psc.check()
+            with self.machine.span("check"):
+                observation = self.psc.check()
             samples.append(
                 TrackerSample(
                     poll_index=poll,

@@ -161,20 +161,23 @@ class TimingConstantRSAAttack:
                 self.victim.run_to_completion()
                 break
             self.machine.context_switch(self.attacker_ctx)
-            self.psc.train()
+            with self.machine.span("train"):
+                self.psc.train()
             self.machine.context_switch(self.victim_ctx)  # sched_yield()
             steps = 1
             if self._slip_rng.random() < self.sync_slip_prob and self.victim.running:
                 # Scheduler slip: the victim gets two slices back-to-back.
                 steps = 2
             consumed = 0
-            for _ in range(steps):
-                if not self.victim.running:
-                    break
-                self.victim.step()
-                consumed += 1
+            with self.machine.span("victim"):
+                for _ in range(steps):
+                    if not self.victim.running:
+                        break
+                    self.victim.step()
+                    consumed += 1
             self.machine.context_switch(self.attacker_ctx)  # victim yields back
-            observation = self.psc.check()
+            with self.machine.span("check"):
+                observation = self.psc.check()
             # A slipped observation covers two ladder steps; the attacker
             # notices the double-length victim turn and discards the vote.
             vote: int | None

@@ -167,12 +167,16 @@ class Variant1CrossThread(_Variant1Base):
         """One observation round: train → prime → victim → probe → classify."""
         line = self._pick_line(line)
         self.machine.context_switch(self.attacker_ctx)
-        self.gadget.train()
-        self.prime_probe.prime()
+        with self.machine.span("train"):
+            self.gadget.train()
+        with self.machine.span("prime"):
+            self.prime_probe.prime()
         self.machine.context_switch(self.victim_ctx)
-        self.victim.run(secret_bit, line)
+        with self.machine.span("victim"):
+            self.victim.run(secret_bit, line)
         self.machine.context_switch(self.attacker_ctx)
-        samples = self.prime_probe.probe()
+        with self.machine.span("probe"):
+            samples = self.prime_probe.probe()
         hot = [s.set_ordinal for s in samples if s.delta >= PROBE_DELTA_THRESHOLD]
         return RoundResult(
             true_bit=secret_bit,
@@ -225,12 +229,16 @@ class Variant1CrossProcess(_Variant1Base):
         """One observation round: train → flush → victim → reload → classify."""
         line = self._pick_line(line)
         self.machine.context_switch(self.attacker_ctx)
-        self.gadget.train()
-        self.flush_reload.flush()
+        with self.machine.span("train"):
+            self.gadget.train()
+        with self.machine.span("flush"):
+            self.flush_reload.flush()
         self.machine.context_switch(self.victim_ctx)
-        self.victim.run(secret_bit, line)
+        with self.machine.span("victim"):
+            self.victim.run(secret_bit, line)
         self.machine.context_switch(self.attacker_ctx)
-        hot = self.flush_reload.hit_lines()
+        with self.machine.span("reload"):
+            hot = self.flush_reload.hit_lines()
         return RoundResult(
             true_bit=secret_bit,
             inferred_bit=self._infer(hot),

@@ -87,7 +87,8 @@ class Variant2UserKernel:
 
     def find_target_index(self, demand_line: int = 20) -> IPSearchResult:
         """Run the §5.2 IP search; caches the found index for run_round."""
-        result = self.searcher.search(demand_line)
+        with self.machine.span("ip-search"):
+            result = self.searcher.search(demand_line)
         self._search_result = result
         self._target_index = result.index
         return result
@@ -106,10 +107,14 @@ class Variant2UserKernel:
         if self._target_index is None:
             raise RuntimeError("run find_target_index() before attacking")
         self.machine.context_switch(self.attacker_ctx)
-        self._train_target()
-        self.flush_reload.flush()
-        self._trigger_syscall(demand_line)
-        hits = self.flush_reload.hit_lines()
+        with self.machine.span("train"):
+            self._train_target()
+        with self.machine.span("flush"):
+            self.flush_reload.flush()
+        with self.machine.span("syscall"):
+            self._trigger_syscall(demand_line)
+        with self.machine.span("reload"):
+            hits = self.flush_reload.hit_lines()
         inferred = bool(hot_pairs(hits, self.stride_lines))
         return KernelRoundResult(
             true_taken=self.syscall.executions[-1],

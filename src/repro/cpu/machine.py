@@ -27,6 +27,10 @@ from repro.mmu.aslr import Aslr
 from repro.mmu.buffer import Buffer
 from repro.mmu.page_table import PhysicalMemory
 from repro.mmu.tlb import TLB
+from repro.obs.events import Clflush, ContextSwitch, LoadTraced, PrefetchIssued
+from repro.obs.metrics import Histogram, MetricsRegistry, latency_bounds, snapshot
+from repro.obs.profiler import Span, SpanProfile
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.params import CACHE_LINE_SIZE, PAGE_SIZE, DEFAULT_MACHINE, MachineParams
 from repro.prefetch.adjacent import AdjacentPrefetcher
 from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest
@@ -55,6 +59,7 @@ class Machine:
         params: MachineParams = DEFAULT_MACHINE,
         seed: int | None = None,
         sanitize: bool | None = None,
+        trace: Tracer | bool | None = None,
     ) -> None:
         self.params = params
         self.rng = make_rng(seed)
@@ -76,14 +81,31 @@ class Machine:
         if params.enable_streamer_prefetcher:
             self.noise_prefetchers.append(StreamerPrefetcher())
 
+        #: Structured tracing (repro.obs); NULL_TRACER when off, so every
+        #: hook site pays a single ``enabled`` attribute check.
+        self.tracer = resolve_tracer(trace)
+        #: Cycle-attribution profiler aggregate (``with machine.span(...)``);
+        #: always collected — spans are rare compared to loads.
+        self.profile = SpanProfile()
+        #: Measured-latency histogram straddling the LLC-hit threshold;
+        #: always populated — one bisect over ~5 bounds per load.
+        self.latency_histogram = Histogram(latency_bounds(params))
+        for component in (self.hierarchy, self.tlb, self.ip_stride):
+            component.tracer = self.tracer
+            component.clock = self._clock
+
         #: Runtime invariant auditing (repro.sanitize); ``None`` when off, so
         #: the hot path pays a single identity test per load.
         self.sanitizer: Sanitizer | None = (
             Sanitizer(self) if sanitize_enabled(sanitize) else None
         )
 
+        #: Per-machine ASID sequence: kernel gets 1, user spaces 2, 3, ...
+        #: (a process-global counter would make same-seed traces differ).
+        self._next_asid = 1
         self.kernel_space = AddressSpace(
-            "kernel", self.physical, aslr=self.kaslr, global_pages=True
+            "kernel", self.physical, aslr=self.kaslr, global_pages=True,
+            asid=self._alloc_asid(),
         )
         if self.sanitizer is not None:
             self.sanitizer.register_space(self.kernel_space)
@@ -118,9 +140,14 @@ class Machine:
     # Construction helpers                                                #
     # ------------------------------------------------------------------ #
 
+    def _alloc_asid(self) -> int:
+        asid = self._next_asid
+        self._next_asid += 1
+        return asid
+
     def new_address_space(self, name: str) -> AddressSpace:
         """Create a fresh user address space (one per process)."""
-        space = AddressSpace(name, self.physical, aslr=self.aslr)
+        space = AddressSpace(name, self.physical, aslr=self.aslr, asid=self._alloc_asid())
         if self.sanitizer is not None:
             self.sanitizer.register_space(space)
         return space
@@ -192,10 +219,34 @@ class Machine:
                 # leaves the prefetcher state untouched — only the next-page
                 # prefetcher may carry a pattern across.
                 for request in self.ip_stride.observe_tlb_miss(event):
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            PrefetchIssued(
+                                cycle=self.cycles,
+                                source=request.source,
+                                paddr=request.paddr,
+                                trigger_ip=ip,
+                            )
+                        )
                     self.hierarchy.insert_prefetch(request.paddr)
                     issued.append(request)
         latency = self._timing.measured(translation.latency + result.latency)
         self._charge(ctx, latency)
+        self.latency_histogram.observe(latency)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LoadTraced(
+                    cycle=self.cycles,
+                    ip=ip,
+                    vaddr=vaddr,
+                    paddr=translation.paddr,
+                    level=int(result.level),
+                    latency=latency,
+                    tlb_hit=translation.tlb_hit,
+                    fenced=fenced,
+                    asid=ctx.space.asid,
+                )
+            )
         if self.sanitizer is not None:
             self.sanitizer.after_load(event, translation, issued)
         return latency
@@ -210,6 +261,15 @@ class Machine:
         issued: list[PrefetchRequest] = []
         for prefetcher in (self.ip_stride, *self.noise_prefetchers):
             for request in prefetcher.observe(event, translate):
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        PrefetchIssued(
+                            cycle=self.cycles,
+                            source=request.source,
+                            paddr=request.paddr,
+                            trigger_ip=event.ip,
+                        )
+                    )
                 self.hierarchy.insert_prefetch(request.paddr)
                 issued.append(request)
         return issued
@@ -219,6 +279,8 @@ class Machine:
         paddr = ctx.space.translate(vaddr)
         self.hierarchy.clflush(paddr)
         self._charge(ctx, CLFLUSH_CYCLES)
+        if self.tracer.enabled:
+            self.tracer.emit(Clflush(cycle=self.cycles, vaddr=vaddr, paddr=paddr))
 
     def flush_buffer(self, ctx: ThreadContext, buffer: Buffer) -> None:
         """clflush every line of ``buffer`` (the Flush stage of F+R)."""
@@ -274,6 +336,15 @@ class Machine:
         if self.flush_prefetcher_on_switch:
             self.run_prefetcher_clear()
         self.current = to_ctx
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ContextSwitch(
+                    cycle=self.cycles,
+                    from_ctx=None if from_ctx is None else from_ctx.name,
+                    to_ctx=to_ctx.name,
+                    cross_space=cross_space,
+                )
+            )
         if self.sanitizer is not None:
             self.sanitizer.after_switch()
 
@@ -347,7 +418,55 @@ class Machine:
                 asid=self.kernel_space.asid,
             )
             for request in self.ip_stride.observe(event, lambda _vaddr: None):
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        PrefetchIssued(
+                            cycle=self.cycles,
+                            source=request.source,
+                            paddr=request.paddr,
+                            trigger_ip=ip,
+                        )
+                    )
                 self.hierarchy.insert_prefetch(request.paddr)
+
+    # ------------------------------------------------------------------ #
+    # Observability                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _clock(self) -> int:
+        """Cycle source handed to instrumented components."""
+        return self.cycles
+
+    def span(self, name: str) -> Span:
+        """Open a cycle-attribution span: ``with machine.span("train"): ...``
+
+        The span always feeds ``machine.profile``; ``SpanBegin``/``SpanEnd``
+        events are additionally emitted while tracing is enabled.
+        """
+        return Span(self.profile, name, machine=self)
+
+    def metrics(self) -> MetricsRegistry:
+        """Snapshot every component counter (see repro.obs.metrics)."""
+        return snapshot(self)
+
+    def reset_stats(self) -> None:
+        """Zero every statistics counter across the machine.
+
+        Symmetric by construction: the hierarchy (including prefetch-fill
+        and accuracy counters), every cache level, the TLB, the IP-stride
+        prefetcher and all noise prefetchers, the latency histogram, and
+        the machine's own switch/IRQ counters all reset together.  The
+        cycle clock and all learned µarch state survive — this resets
+        *measurements*, not the machine.
+        """
+        self.hierarchy.reset_stats()
+        self.tlb.reset_stats()
+        self.ip_stride.reset_stats()
+        for prefetcher in self.noise_prefetchers:
+            prefetcher.reset_stats()
+        self.latency_histogram.reset()
+        self.context_switches = 0
+        self.timer_interrupts = 0
 
     # ------------------------------------------------------------------ #
     # Inspection                                                          #

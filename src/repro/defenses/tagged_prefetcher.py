@@ -55,6 +55,11 @@ class TaggedIPStridePrefetcher(Prefetcher):
         self.prefetches_issued = 0
         self.evictions = 0
 
+    def reset_stats(self) -> None:
+        """Zero statistics counters; the tagged table is untouched."""
+        self.prefetches_issued = 0
+        self.evictions = 0
+
     def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
         key = (event.asid, event.ip)
         slot = self._key_to_slot.get(key)

@@ -20,7 +20,8 @@ the rule catalogue.
 
 from __future__ import annotations
 
-from repro.lint.engine import Finding, lint_paths, lint_source, main, render_json, render_text
+from repro.lint.cli import main
+from repro.lint.engine import Finding, lint_paths, lint_source, render_json, render_text
 from repro.lint.rules import ALL_RULES, Rule
 
 __all__ = [

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.lint.engine import main
+from repro.lint.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

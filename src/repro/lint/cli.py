@@ -1,0 +1,52 @@
+"""Command-line front end for the lint pass.
+
+Split from :mod:`repro.lint.engine` so the engine stays a pure library —
+RL011 (no ``print()`` in library code) applies to the engine itself; all
+terminal output lives here, in a ``cli.py`` the rule exempts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.lint.engine import lint_paths, render_json, render_text
+from repro.lint.rules import ALL_RULES
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.lint`` / ``afterimage lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static-analysis pass enforcing this repo's modelling conventions.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--select",
+        metavar="RLxxx[,RLxxx...]",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.rule_id}  {rule_cls.title}")
+        return 0
+
+    only = args.select.split(",") if args.select else None
+    try:
+        findings, n_files = lint_paths(args.paths, only=only)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro.lint: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, n_files))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

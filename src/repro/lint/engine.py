@@ -7,11 +7,9 @@ can gate its own CI.
 
 from __future__ import annotations
 
-import argparse
 import ast
 import json
 import re
-import sys
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -180,33 +178,7 @@ def render_json(findings: Sequence[Finding], n_files: int) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point: ``python -m repro.lint`` / ``afterimage lint``."""
-    parser = argparse.ArgumentParser(
-        prog="repro.lint",
-        description="Static-analysis pass enforcing this repo's modelling conventions.",
-    )
-    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
-    parser.add_argument(
-        "--select",
-        metavar="RLxxx[,RLxxx...]",
-        default=None,
-        help="comma-separated rule ids to run (default: all)",
-    )
-    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
-    args = parser.parse_args(argv)
+    """Deprecated shim — the CLI moved to :mod:`repro.lint.cli`."""
+    from repro.lint.cli import main as cli_main
 
-    if args.list_rules:
-        for rule_cls in ALL_RULES:
-            print(f"{rule_cls.rule_id}  {rule_cls.title}")
-        return 0
-
-    only = args.select.split(",") if args.select else None
-    try:
-        findings, n_files = lint_paths(args.paths, only=only)
-    except (FileNotFoundError, ValueError) as error:
-        print(f"repro.lint: {error}", file=sys.stderr)
-        return 2
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings, n_files))
-    return 1 if findings else 0
+    return cli_main(argv)

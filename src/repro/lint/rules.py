@@ -1,4 +1,4 @@
-"""Lint rules RL001–RL010: the conventions the reproduction depends on.
+"""Lint rules RL001–RL011: the conventions the reproduction depends on.
 
 Each rule is a class with a stable id, a one-line title, and an autofix
 hint.  Rules receive a :class:`~repro.lint.engine.FileContext` (parsed AST
@@ -484,6 +484,36 @@ class AssertValidationRule(Rule):
                 )
 
 
+class PrintRule(Rule):
+    """RL011 — ``print()`` in library code.
+
+    Library modules are imported by experiments, tests and the
+    observability tooling; a stray ``print()`` in one of them pollutes
+    machine-readable output (``--format json``, JSONL traces, benchmark
+    dumps) and cannot be silenced by callers.  Terminal output belongs in
+    the CLI front ends (``cli.py`` / ``__main__.py``) and in examples;
+    everything else returns data and lets the caller render it.
+    """
+
+    rule_id = "RL011"
+    title = "print() call in library code (return data; render in cli.py)"
+    hint = "move the output to a cli.py/__main__.py front end or return the string"
+
+    def applies_to(self, path: str) -> bool:
+        if not _in_package(path, "repro") or _is_test_path(path):
+            return False
+        return path.split("/")[-1] not in ("cli.py", "__main__.py")
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(self, node, "print() bypasses the caller's output channel")
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     StdlibRandomRule,
     NumpyRngRule,
@@ -495,4 +525,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     UnstableHashRule,
     MutableDefaultRule,
     AssertValidationRule,
+    PrintRule,
 )

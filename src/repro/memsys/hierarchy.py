@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.memsys.cache import Cache
 from repro.memsys.slice_hash import SliceHash
+from repro.obs.tracer import NULL_TRACER, zero_clock
 from repro.params import MachineParams
 
 
@@ -59,6 +60,17 @@ class CacheHierarchy:
         }
         self.prefetch_fills = 0
         self.demand_accesses = 0
+        #: Prefetch accuracy accounting: line addresses brought in by a
+        #: prefetch and not yet touched by demand.  A later demand hit on
+        #: such a line is a *useful* prefetch; losing the line first
+        #: (eviction or flush) makes it *useless*.
+        self.prefetch_useful = 0
+        self.prefetch_useless = 0
+        self._prefetched_lines: set[int] = set()
+        #: Observability hooks, reassigned by the owning Machine; the
+        #: defaults keep a standalone hierarchy silent.
+        self.tracer = NULL_TRACER
+        self.clock = zero_clock
 
     def latency_of(self, level: MemoryLevel) -> int:
         """Load-to-use latency of ``level`` (before timing noise)."""
@@ -76,6 +88,11 @@ class CacheHierarchy:
     def access(self, paddr: int) -> AccessResult:
         """Perform a demand load of ``paddr``, filling caches on the way."""
         self.demand_accesses += 1
+        if self._prefetched_lines:
+            line = self.l1.line_address(paddr)
+            if line in self._prefetched_lines:
+                self._prefetched_lines.discard(line)
+                self.prefetch_useful += 1
         if self.l1.lookup(paddr):
             return AccessResult(paddr, MemoryLevel.L1, self._latency[MemoryLevel.L1])
         if self.l2.lookup(paddr):
@@ -99,6 +116,11 @@ class CacheHierarchy:
         """
         self.prefetch_fills += 1
         self._fill_from_dram(paddr, into_l1=False)
+        self._prefetched_lines.add(self.l1.line_address(paddr))
+        if self.tracer.enabled:
+            from repro.obs.events import PrefetchFill
+
+            self.tracer.emit(PrefetchFill(cycle=self.clock(), paddr=paddr))
 
     def _fill_from_dram(self, paddr: int, into_l1: bool) -> None:
         llc = self.llc_slice(paddr)
@@ -107,6 +129,9 @@ class CacheHierarchy:
             # Inclusive LLC: a line leaving the LLC leaves the core caches too.
             self.l1.invalidate(evicted)
             self.l2.invalidate(evicted)
+            if evicted in self._prefetched_lines:
+                self._prefetched_lines.discard(evicted)
+                self.prefetch_useless += 1
         self.l2.insert(paddr)
         if into_l1:
             self.l1.insert(paddr)
@@ -116,6 +141,10 @@ class CacheHierarchy:
         self.l1.invalidate(paddr)
         self.l2.invalidate(paddr)
         self.llc_slice(paddr).invalidate(paddr)
+        line = self.l1.line_address(paddr)
+        if line in self._prefetched_lines:
+            self._prefetched_lines.discard(line)
+            self.prefetch_useless += 1
 
     def contains(self, paddr: int) -> MemoryLevel | None:
         """Highest level currently holding ``paddr`` (non-mutating)."""
@@ -133,10 +162,20 @@ class CacheHierarchy:
         self.l2.flush_all()
         for llc_slice in self.llc:
             llc_slice.flush_all()
+        self.prefetch_useless += len(self._prefetched_lines)
+        self._prefetched_lines.clear()
 
     def reset_stats(self) -> None:
+        """Zero every counter, including prefetch-accuracy accounting.
+
+        The set of not-yet-touched prefetched lines is intentionally kept:
+        it describes cache *contents*, not statistics, and dropping it
+        would misclassify their eventual demand hits.
+        """
         self.prefetch_fills = 0
         self.demand_accesses = 0
+        self.prefetch_useful = 0
+        self.prefetch_useless = 0
         self.l1.reset_stats()
         self.l2.reset_stats()
         for llc_slice in self.llc:

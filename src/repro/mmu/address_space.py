@@ -10,6 +10,9 @@ from repro.mmu.page_table import PageTable, PhysicalMemory
 from repro.params import PAGE_SIZE
 from repro.utils.bits import align_up
 
+#: Fallback allocator for spaces built without an owner.  Machines assign
+#: their own per-instance sequence instead, so same-seed runs produce the
+#: same ASIDs no matter how many machines the process created before them.
 _ASID_COUNTER = itertools.count(1)
 
 
@@ -77,12 +80,13 @@ class AddressSpace:
         physical: PhysicalMemory,
         aslr: Aslr | None = None,
         global_pages: bool = False,
+        asid: int | None = None,
     ) -> None:
         self.name = name
         self.physical = physical
         self.aslr = aslr
         self.global_pages = global_pages
-        self.asid = next(_ASID_COUNTER)
+        self.asid = next(_ASID_COUNTER) if asid is None else asid
         self.page_table = PageTable()
         self.mappings: list[Mapping] = []
         self._next_base = self.DEFAULT_MMAP_BASE

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mmu.address_space import AddressSpace
+from repro.obs.tracer import NULL_TRACER, zero_clock
 from repro.params import PAGE_SIZE
 
 
@@ -48,6 +49,10 @@ class TLB:
         self._global_keys: set[tuple[int, int]] = set()
         self.hits = 0
         self.misses = 0
+        #: Observability hooks, reassigned by the owning Machine; the
+        #: defaults keep a standalone TLB silent.
+        self.tracer = NULL_TRACER
+        self.clock = zero_clock
 
     def translate(self, space: AddressSpace, vaddr: int) -> TranslationResult:
         """Translate ``vaddr`` in ``space``; walks the page table on a miss."""
@@ -60,6 +65,12 @@ class TLB:
             self.hits += 1
             return TranslationResult(vaddr, frame * PAGE_SIZE + offset, True, 0)
         self.misses += 1
+        if self.tracer.enabled:
+            from repro.obs.events import TlbMiss
+
+            self.tracer.emit(
+                TlbMiss(cycle=self.clock(), asid=space.asid, vaddr=vaddr, vpage=vpage)
+            )
         frame = space.page_table.frame_of(vpage)
         if frame is None:
             raise KeyError(f"page fault: {vaddr:#x} not mapped in {space.name!r}")
@@ -112,6 +123,11 @@ class TLB:
         self._order.append(key)
         if is_global:
             self._global_keys.add(key)
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (resident entries are untouched)."""
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,82 @@
+"""repro.obs: structured tracing, metrics, and cycle-attribution profiling.
+
+Three layers over the simulated machine:
+
+* **Tracing** (`events`, `tracer`, `sinks`) — typed events emitted from
+  hook points in the CPU, memory hierarchy, prefetcher, TLB and sanitizer,
+  fanned out to ring-buffer / JSONL / Chrome-trace sinks.  Off by default:
+  every hook site costs one attribute check against :data:`NULL_TRACER`.
+* **Metrics** (`metrics`) — a snapshot of every component counter plus the
+  measured-latency histogram straddling the LLC-hit threshold.
+* **Profiling** (`profiler`) — ``with machine.span("train"): ...`` scopes
+  attributing simulated cycles and wall-clock to attack phases; always on.
+
+Enable tracing per machine with ``Machine(trace=True)`` (or a configured
+:class:`Tracer`), or globally with ``REPRO_TRACE=1`` — the same convention
+as ``repro.sanitize``.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    Clflush,
+    ContextSwitch,
+    EntrySnapshot,
+    LoadTraced,
+    PrefetchFill,
+    PrefetchIssued,
+    SanitizerViolation,
+    SpanBegin,
+    SpanEnd,
+    TableTransition,
+    TlbMiss,
+    TraceEvent,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, latency_bounds, snapshot
+from repro.obs.profiler import Span, SpanProfile, SpanStats
+from repro.obs.runner import ATTACK_NAMES, AttackRun, run_attack
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink, Sink, event_json
+from repro.obs.tracer import (
+    ENV_VAR,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    resolve_tracer,
+    trace_enabled,
+)
+
+__all__ = [
+    "ATTACK_NAMES",
+    "AttackRun",
+    "ChromeTraceSink",
+    "Clflush",
+    "ContextSwitch",
+    "ENV_VAR",
+    "EVENT_TYPES",
+    "EntrySnapshot",
+    "Histogram",
+    "JsonlSink",
+    "LoadTraced",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PrefetchFill",
+    "PrefetchIssued",
+    "RingBufferSink",
+    "SanitizerViolation",
+    "Sink",
+    "Span",
+    "SpanBegin",
+    "SpanEnd",
+    "SpanProfile",
+    "SpanStats",
+    "TableTransition",
+    "TlbMiss",
+    "TraceEvent",
+    "Tracer",
+    "event_json",
+    "latency_bounds",
+    "resolve_tracer",
+    "run_attack",
+    "snapshot",
+    "trace_enabled",
+]

@@ -1,0 +1,205 @@
+"""Typed trace events — the vocabulary of the observability layer.
+
+Every event is a frozen, slotted dataclass stamped with the simulated
+cycle at which it occurred.  The schema is deliberately flat and
+JSON-friendly: ``to_dict()`` yields only ints, strings, bools, ``None``
+and nested :class:`EntrySnapshot` dicts, so two same-seed runs serialize
+to byte-identical JSONL streams (no wall-clock, no floats, no ids).
+
+The event set mirrors the model's observable state changes:
+
+===================== ==================================================
+``LoadTraced``        one demand load retired (ip, address, level, latency)
+``TlbMiss``           a translation walked the page table (§4.3 boundary)
+``PrefetchIssued``    a prefetcher requested a line (with the trigger IP)
+``PrefetchFill``      the hierarchy installed a prefetched line (into L2)
+``TableTransition``   an IP-stride history-table entry changed state,
+                      with before/after snapshots — the AfterImage signal
+``ContextSwitch``     the logical core switched contexts
+``Clflush``           a line was flushed from the whole hierarchy
+``SanitizerViolation``a runtime invariant check failed (repro.sanitize)
+``SpanBegin/SpanEnd`` cycle-attribution profiler scopes (repro.obs span)
+===================== ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar
+
+
+@dataclass(frozen=True, slots=True)
+class EntrySnapshot:
+    """Immutable copy of one IP-stride history-table entry (Figure 5)."""
+
+    index: int
+    last_vaddr: int
+    last_paddr: int
+    stride: int
+    confidence: int
+
+    @classmethod
+    def of(cls, entry: Any) -> "EntrySnapshot":
+        """Snapshot any object with the Figure-5 entry fields."""
+        return cls(
+            index=entry.index,
+            last_vaddr=entry.last_vaddr,
+            last_paddr=entry.last_paddr,
+            stride=entry.stride,
+            confidence=entry.confidence,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base event: everything carries the simulated cycle."""
+
+    kind: ClassVar[str] = "event"
+
+    cycle: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (kind + all fields, nested as dicts)."""
+        payload = asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class LoadTraced(TraceEvent):
+    """One demand load executed by :meth:`repro.cpu.machine.Machine.load`."""
+
+    kind: ClassVar[str] = "LoadTraced"
+
+    ip: int
+    vaddr: int
+    paddr: int
+    level: int
+    latency: int
+    tlb_hit: bool
+    fenced: bool
+    asid: int
+
+
+@dataclass(frozen=True, slots=True)
+class TlbMiss(TraceEvent):
+    """A translation missed the TLB and walked the page table."""
+
+    kind: ClassVar[str] = "TlbMiss"
+
+    asid: int
+    vaddr: int
+    vpage: int
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchIssued(TraceEvent):
+    """A prefetcher asked for a line (before the hierarchy filled it)."""
+
+    kind: ClassVar[str] = "PrefetchIssued"
+
+    source: str
+    paddr: int
+    trigger_ip: int
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchFill(TraceEvent):
+    """The hierarchy installed a prefetched line (L2 + LLC, never L1)."""
+
+    kind: ClassVar[str] = "PrefetchFill"
+
+    paddr: int
+
+
+@dataclass(frozen=True, slots=True)
+class TableTransition(TraceEvent):
+    """An IP-stride history-table entry changed state.
+
+    ``transition`` is one of ``allocate`` (``before`` is None), ``update``
+    (both snapshots present; ``triggered`` tells whether this observation
+    fired a prefetch), ``evict`` (``after`` is None, ``cause`` is
+    ``confidence0`` or ``plru``) and ``clear`` (the §8.3 mitigation wiped
+    the table; ``index``/``slot`` are -1 and ``evicted`` counts the loss).
+    """
+
+    kind: ClassVar[str] = "TableTransition"
+
+    transition: str
+    index: int
+    slot: int
+    before: EntrySnapshot | None
+    after: EntrySnapshot | None
+    cause: str | None = None
+    triggered: bool = False
+    evicted: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ContextSwitch(TraceEvent):
+    """The logical core switched to another context."""
+
+    kind: ClassVar[str] = "ContextSwitch"
+
+    from_ctx: str | None
+    to_ctx: str
+    cross_space: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Clflush(TraceEvent):
+    """A clflush removed one line from the whole hierarchy."""
+
+    kind: ClassVar[str] = "Clflush"
+
+    vaddr: int
+    paddr: int
+
+
+@dataclass(frozen=True, slots=True)
+class SanitizerViolation(TraceEvent):
+    """A repro.sanitize invariant check failed (emitted before the raise)."""
+
+    kind: ClassVar[str] = "SanitizerViolation"
+
+    component: str
+    invariant: str
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class SpanBegin(TraceEvent):
+    """A profiler span opened (``with machine.span(name)``)."""
+
+    kind: ClassVar[str] = "SpanBegin"
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEnd(TraceEvent):
+    """A profiler span closed; ``cycles`` is the simulated-cycle delta.
+
+    Wall-clock time is deliberately *not* recorded on the event (it would
+    break byte-identical traces); it lives in the profiler aggregate.
+    """
+
+    kind: ClassVar[str] = "SpanEnd"
+
+    name: str
+    cycles: int
+
+
+#: Every concrete event type, for sinks and tests that enumerate the schema.
+EVENT_TYPES: tuple[type[TraceEvent], ...] = (
+    LoadTraced,
+    TlbMiss,
+    PrefetchIssued,
+    PrefetchFill,
+    TableTransition,
+    ContextSwitch,
+    Clflush,
+    SanitizerViolation,
+    SpanBegin,
+    SpanEnd,
+)

@@ -1,0 +1,179 @@
+"""Metrics registry: cheap counters and histograms for a simulated machine.
+
+Counters already live on the model components (cache hit/miss totals,
+prefetcher issue/eviction counts, …); this module gives them one front
+door: :func:`snapshot` walks a :class:`~repro.cpu.machine.Machine` and
+returns a :class:`MetricsRegistry` that renders as text, markdown (for
+``analysis/report.py``) or JSON (for ``afterimage metrics --format json``).
+
+The one metric that needs live collection — the measured-latency
+histogram straddling the paper's LLC-hit threshold (Fig. 6) — is owned by
+the machine and fed on every load (one bisect over ~5 bounds), tracing
+or not, so ``afterimage metrics`` sees it on an untraced run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.cpu.machine import Machine
+    from repro.params import MachineParams
+
+
+def latency_bounds(params: "MachineParams") -> list[int]:
+    """Histogram bucket bounds for measured load latencies.
+
+    Derived from the machine's own latency ladder so the buckets straddle
+    the LLC-hit threshold by construction: one bucket boundary sits exactly
+    at ``llc_hit_threshold`` (the paper's hit/miss separator), with the
+    cache-level latencies below it and the DRAM latency above.
+    """
+    return sorted(
+        {
+            params.l1d.latency,
+            params.l2.latency,
+            params.llc.latency,
+            params.llc_hit_threshold,
+            params.dram_latency,
+        }
+    )
+
+
+class Histogram:
+    """Fixed-bound integer histogram (bucket ``i`` counts values ≤ bounds[i])."""
+
+    def __init__(self, bounds: list[int]) -> None:
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bounds must be strictly increasing, got {bounds}")
+        self.bounds = list(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Bucket labels → counts (``le:N`` buckets plus a ``gt:max`` tail)."""
+        out: dict[str, int] = {}
+        for bound, count in zip(self.bounds, self.counts):
+            out[f"le:{bound}"] = count
+        out[f"gt:{self.bounds[-1]}"] = self.counts[-1]
+        out["total"] = self.total
+        return out
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+
+
+class MetricsRegistry:
+    """An ordered name → value mapping of counters and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, int | float | Histogram] = {}
+
+    def set(self, name: str, value: int | float | Histogram) -> None:
+        self._metrics[name] = value
+
+    def get(self, name: str) -> int | float | Histogram:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (histograms expand to bucket dicts)."""
+        out: dict[str, Any] = {}
+        for name, value in self._metrics.items():
+            out[name] = value.as_dict() if isinstance(value, Histogram) else value
+        return out
+
+    def render_text(self) -> str:
+        """Aligned ``name value`` lines for terminal output."""
+        flat = self.as_dict()
+        width = max((len(name) for name in flat), default=0)
+        lines = []
+        for name, value in flat.items():
+            if isinstance(value, dict):
+                lines.append(f"{name}:")
+                for bucket, count in value.items():
+                    lines.append(f"  {bucket:<{width}} {count}")
+            elif isinstance(value, float):
+                lines.append(f"{name:<{width}} {value:.4f}")
+            else:
+                lines.append(f"{name:<{width}} {value}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """A two-column markdown table (used by ``analysis/report.py``)."""
+        lines = ["| metric | value |", "|---|---|"]
+        for name, value in self.as_dict().items():
+            if isinstance(value, dict):
+                rendered = ", ".join(f"{k}={v}" for k, v in value.items())
+            elif isinstance(value, float):
+                rendered = f"{value:.4f}"
+            else:
+                rendered = str(value)
+            lines.append(f"| {name} | {rendered} |")
+        return "\n".join(lines)
+
+
+def snapshot(machine: "Machine") -> MetricsRegistry:
+    """Collect every counter the machine and its components expose.
+
+    Uses only public attributes, and tolerates replacement prefetchers
+    (the tagged defense, the disable toggle) that lack the instrumented
+    class's extended counters.
+    """
+    reg = MetricsRegistry()
+    reg.set("machine.cycles", machine.cycles)
+    reg.set("machine.context_switches", machine.context_switches)
+    reg.set("machine.timer_interrupts", machine.timer_interrupts)
+
+    h = machine.hierarchy
+    reg.set("cache.l1.hits", h.l1.hits)
+    reg.set("cache.l1.misses", h.l1.misses)
+    reg.set("cache.l2.hits", h.l2.hits)
+    reg.set("cache.l2.misses", h.l2.misses)
+    reg.set("cache.llc.hits", sum(s.hits for s in h.llc))
+    reg.set("cache.llc.misses", sum(s.misses for s in h.llc))
+    reg.set("hierarchy.demand_accesses", h.demand_accesses)
+    reg.set("hierarchy.prefetch_fills", h.prefetch_fills)
+    reg.set("hierarchy.prefetch_useful", h.prefetch_useful)
+    reg.set("hierarchy.prefetch_useless", h.prefetch_useless)
+    judged = h.prefetch_useful + h.prefetch_useless
+    reg.set("hierarchy.prefetch_accuracy", h.prefetch_useful / judged if judged else 0.0)
+
+    reg.set("tlb.hits", machine.tlb.hits)
+    reg.set("tlb.misses", machine.tlb.misses)
+
+    ip = machine.ip_stride
+    reg.set("ip_stride.prefetches_issued", getattr(ip, "prefetches_issued", 0))
+    reg.set("ip_stride.allocations", getattr(ip, "allocations", 0))
+    reg.set("ip_stride.evictions", getattr(ip, "evictions", 0))
+    for cause, count in sorted(getattr(ip, "evictions_by_cause", {}).items()):
+        reg.set(f"ip_stride.evictions.{cause}", count)
+    reg.set("ip_stride.stride_rewrites", getattr(ip, "stride_rewrites", 0))
+    reg.set(
+        "ip_stride.dropped_page_cross", getattr(ip, "prefetches_dropped_page_cross", 0)
+    )
+    reg.set(
+        "ip_stride.dropped_stride_cap", getattr(ip, "prefetches_dropped_stride_cap", 0)
+    )
+    reg.set("ip_stride.clears", getattr(ip, "clears", 0))
+
+    for prefetcher in machine.noise_prefetchers:
+        reg.set(
+            f"prefetch.{prefetcher.name}.issued",
+            getattr(prefetcher, "prefetches_issued", 0),
+        )
+
+    if machine.latency_histogram.total:
+        reg.set("latency.measured", machine.latency_histogram)
+    return reg

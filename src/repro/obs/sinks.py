@@ -1,0 +1,156 @@
+"""Event sinks: where a :class:`~repro.obs.tracer.Tracer` delivers events.
+
+Three sinks cover the common workflows:
+
+* :class:`RingBufferSink` — in-memory, bounded, for tests and programmatic
+  consumers (repro.leakcheck reads ``TableTransition`` events from one).
+* :class:`JsonlSink` — one compact JSON object per line; same-seed runs
+  produce byte-identical files (events carry no wall-clock or floats).
+* :class:`ChromeTraceSink` — Chrome ``trace_event`` / Perfetto JSON so a
+  whole attack run can be opened in ``chrome://tracing`` or ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterator
+
+from repro.obs.events import SpanBegin, SpanEnd, TraceEvent
+
+DEFAULT_RING_CAPACITY = 65536
+
+
+def event_json(event: TraceEvent) -> str:
+    """Canonical compact JSON for one event (stable key order)."""
+    return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class Sink:
+    """Base sink: receives events one at a time; ``close()`` finalizes."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/finalize; safe to call more than once."""
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent events in memory.
+
+    ``capacity=None`` makes the buffer unbounded (used when a consumer
+    needs every event, e.g. the dynamic leak checker).
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_RING_CAPACITY) -> None:
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """All buffered events, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self._events))
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink(Sink):
+    """Stream events to a file as JSON Lines (one object per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: IO[str] | None = open(path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({self.path!r}) is closed")
+        self._fh.write(event_json(event))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ChromeTraceSink(Sink):
+    """Export a Chrome ``trace_event`` JSON file (Perfetto-compatible).
+
+    Span begin/end events map to duration slices (``ph`` = ``B``/``E``)
+    and everything else becomes an instant event (``ph`` = ``i``) whose
+    ``args`` carry the full event payload.  Timestamps are simulated
+    cycles converted to microseconds via ``cycles_per_us`` so the viewer
+    timeline reads in simulated time, not wall-clock.
+    """
+
+    PID = 1
+    TID = 1
+
+    def __init__(self, path: str, cycles_per_us: float = 1.0) -> None:
+        if cycles_per_us <= 0:
+            raise ValueError("cycles_per_us must be positive")
+        self.path = path
+        self.cycles_per_us = cycles_per_us
+        self._records: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": self.PID,
+                "tid": self.TID,
+                "args": {"name": "afterimage simulated machine"},
+            }
+        ]
+        self._closed = False
+
+    def _ts(self, cycle: int) -> float:
+        return cycle / self.cycles_per_us
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise ValueError(f"ChromeTraceSink({self.path!r}) is closed")
+        base = {"pid": self.PID, "tid": self.TID, "ts": self._ts(event.cycle)}
+        if isinstance(event, SpanBegin):
+            self._records.append({**base, "name": event.name, "ph": "B", "cat": "span"})
+        elif isinstance(event, SpanEnd):
+            self._records.append(
+                {
+                    **base,
+                    "name": event.name,
+                    "ph": "E",
+                    "cat": "span",
+                    "args": {"cycles": event.cycles},
+                }
+            )
+        else:
+            self._records.append(
+                {
+                    **base,
+                    "name": event.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "cat": event.kind,
+                    "args": event.to_dict(),
+                }
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": self._records}, fh, sort_keys=True)
+            fh.write("\n")

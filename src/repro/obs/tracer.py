@@ -1,0 +1,99 @@
+"""Tracer: the dispatch point between instrumented components and sinks.
+
+The hot-path contract is the whole design: every hook site in the model
+guards its event construction with ``if self.tracer.enabled:`` — a single
+attribute load — so the default :data:`NULL_TRACER` costs nothing beyond
+that check and the quiet machine stays fast.
+
+``Machine(trace=...)`` and the ``REPRO_TRACE`` environment variable mirror
+the ``sanitize=`` / ``REPRO_SANITIZE`` convention from ``repro.sanitize``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import RingBufferSink, Sink
+
+ENV_VAR = "REPRO_TRACE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def zero_clock() -> int:
+    """Default cycle source for components not owned by a Machine."""
+    return 0
+
+
+def trace_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the tracing default: explicit flag wins, else ``REPRO_TRACE``."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class Tracer:
+    """Fan events out to one or more sinks.
+
+    ``enabled`` is read by every hook site before building an event, so
+    it is a plain attribute, not a property.
+    """
+
+    def __init__(self, sinks: list[Sink] | None = None) -> None:
+        self.enabled = True
+        self.sinks: list[Sink] = list(sinks) if sinks is not None else [RingBufferSink()]
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Events from the first ring-buffer sink (convenience for tests)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events(kind)
+        return []
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: ``enabled`` is False and ``emit`` is a no-op.
+
+    Hook sites never reach ``emit`` (they check ``enabled`` first); the
+    no-op is defense in depth for external callers.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.sinks = []
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def add_sink(self, sink: Sink) -> None:
+        raise ValueError("NullTracer cannot accept sinks; construct a Tracer instead")
+
+
+#: Shared disabled tracer; safe to share because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+def resolve_tracer(trace: "Tracer | bool | None") -> Tracer:
+    """Map the ``Machine(trace=...)`` argument to a tracer instance.
+
+    ``None`` consults ``REPRO_TRACE``; ``True`` builds a fresh ring-buffer
+    tracer; ``False`` forces the null tracer; a :class:`Tracer` instance
+    is used as-is.
+    """
+    if isinstance(trace, Tracer):
+        return trace
+    if trace_enabled(trace):
+        return Tracer()
+    return NULL_TRACER

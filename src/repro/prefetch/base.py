@@ -56,3 +56,11 @@ class Prefetcher(ABC):
     @abstractmethod
     def clear(self) -> None:
         """Drop all learned state (the proposed mitigation instruction)."""
+
+    def reset_stats(self) -> None:
+        """Zero statistics counters; learned state is untouched.
+
+        Every concrete prefetcher counts at least ``prefetches_issued``;
+        subclasses with richer statistics override this.
+        """
+        self.prefetches_issued = 0

@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.memsys.replacement import make_policy
+from repro.obs.events import EntrySnapshot, TableTransition
+from repro.obs.tracer import NULL_TRACER, zero_clock
 from repro.params import PAGE_SIZE, IPStrideParams
 from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
 from repro.utils.bits import low_bits, sign_extend
@@ -69,7 +71,13 @@ class IPStridePrefetcher(Prefetcher):
         self.prefetches_dropped_stride_cap = 0
         self.allocations = 0
         self.evictions = 0
+        self.evictions_by_cause: dict[str, int] = {"confidence0": 0, "plru": 0}
+        self.stride_rewrites = 0
         self.clears = 0
+        #: Observability hooks, reassigned by the owning Machine; the
+        #: defaults keep a standalone prefetcher silent.
+        self.tracer = NULL_TRACER
+        self.clock = zero_clock
 
     # ------------------------------------------------------------------ #
     # Observation (Algorithm 1)                                           #
@@ -98,6 +106,8 @@ class IPStridePrefetcher(Prefetcher):
         entry = self._slots[slot]
         assert entry is not None
         self._policy.touch(slot)
+        traced = self.tracer.enabled
+        before = EntrySnapshot.of(entry) if traced else None
 
         requests: list[PrefetchRequest] = []
         distance = sign_extend(event.paddr - entry.last_paddr, self.params.stride_bits)
@@ -107,18 +117,32 @@ class IPStridePrefetcher(Prefetcher):
             if distance != entry.stride:
                 entry.stride = distance
                 entry.confidence = 1
+                self.stride_rewrites += 1
             elif entry.confidence != self.params.confidence_max:
                 entry.confidence += 1
         else:
             if distance != entry.stride:
                 entry.stride = distance
                 entry.confidence = 1
+                self.stride_rewrites += 1
             else:
                 entry.confidence += 1
                 if entry.confidence == self.params.prefetch_threshold:
                     self._issue(event.paddr, entry.stride, requests)
         entry.last_vaddr = event.vaddr
         entry.last_paddr = event.paddr
+        if traced:
+            self.tracer.emit(
+                TableTransition(
+                    cycle=self.clock(),
+                    transition="update",
+                    index=index,
+                    slot=slot,
+                    before=before,
+                    after=EntrySnapshot.of(entry),
+                    triggered=bool(requests),
+                )
+            )
         return requests
 
     def observe_tlb_miss(self, event: LoadEvent) -> list[PrefetchRequest]:
@@ -174,25 +198,50 @@ class IPStridePrefetcher(Prefetcher):
         measured on hardware.
         """
         self.allocations += 1
+        traced = self.tracer.enabled
         try:
             slot = self._slots.index(None)
         except ValueError:
-            slot = self._victim_slot()
+            slot, cause = self._victim_slot()
             victim = self._slots[slot]
             assert victim is not None
             del self._index_to_slot[victim.index]
             self.evictions += 1
-        self._slots[slot] = IPStrideEntry(
-            index=index, last_vaddr=event.vaddr, last_paddr=event.paddr
-        )
+            self.evictions_by_cause[cause] += 1
+            if traced:
+                self.tracer.emit(
+                    TableTransition(
+                        cycle=self.clock(),
+                        transition="evict",
+                        index=victim.index,
+                        slot=slot,
+                        before=EntrySnapshot.of(victim),
+                        after=None,
+                        cause=cause,
+                    )
+                )
+        entry = IPStrideEntry(index=index, last_vaddr=event.vaddr, last_paddr=event.paddr)
+        self._slots[slot] = entry
         self._index_to_slot[index] = slot
         self._policy.fill(slot)
+        if traced:
+            self.tracer.emit(
+                TableTransition(
+                    cycle=self.clock(),
+                    transition="allocate",
+                    index=index,
+                    slot=slot,
+                    before=None,
+                    after=EntrySnapshot.of(entry),
+                )
+            )
 
-    def _victim_slot(self) -> int:
+    def _victim_slot(self) -> tuple[int, str]:
+        """Victim slot and the cause label for eviction statistics."""
         for slot, entry in enumerate(self._slots):
             if entry is not None and entry.confidence == 0:
-                return slot
-        return self._policy.victim()
+                return slot, "confidence0"
+        return self._policy.victim(), "plru"
 
     # ------------------------------------------------------------------ #
     # Introspection and mitigation                                        #
@@ -216,9 +265,33 @@ class IPStridePrefetcher(Prefetcher):
     def clear(self) -> None:
         """The proposed privileged ``clear-ip-prefetcher`` instruction (§8.3)."""
         self.clears += 1
+        evicted = len(self._index_to_slot)
         self._slots = [None] * self.params.n_entries
         self._index_to_slot.clear()
         self._policy.reset()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TableTransition(
+                    cycle=self.clock(),
+                    transition="clear",
+                    index=-1,
+                    slot=-1,
+                    before=None,
+                    after=None,
+                    evicted=evicted,
+                )
+            )
+
+    def reset_stats(self) -> None:
+        """Zero every counter (table contents are untouched)."""
+        self.prefetches_issued = 0
+        self.prefetches_dropped_page_cross = 0
+        self.prefetches_dropped_stride_cap = 0
+        self.allocations = 0
+        self.evictions = 0
+        self.evictions_by_cause = {"confidence0": 0, "plru": 0}
+        self.stride_rewrites = 0
+        self.clears = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

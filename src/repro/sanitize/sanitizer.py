@@ -20,6 +20,7 @@ import os
 from typing import TYPE_CHECKING
 
 from repro.sanitize.checkers import HierarchyChecker, PrefetcherChecker, TLBChecker
+from repro.sanitize.violations import InvariantViolation
 
 if TYPE_CHECKING:
     from repro.cpu.machine import Machine
@@ -78,16 +79,20 @@ class Sanitizer:
         self._loads_checked += 1
         self.checks_run += 1
         cycle = self.machine.cycles
-        self.prefetcher.check(cycle)
-        self.tlb.check_fast(cycle)
-        self.hierarchy.check_line(translation.paddr, cycle)
-        if event is not None:
-            for request in issued:
-                if request.source == "ip-stride":
-                    self.prefetcher.check_request(event, request, cycle)
-        if self._loads_checked % self.full_scan_interval == 0:
-            self.tlb.check(self._spaces, cycle)
-            self.hierarchy.check_inclusive(cycle)
+        try:
+            self.prefetcher.check(cycle)
+            self.tlb.check_fast(cycle)
+            self.hierarchy.check_line(translation.paddr, cycle)
+            if event is not None:
+                for request in issued:
+                    if request.source == "ip-stride":
+                        self.prefetcher.check_request(event, request, cycle)
+            if self._loads_checked % self.full_scan_interval == 0:
+                self.tlb.check(self._spaces, cycle)
+                self.hierarchy.check_inclusive(cycle)
+        except InvariantViolation as violation:
+            self._trace_violation(violation)
+            raise
 
     def after_switch(self) -> None:
         """Audit state after a context switch injected its noise.
@@ -100,15 +105,38 @@ class Sanitizer:
         self.checks_run += 1
         self._switches_checked += 1
         cycle = self.machine.cycles
-        self.prefetcher.check(cycle)
-        self.tlb.check(self._spaces, cycle)
-        if self._switches_checked % 64 == 0:
-            self.hierarchy.check_inclusive(cycle)
+        try:
+            self.prefetcher.check(cycle)
+            self.tlb.check(self._spaces, cycle)
+            if self._switches_checked % 64 == 0:
+                self.hierarchy.check_inclusive(cycle)
+        except InvariantViolation as violation:
+            self._trace_violation(violation)
+            raise
 
     def check_all(self) -> None:
         """Run every checker, including the full inclusivity walk."""
         self.checks_run += 1
         cycle = self.machine.cycles
-        self.prefetcher.check(cycle)
-        self.tlb.check(self._spaces, cycle)
-        self.hierarchy.check_inclusive(cycle)
+        try:
+            self.prefetcher.check(cycle)
+            self.tlb.check(self._spaces, cycle)
+            self.hierarchy.check_inclusive(cycle)
+        except InvariantViolation as violation:
+            self._trace_violation(violation)
+            raise
+
+    def _trace_violation(self, violation: InvariantViolation) -> None:
+        """Mirror a violation into the machine's trace before it propagates."""
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            from repro.obs.events import SanitizerViolation
+
+            tracer.emit(
+                SanitizerViolation(
+                    cycle=self.machine.cycles,
+                    component=violation.component,
+                    invariant=violation.invariant,
+                    message=violation.message,
+                )
+            )

@@ -1,5 +1,7 @@
 """Tests for the `afterimage` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,7 +22,8 @@ class TestParser:
         # argparse stores subparsers choices on the action.
         sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
         for name in ("fig06", "fig07", "table1", "fig08", "variant1", "variant2",
-                     "covert", "rsa", "sgx", "tracker", "ttest", "mitigation"):
+                     "covert", "rsa", "sgx", "tracker", "ttest", "mitigation",
+                     "trace", "metrics"):
             assert name in sub.choices
 
 
@@ -79,6 +82,36 @@ class TestCommands:
     def test_haswell_machine_selectable(self, capsys):
         assert main(["--machine", "i7-4770", "fig06"]) == 0
         assert "matched_bits" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        assert main(["trace", "variant1", "--rounds", "3", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "TableTransition" in stdout and "wrote" in stdout
+        data = json.loads(out.read_text())
+        names = {record["name"] for record in data["traceEvents"]}
+        assert {"LoadTraced", "TableTransition", "train"} <= names
+
+    def test_metrics_text(self, capsys):
+        assert main(["metrics", "covert", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "machine.cycles" in out
+        assert "ip_stride.prefetches_issued" in out
+        assert "span" in out  # profiler table rides along
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "covert", "--rounds", "5", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"]["name"] == "covert"
+        assert payload["metrics"]["machine.cycles"] > 0
+        assert "total" in payload["run"]["spans"]
+
+    def test_trace_rejects_unknown_attack(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "nonexistent"])
+        capsys.readouterr()
 
 
 class TestReport:

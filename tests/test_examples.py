@@ -49,6 +49,13 @@ class TestExamples:
         out = run_example("leak_rsa_key.py", "--bits", "64")
         assert "recovered d == true d:     True" in out
 
+    def test_trace_attack(self, tmp_path):
+        out = tmp_path / "run.trace.json"
+        stdout = run_example("trace_attack.py", "--rounds", "4", "--out", str(out))
+        assert "cycle attribution by phase" in stdout
+        assert "TableTransition" in stdout
+        assert out.exists()
+
     def test_static_leakcheck(self):
         out = run_example("static_leakcheck.py")
         assert "verdict: leaky" in out

@@ -418,3 +418,35 @@ class TestEngine:
         assert main([str(dirty), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"][0]["rule"] == "RL001"
+
+
+# --------------------------------------------------------------------- #
+# RL011 — print() in library code                                        #
+# --------------------------------------------------------------------- #
+
+
+class TestPrint:
+    def test_print_in_library_flagged(self):
+        assert "RL011" in rule_ids(lint("print('hello')\n"))
+
+    def test_print_in_function_flagged(self):
+        source = "def f():\n    print('debug')\n"
+        assert "RL011" in rule_ids(lint(source, path=UTIL_PATH))
+
+    def test_cli_module_exempt(self):
+        assert lint("print('usage')\n", path="src/repro/lint/cli.py") == []
+
+    def test_dunder_main_exempt(self):
+        assert lint("print('usage')\n", path="src/repro/lint/__main__.py") == []
+
+    def test_tests_exempt(self):
+        assert lint("print('debug')\n", path=TEST_PATH) == []
+
+    def test_outside_repro_package_exempt(self):
+        assert lint("print('demo')\n", path="examples/quickstart.py") == []
+
+    def test_method_named_print_not_flagged(self):
+        assert lint("class R:\n    def go(self, out):\n        out.print('x')\n") == []
+
+    def test_returning_string_clean(self):
+        assert lint("def render():\n    return 'hello'\n") == []

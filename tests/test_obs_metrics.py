@@ -1,0 +1,164 @@
+"""Tests for repro.obs.metrics and the reset_stats symmetry contract."""
+
+import json
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.obs.metrics import Histogram, MetricsRegistry, latency_bounds, snapshot
+from repro.params import COFFEE_LAKE_I7_9700, PAGE_SIZE
+
+
+class TestLatencyBounds:
+    def test_straddles_hit_threshold(self):
+        bounds = latency_bounds(COFFEE_LAKE_I7_9700)
+        assert COFFEE_LAKE_I7_9700.llc_hit_threshold in bounds
+        assert bounds == sorted(bounds)
+        below = [b for b in bounds if b < COFFEE_LAKE_I7_9700.llc_hit_threshold]
+        above = [b for b in bounds if b > COFFEE_LAKE_I7_9700.llc_hit_threshold]
+        assert below and above  # cache latencies below, DRAM above
+
+
+class TestHistogram:
+    def test_observe_buckets_by_bound(self):
+        hist = Histogram([10, 100])
+        for value in (5, 10, 50, 99, 100, 101, 5000):
+            hist.observe(value)
+        assert hist.as_dict() == {"le:10": 2, "le:100": 3, "gt:100": 2, "total": 7}
+
+    def test_reset(self):
+        hist = Histogram([10])
+        hist.observe(3)
+        hist.reset()
+        assert hist.total == 0
+        assert hist.as_dict()["le:10"] == 0
+
+    def test_rejects_unsorted_or_duplicate_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([10, 5])
+        with pytest.raises(ValueError):
+            Histogram([5, 5])
+
+
+class TestMetricsRegistry:
+    def test_set_get_contains(self):
+        reg = MetricsRegistry()
+        reg.set("a.count", 3)
+        assert "a.count" in reg
+        assert reg.get("a.count") == 3
+        assert reg.names() == ["a.count"]
+
+    def test_renderings(self):
+        reg = MetricsRegistry()
+        reg.set("hits", 7)
+        reg.set("rate", 0.5)
+        hist = Histogram([10])
+        hist.observe(4)
+        reg.set("lat", hist)
+        text = reg.render_text()
+        assert "hits" in text and "0.5000" in text and "le:10" in text
+        markdown = reg.render_markdown()
+        assert markdown.startswith("| metric | value |")
+        assert "| hits | 7 |" in markdown
+        payload = json.loads(json.dumps(reg.as_dict()))
+        assert payload["lat"]["total"] == 1
+
+
+def _exercised_machine(trace=None):
+    machine = Machine(COFFEE_LAKE_I7_9700, seed=11, trace=trace)
+    ctx = machine.new_thread("worker")
+    machine.context_switch(ctx)
+    buffer = machine.new_buffer(ctx.space, 4 * PAGE_SIZE)
+    for i in range(12):
+        vaddr = buffer.line_addr(5 * i)
+        machine.warm_tlb(ctx, vaddr)
+        machine.load(ctx, 0x0040_0040, vaddr)
+    machine.clflush(ctx, buffer.line_addr(0))
+    return machine
+
+
+#: snapshot() names that legitimately survive reset_stats (monotonic sim
+#: state, not statistics).
+_SURVIVES_RESET = {"machine.cycles"}
+
+
+class TestSnapshot:
+    def test_counters_match_components(self):
+        machine = _exercised_machine()
+        reg = snapshot(machine)
+        assert reg.get("machine.cycles") == machine.cycles
+        assert reg.get("cache.l1.misses") == machine.hierarchy.l1.misses
+        assert reg.get("tlb.hits") == machine.tlb.hits
+        assert reg.get("ip_stride.prefetches_issued") == machine.ip_stride.prefetches_issued
+        assert reg.get("ip_stride.prefetches_issued") > 0
+        assert reg.get("hierarchy.prefetch_fills") > 0
+
+    def test_latency_histogram_populated_without_tracing(self):
+        machine = _exercised_machine(trace=None)
+        reg = snapshot(machine)
+        assert "latency.measured" in reg
+        assert reg.get("latency.measured").total > 0
+
+    def test_accuracy_ratio(self):
+        machine = _exercised_machine()
+        reg = snapshot(machine)
+        useful = reg.get("hierarchy.prefetch_useful")
+        useless = reg.get("hierarchy.prefetch_useless")
+        accuracy = reg.get("hierarchy.prefetch_accuracy")
+        if useful + useless:
+            assert accuracy == pytest.approx(useful / (useful + useless))
+
+    def test_machine_metrics_method(self):
+        machine = _exercised_machine()
+        assert machine.metrics().as_dict() == snapshot(machine).as_dict()
+
+
+class TestResetStatsSymmetry:
+    def test_every_snapshot_counter_resets(self):
+        """Regression: reset_stats must zero *every* statistic snapshot()
+        reports — prefetch-fill counters and all prefetcher-internal
+        counters included (they were historically missed)."""
+        machine = _exercised_machine()
+        machine.reset_stats()
+        reg = snapshot(machine)
+        for name, value in reg.as_dict().items():
+            if name in _SURVIVES_RESET:
+                continue
+            if isinstance(value, dict):  # histogram
+                assert value["total"] == 0, name
+            else:
+                assert value == 0, name
+
+    def test_learned_state_survives_reset(self):
+        machine = _exercised_machine()
+        entries_before = {e.index for e in machine.ip_stride.entries()}
+        cycles_before = machine.cycles
+        machine.reset_stats()
+        assert {e.index for e in machine.ip_stride.entries()} == entries_before
+        assert machine.cycles == cycles_before
+
+    def test_counters_recount_after_reset(self):
+        machine = _exercised_machine()
+        ctx = machine.current
+        buffer = machine.new_buffer(ctx.space, PAGE_SIZE)
+        machine.reset_stats()
+        machine.warm_tlb(ctx, buffer.base)
+        machine.load(ctx, 0x0040_0999, buffer.base)
+        assert machine.hierarchy.demand_accesses == 1
+
+    def test_replacement_prefetcher_reset(self):
+        from repro.defenses.tagged_prefetcher import TaggedIPStridePrefetcher
+
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=1)
+        machine.ip_stride = TaggedIPStridePrefetcher(machine.params.prefetcher)
+        ctx = machine.new_thread("t")
+        machine.context_switch(ctx)
+        buffer = machine.new_buffer(ctx.space, 2 * PAGE_SIZE)
+        for i in range(6):
+            vaddr = buffer.line_addr(4 * i)
+            machine.warm_tlb(ctx, vaddr)
+            machine.load(ctx, 0x0040_0123, vaddr)
+        machine.reset_stats()  # must not raise, must zero the tagged counters
+        assert machine.ip_stride.prefetches_issued == 0
+        reg = snapshot(machine)
+        assert reg.get("ip_stride.prefetches_issued") == 0
