@@ -20,9 +20,10 @@ lint-json:
 leakcheck:
 	$(PYTHON) -m repro.leakcheck --suite
 
-# Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json.
+# Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json, plus
+# the serial-vs-parallel executor comparison -> BENCH_attacks.json.
 bench:
-	$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json
+	$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json --attacks-out BENCH_attacks.json --jobs 2
 
 # The paper-figure pytest benchmarks (the old `make bench`).
 bench-figures:

@@ -1,14 +1,22 @@
 """Observability benchmark: wall-clock and simulated-cycle totals per attack.
 
-Runs every attack the :mod:`repro.obs.runner` knows through one untraced
-machine each and writes ``BENCH_obs.json`` — the `make bench` artifact that
-lets sessions compare simulator throughput over time::
+Runs every attack the :mod:`repro.attacks` registry knows — all eight,
+including ``sgx`` and ``switch-leak``, which the old hand-wired table
+missed — through one untraced machine each and writes ``BENCH_obs.json``,
+the `make bench` artifact that lets sessions compare simulator throughput
+over time.  A second artifact, ``BENCH_attacks.json``, times the same
+suite through the :class:`~repro.attacks.executor.TrialExecutor` serially
+and with ``--jobs N`` workers, recording both wall-clocks plus a check
+that the merged per-attack success rates are identical — the executor's
+determinism contract::
 
     python benchmarks/bench_obs.py --out BENCH_obs.json --rounds-scale 0.5
+    python benchmarks/bench_obs.py --jobs 4   # records serial vs 4-worker
 
 Wall-clock numbers come from the profiler's host-time column and are of
-course machine-dependent; the simulated-cycle totals are deterministic for
-a given seed and the real regression signal.
+course machine-dependent (a single-CPU container shows no parallel
+speedup); the simulated-cycle totals are deterministic for a given seed
+and the real regression signal.
 """
 
 from __future__ import annotations
@@ -18,11 +26,12 @@ import json
 import sys
 from collections.abc import Sequence
 
-from repro.obs.runner import ATTACK_NAMES, DEFAULT_ROUNDS, run_attack
+from repro.attacks import TrialExecutor, attack_names, build_matrix, get_attack
+from repro.obs.runner import run_attack
 from repro.params import preset
 
 #: Bump when the JSON layout changes so downstream diffing can gate on it.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def bench(
@@ -32,7 +41,7 @@ def bench(
     params = preset(machine_name)
     results = []
     for name in attacks:
-        rounds = max(1, int(DEFAULT_ROUNDS[name] * rounds_scale))
+        rounds = max(1, int(get_attack(name).default_rounds * rounds_scale))
         run = run_attack(name, params, seed=seed, rounds=rounds)
         total = run.machine.profile["total"]
         results.append(
@@ -60,9 +69,69 @@ def bench(
     }
 
 
+def bench_executor(
+    machine_name: str,
+    seed: int,
+    rounds_scale: float,
+    attacks: Sequence[str],
+    jobs: int,
+    repeats: int = 2,
+) -> dict:
+    """Time the suite through the executor, serial vs ``jobs`` workers."""
+    params = preset(machine_name)
+    from dataclasses import replace
+
+    tasks = [
+        replace(
+            task,
+            rounds=max(1, int(get_attack(task.attack).default_rounds * rounds_scale)),
+        )
+        for task in build_matrix(
+            attacks, base_seed=seed, repeats=repeats, params=(params,)
+        )
+    ]
+    serial = TrialExecutor(jobs=1).run(tasks)
+    parallel = TrialExecutor(jobs=jobs).run(tasks)
+    rates_match = all(
+        serial.merged[name].quality == parallel.merged[name].quality
+        and serial.merged[name].n_trials == parallel.merged[name].n_trials
+        and serial.merged[name].simulated_cycles
+        == parallel.merged[name].simulated_cycles
+        for name in serial.merged
+    )
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_name,
+        "seed": seed,
+        "rounds_scale": rounds_scale,
+        "n_tasks": len(tasks),
+        "repeats": repeats,
+        "jobs": jobs,
+        "serial_wall_seconds": round(serial.wall_seconds, 4),
+        "parallel_wall_seconds": round(parallel.wall_seconds, 4),
+        "speedup": (
+            round(serial.wall_seconds / parallel.wall_seconds, 3)
+            if parallel.wall_seconds > 0
+            else None
+        ),
+        "aggregates_identical": rates_match,
+        "per_attack": {
+            name: {
+                "quality": batch.quality,
+                "n_trials": batch.n_trials,
+                "simulated_cycles": batch.simulated_cycles,
+                "detail": batch.detail,
+            }
+            for name, batch in serial.merged.items()
+        },
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    names = attack_names()
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument("--attacks-out", default="BENCH_attacks.json")
     parser.add_argument("--machine", default="i7-9700")
     parser.add_argument("--seed", type=int, default=2023)
     parser.add_argument(
@@ -74,9 +143,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--attacks",
         nargs="*",
-        default=list(ATTACK_NAMES),
-        choices=ATTACK_NAMES,
+        default=list(names),
+        choices=names,
         help="subset of attacks to run (default: all)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker count for the executor comparison in BENCH_attacks.json",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="matrix repeats per attack in the executor comparison",
     )
     args = parser.parse_args(argv)
 
@@ -91,6 +172,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{result['wall_seconds']:8.3f} s  quality {result['quality']:.2f}"
         )
     print(f"wrote {args.out}")
+
+    executor_doc = bench_executor(
+        args.machine,
+        args.seed,
+        args.rounds_scale,
+        args.attacks,
+        jobs=args.jobs,
+        repeats=args.repeats,
+    )
+    with open(args.attacks_out, "w") as handle:
+        json.dump(executor_doc, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"executor: {executor_doc['n_tasks']} tasks  "
+        f"serial {executor_doc['serial_wall_seconds']:.2f}s  "
+        f"jobs={executor_doc['jobs']} {executor_doc['parallel_wall_seconds']:.2f}s  "
+        f"speedup {executor_doc['speedup']}x  "
+        f"aggregates identical: {executor_doc['aggregates_identical']}"
+    )
+    print(f"wrote {args.attacks_out}")
     return 0
 
 

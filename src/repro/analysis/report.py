@@ -1,13 +1,22 @@
 """Programmatic reproduction report: run the headline experiments and
 render a paper-vs-measured markdown table (the `afterimage report`
-command).  A lighter, automated companion to EXPERIMENTS.md."""
+command).  A lighter, automated companion to EXPERIMENTS.md.
+
+Attack rows are driven by the :mod:`repro.attacks` registry through the
+declarative :data:`ATTACK_ROWS` table — one entry per registered attack,
+kept in sync with :func:`repro.attacks.attack_names` by a test — so a
+newly registered attack shows up here (or fails the sync test) instead of
+being silently missing.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
+from repro.attacks.trial import TrialBatch
 from repro.params import MachineParams
-from repro.utils.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -18,6 +27,105 @@ class ReportRow:
     paper: str
     measured: str
     in_band: bool
+
+
+@dataclass(frozen=True)
+class AttackRow:
+    """How one registered attack renders as a report row."""
+
+    experiment: str
+    paper: str
+    rounds: Callable[[int, bool], int]
+    options: Callable[[bool], dict[str, Any]]
+    measured: Callable[[TrialBatch], str]
+    in_band: Callable[[TrialBatch], bool]
+
+
+def _no_options(quick: bool) -> dict[str, Any]:
+    return {}
+
+
+def _rate(batch: TrialBatch) -> str:
+    return f"{batch.quality * 100:.0f}%"
+
+
+#: One row per registered attack, in report order.  The sync test asserts
+#: this table covers exactly ``repro.attacks.attack_names()``.
+ATTACK_ROWS: dict[str, AttackRow] = {
+    "variant1-thread": AttackRow(
+        "V1 cross-thread success (Table 3)",
+        "99%",
+        rounds=lambda r, q: r,
+        options=_no_options,
+        measured=_rate,
+        in_band=lambda b: b.quality >= 0.9,
+    ),
+    "variant1": AttackRow(
+        "V1 cross-process success (Table 3)",
+        "97%",
+        rounds=lambda r, q: r,
+        options=_no_options,
+        measured=_rate,
+        in_band=lambda b: b.quality >= 0.9,
+    ),
+    "variant2": AttackRow(
+        "V2 user-to-kernel success (Table 3)",
+        "91%",
+        rounds=lambda r, q: r,
+        options=_no_options,
+        measured=_rate,
+        in_band=lambda b: b.quality >= 0.75,
+    ),
+    "covert": AttackRow(
+        "covert channel, 1 entry (§7.2)",
+        "833 bps, <6% err",
+        rounds=lambda r, q: r,
+        options=_no_options,
+        measured=lambda b: (
+            f"{b.notes['bandwidth_bps']:.0f} bps, "
+            f"{b.notes['error_rate'] * 100:.1f}% err"
+        ),
+        in_band=lambda b: (
+            700 <= b.notes["bandwidth_bps"] <= 950 and b.notes["error_rate"] < 0.06
+        ),
+    ),
+    "sgx": AttackRow(
+        "SGX control-flow extraction (Fig. 10)",
+        "Time1/Time2 separable",
+        rounds=lambda r, q: 8,
+        options=_no_options,
+        measured=_rate,
+        in_band=lambda b: b.quality >= 0.9,
+    ),
+    "switch-leak": AttackRow(
+        "kernel switch-arm leak (Figs. 1-2)",
+        "arm named via PSC",
+        rounds=lambda r, q: 12,
+        options=_no_options,
+        measured=_rate,
+        in_band=lambda b: b.quality >= 0.85,
+    ),
+    "rsa": AttackRow(
+        "TC-RSA key recovery (§7.3)",
+        "82% PSC, key in 188 min",
+        rounds=lambda r, q: r,
+        options=lambda quick: {"bits": 64 if quick else 128, "all_bits": True},
+        measured=lambda b: (
+            f"{b.notes['psc_single_shot'] * 100:.0f}% PSC, "
+            f"{b.notes['bit_errors']} bit errors, "
+            f"{b.notes['projected_minutes']:.0f} min projected"
+        ),
+        in_band=lambda b: b.notes["bit_errors"] <= 1,
+    ),
+    "tracker": AttackRow(
+        "OpenSSL load tracking (Fig. 15)",
+        "key load localized",
+        rounds=lambda r, q: 3,
+        options=_no_options,
+        measured=_rate,
+        in_band=lambda b: b.quality >= 0.66,
+    ),
+}
 
 
 def _fmt(rows: list[ReportRow]) -> str:
@@ -42,12 +150,8 @@ def generate_report(
     ``quick=True`` shrinks round counts for smoke runs.
     """
     from repro.analysis.ttest import TVLATest
-    from repro.core.covert import CovertChannel
-    from repro.core.tc_rsa_attack import TimingConstantRSAAttack
-    from repro.core.variant1 import Variant1CrossProcess, Variant1CrossThread
-    from repro.cpu.machine import Machine
-    from repro.crypto.primes import generate_keypair
     from repro.mitigation.analytical import MitigationCostModel
+    from repro.obs.runner import run_attack
     from repro.revng.entries import EntryCountExperiment
     from repro.revng.indexing import IndexingExperiment
 
@@ -69,47 +173,21 @@ def generate_report(
         ReportRow("history-table capacity (Fig. 8a)", "24", f"~{survivors + 1}", 22 <= survivors <= 24)
     )
 
-    # Variant 1 rates.
-    rng = make_rng(seed)
-    ct = Variant1CrossThread(Machine(params, seed=seed))
-    ct_rate = sum(ct.run_round(int(rng.integers(0, 2))).success for _ in range(rounds)) / rounds
-    rows.append(
-        ReportRow("V1 cross-thread success (Table 3)", "99%", f"{ct_rate * 100:.0f}%", ct_rate >= 0.93)
-    )
-    cp = Variant1CrossProcess(Machine(params, seed=seed + 1))
-    cp_rate = sum(cp.run_round(int(rng.integers(0, 2))).success for _ in range(rounds)) / rounds
-    rows.append(
-        ReportRow("V1 cross-process success (Table 3)", "97%", f"{cp_rate * 100:.0f}%", cp_rate >= 0.9)
-    )
-
-    # Covert channel.
-    channel = CovertChannel(Machine(params, seed=seed + 2), n_entries=1)
-    symbols = [int(x) for x in rng.integers(5, 32, rounds)]
-    report = channel.transmit(symbols)
-    rows.append(
-        ReportRow(
-            "covert channel, 1 entry (§7.2)",
-            "833 bps, <6% err",
-            f"{report.bandwidth_bps:.0f} bps, {report.error_rate * 100:.1f}% err",
-            700 <= report.bandwidth_bps <= 950 and report.error_rate < 0.06,
+    # The eight registered attacks, each on its own machine with its own
+    # derived seed (offset by table position, so rows stay independent).
+    attack_runs = {}
+    for offset, (name, row) in enumerate(ATTACK_ROWS.items()):
+        run = run_attack(
+            name,
+            params,
+            seed=seed + offset,
+            rounds=row.rounds(rounds, quick),
+            options=row.options(quick),
         )
-    )
-
-    # TC-RSA.
-    key = generate_keypair(64 if quick else 128, make_rng(seed))
-    attack = TimingConstantRSAAttack(Machine(params, seed=seed + 3), key)
-    recovery = attack.recover_key_bits(key.encrypt(0xBEEF))
-    usable = sum(len(o.votes) for o in recovery.observations)
-    total = sum(o.attempts for o in recovery.observations)
-    rows.append(
-        ReportRow(
-            "TC-RSA key recovery (§7.3)",
-            "82% PSC, key in 188 min",
-            f"{usable / total * 100:.0f}% PSC, {recovery.bit_errors} bit errors, "
-            f"{recovery.projected_minutes_for_bits():.0f} min projected",
-            recovery.bit_errors <= 1,
+        attack_runs[name] = run
+        rows.append(
+            ReportRow(row.experiment, row.paper, row.measured(run.batch), row.in_band(run.batch))
         )
-    )
 
     # t-test.
     t_acc = TVLATest(seed=seed).run(200 if quick else 600, accurate_timing=True)
@@ -156,12 +234,13 @@ def generate_report(
     # Machine metrics (repro.obs): the cross-thread Variant 1 machine's
     # counter snapshot after its measurement rounds — the same numbers
     # `afterimage metrics` prints, inlined so a report archives them.
+    ct = attack_runs["variant1-thread"]
     sections = [
         _fmt(rows),
         "## Machine metrics",
         "",
         "Variant 1 cross-thread machine after its "
-        f"{rounds} measurement rounds (seed {seed}):",
+        f"{ct.rounds} measurement rounds (seed {seed}):",
         "",
         ct.machine.metrics().render_markdown(),
         "",

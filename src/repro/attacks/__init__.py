@@ -1,0 +1,53 @@
+"""Unified attack registry, trial schema, and parallel executor.
+
+See ``docs/ATTACKS.md``.  The eight attacks of the paper register
+themselves in :mod:`repro.attacks.builtin`; consumers discover them via
+:func:`attack_names`/:func:`get_attack` and run them with
+:func:`run_trials` (fresh machine) or :func:`run_on_machine` (existing
+machine), getting back a :class:`TrialBatch`.  Sweeps go through
+:class:`TrialExecutor`.
+"""
+
+from repro.attacks.executor import (
+    ExecutionResult,
+    TrialExecutor,
+    TrialTask,
+    build_matrix,
+    run_task,
+    task_seed,
+)
+from repro.attacks.registry import (
+    Attack,
+    AttackSpec,
+    Scorer,
+    all_specs,
+    attack_names,
+    get_attack,
+    register_attack,
+    registered_covers,
+    run_on_machine,
+    run_trials,
+    success_rate_score,
+)
+from repro.attacks.trial import Trial, TrialBatch
+
+__all__ = [
+    "Attack",
+    "AttackSpec",
+    "ExecutionResult",
+    "Scorer",
+    "Trial",
+    "TrialBatch",
+    "TrialExecutor",
+    "TrialTask",
+    "all_specs",
+    "attack_names",
+    "build_matrix",
+    "get_attack",
+    "register_attack",
+    "registered_covers",
+    "run_on_machine",
+    "run_task",
+    "run_trials",
+    "success_rate_score",
+]

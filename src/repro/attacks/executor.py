@@ -1,0 +1,158 @@
+"""Parallel trial executor: fan an attack matrix across worker processes.
+
+A sweep — every attack, several seeds, maybe several machine presets — is
+embarrassingly parallel because each cell builds its *own*
+:class:`~repro.cpu.machine.Machine`; nothing is shared between cells.  The
+executor therefore only has to get determinism right:
+
+* every cell's seed is computed **before** dispatch with
+  :func:`task_seed` (a :func:`~repro.utils.rng.stable_seed` mix of the
+  base seed, attack name, machine name and repeat index), so worker
+  scheduling cannot influence any stream;
+* results come back through ``Pool.map``, which preserves task order, and
+  :meth:`TrialBatch.merge` recomputes aggregates from the union of
+  trials — so ``jobs=N`` produces byte-identical aggregate numbers to
+  ``jobs=1``, just faster.
+
+Workers are plain processes (``fork`` where the platform has it, else
+``spawn``); each one reconstructs the machine from the pickled
+:class:`~repro.params.MachineParams` and ships back a
+:class:`~repro.attacks.trial.TrialBatch`, which carries serializable
+snapshots instead of the machine itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from time import perf_counter  # repro: noqa[RL003] — executor measures host wall-clock
+from typing import Any, Iterable, Sequence
+
+from repro.attacks.registry import run_trials
+from repro.attacks.trial import TrialBatch
+from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One cell of the trial matrix: attack × machine × derived seed."""
+
+    attack: str
+    params: MachineParams
+    seed: int
+    rounds: int | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+def task_seed(base_seed: int, attack: str, machine: str, repeat: int) -> int:
+    """Derive the seed for one matrix cell, independent of dispatch order.
+
+    The mix is computed up front by the parent process, so two runs with
+    different ``--jobs`` values hand every cell the same seed.
+    """
+    return (base_seed * 1_000_003 + stable_seed(f"{attack}:{machine}:{repeat}")) % 2**32
+
+
+def build_matrix(
+    attacks: Sequence[str],
+    base_seed: int,
+    repeats: int = 1,
+    params: Iterable[MachineParams] = (DEFAULT_MACHINE,),
+    rounds: int | None = None,
+    options: dict[str, dict[str, Any]] | None = None,
+) -> list[TrialTask]:
+    """Expand attack × machine × repeat into concrete, seeded tasks.
+
+    ``repeats`` re-runs each (attack, machine) cell with independent
+    derived seeds — the cheap way to tighten a success-rate estimate.
+    ``options`` maps attack name to extra scenario keyword arguments.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    tasks: list[TrialTask] = []
+    for machine_params in params:
+        for attack in attacks:
+            for repeat in range(repeats):
+                tasks.append(
+                    TrialTask(
+                        attack=attack,
+                        params=machine_params,
+                        seed=task_seed(base_seed, attack, machine_params.name, repeat),
+                        rounds=rounds,
+                        options=dict((options or {}).get(attack, {})),
+                    )
+                )
+    return tasks
+
+
+def run_task(task: TrialTask) -> TrialBatch:
+    """Execute one cell on a freshly built machine (the worker entry point)."""
+    return run_trials(
+        task.attack,
+        params=task.params,
+        seed=task.seed,
+        rounds=task.rounds,
+        options=task.options,
+    )
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a sweep produced: raw cells plus per-attack merges."""
+
+    batches: list[TrialBatch]
+    merged: dict[str, TrialBatch]
+    jobs: int
+    wall_seconds: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "n_batches": len(self.batches),
+            "merged": {
+                name: batch.as_dict() for name, batch in self.merged.items()
+            },
+        }
+
+
+def _merge_by_attack(batches: Sequence[TrialBatch]) -> dict[str, TrialBatch]:
+    grouped: dict[str, list[TrialBatch]] = {}
+    for batch in batches:
+        grouped.setdefault(batch.attack, []).append(batch)
+    return {name: TrialBatch.merge(group) for name, group in grouped.items()}
+
+
+class TrialExecutor:
+    """Run a task list serially or across a ``multiprocessing`` pool."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, tasks: Sequence[TrialTask]) -> ExecutionResult:
+        if not tasks:
+            raise ValueError("no tasks to run")
+        start = perf_counter()
+        if self.jobs == 1 or len(tasks) == 1:
+            batches = [run_task(task) for task in tasks]
+        else:
+            batches = self._run_pool(tasks)
+        wall = perf_counter() - start
+        return ExecutionResult(
+            batches=list(batches),
+            merged=_merge_by_attack(batches),
+            jobs=self.jobs,
+            wall_seconds=wall,
+        )
+
+    def _run_pool(self, tasks: Sequence[TrialTask]) -> list[TrialBatch]:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork (e.g. Windows)
+            context = multiprocessing.get_context("spawn")
+        n_workers = min(self.jobs, len(tasks))
+        with context.Pool(processes=n_workers) as pool:
+            return pool.map(run_task, tasks)

@@ -10,11 +10,16 @@ Installed as the ``afterimage`` console script::
     afterimage covert --entries 24
     afterimage lint src tests --format json
     afterimage leakcheck --suite
-    afterimage trace variant1 --out run.trace.json
-    afterimage metrics covert --format json
+    afterimage trace sgx --out run.trace.json
+    afterimage metrics switch-leak --format json
+    afterimage run rsa --rounds 24
+    afterimage run --suite --jobs 4
 
 Each subcommand prints the corresponding figure/table series, like the
-benchmark suite, but without pytest in the loop.
+benchmark suite, but without pytest in the loop.  The attack subcommands
+(``variant1``, ``covert``, ``rsa``, ...) are thin aliases over the
+:mod:`repro.attacks` registry; ``run`` drives any registered attack —
+or the whole suite, optionally fanned across ``--jobs`` workers.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import json
 import sys
 from collections.abc import Callable, Sequence
 
-from repro.obs.runner import ATTACK_NAMES
+from repro.attacks.registry import attack_names
 from repro.params import MachineParams, preset
 from repro.utils.rng import make_rng
 
@@ -101,83 +106,83 @@ def cmd_fig08(params: MachineParams, args: argparse.Namespace) -> None:
 
 
 def cmd_variant1(params: MachineParams, args: argparse.Namespace) -> None:
-    from repro.core.variant1 import Variant1CrossProcess, Variant1CrossThread
-    from repro.cpu.machine import Machine
+    from repro.attacks import run_trials
 
-    cls = Variant1CrossThread if args.mode == "thread" else Variant1CrossProcess
-    attack = cls(Machine(params, seed=args.seed))
-    rng = make_rng(args.seed)
-    successes = 0
-    for index in range(args.rounds):
-        bit = int(rng.integers(0, 2))
-        result = attack.run_round(bit)
-        successes += result.success
-        if index < 10:
-            print(f"round {index}: secret {bit} -> leaked {result.inferred_bit}")
-    print(f"success rate: {successes}/{args.rounds} = {successes / args.rounds * 100:.1f}%")
+    name = "variant1-thread" if args.mode == "thread" else "variant1"
+    batch = run_trials(name, params, seed=args.seed, rounds=args.rounds)
+    for trial in batch.trials[:10]:
+        print(
+            f"round {trial.index}: secret {trial.true_outcome} "
+            f"-> leaked {trial.inferred_outcome}"
+        )
+    print(
+        f"success rate: {batch.successes}/{batch.n_trials} "
+        f"= {batch.success_rate * 100:.1f}%"
+    )
 
 
 def cmd_variant2(params: MachineParams, args: argparse.Namespace) -> None:
-    from repro.core.variant2 import Variant2UserKernel
-    from repro.cpu.machine import Machine
+    from repro.attacks import run_trials
 
-    rng = make_rng(args.seed)
-    attack = Variant2UserKernel(
-        Machine(params, seed=args.seed), secret_source=lambda: int(rng.integers(0, 2))
-    )
-    search = attack.find_target_index()
-    if not search.found:
+    batch = run_trials("variant2", params, seed=args.seed, rounds=args.rounds)
+    notes = batch.notes
+    if not notes["search_found"]:
         print("IP search failed; try another --seed")
         sys.exit(1)
     print(
-        f"IP search: index {search.index:#04x} "
-        f"(truth {attack.true_target_index:#04x}) in {search.syscalls_used} syscalls"
+        f"IP search: index {notes['search_index']:#04x} "
+        f"(truth {notes['search_truth_index']:#04x}) "
+        f"in {notes['search_syscalls']} syscalls"
     )
-    successes = sum(attack.run_round().success for _ in range(args.rounds))
-    print(f"success rate: {successes}/{args.rounds} = {successes / args.rounds * 100:.1f}%")
+    print(
+        f"success rate: {batch.successes}/{batch.n_trials} "
+        f"= {batch.success_rate * 100:.1f}%"
+    )
 
 
 def cmd_covert(params: MachineParams, args: argparse.Namespace) -> None:
-    from repro.core.covert import CovertChannel
-    from repro.cpu.machine import Machine
+    from repro.attacks import run_trials
 
-    channel = CovertChannel(Machine(params, seed=args.seed), n_entries=args.entries)
-    rng = make_rng(args.seed)
-    n = args.rounds * args.entries
-    symbols = [int(x) for x in rng.integers(5, 32, n)]
-    report = channel.transmit(symbols)
+    batch = run_trials(
+        "covert",
+        params,
+        seed=args.seed,
+        rounds=args.rounds * args.entries,
+        options={"entries": args.entries},
+    )
+    notes = batch.notes
     print(
-        f"{args.entries}-entry channel: {report.bandwidth_bps:.0f} bps, "
-        f"error rate {report.error_rate * 100:.1f}% over {report.n_rounds} symbols"
+        f"{args.entries}-entry channel: {notes['bandwidth_bps']:.0f} bps, "
+        f"error rate {notes['error_rate'] * 100:.1f}% over {notes['n_symbols']} symbols"
     )
 
 
 def cmd_rsa(params: MachineParams, args: argparse.Namespace) -> None:
-    from repro.core.tc_rsa_attack import TimingConstantRSAAttack
-    from repro.cpu.machine import Machine
-    from repro.crypto.primes import generate_keypair
+    from repro.attacks import run_trials
 
-    key = generate_keypair(args.bits, make_rng(args.seed))
-    attack = TimingConstantRSAAttack(Machine(params, seed=args.seed), key)
-    result = attack.recover_key_bits(key.encrypt(0x5EC5E7))
-    usable = sum(len(o.votes) for o in result.observations)
-    total = sum(o.attempts for o in result.observations)
-    print(f"exponent bits: {len(result.true_bits)}  passes: {result.passes}")
-    print(f"PSC single-shot success: {usable / total * 100:.0f}% (paper: 82%)")
-    print(f"bit errors: {result.bit_errors}  exact: {result.exact}")
-    print(f"projected 1024-bit wall clock: {result.projected_minutes_for_bits():.0f} min")
+    batch = run_trials(
+        "rsa",
+        params,
+        seed=args.seed,
+        rounds=args.bits,
+        options={"bits": args.bits, "all_bits": True},
+    )
+    notes = batch.notes
+    print(f"exponent bits: {notes['n_bits']}  passes: {notes['passes']}")
+    print(f"PSC single-shot success: {notes['psc_single_shot'] * 100:.0f}% (paper: 82%)")
+    print(f"bit errors: {notes['bit_errors']}  exact: {notes['exact']}")
+    print(f"projected 1024-bit wall clock: {notes['projected_minutes']:.0f} min")
 
 
 def cmd_sgx(params: MachineParams, args: argparse.Namespace) -> None:
-    from repro.core.sgx_attack import SGXControlFlowAttack
-    from repro.cpu.machine import Machine
+    from repro.attacks import run_trials
 
-    for secret in (0, 1):
-        attack = SGXControlFlowAttack(Machine(params, seed=args.seed + secret), secret=secret)
-        result = attack.run_round()
+    batch = run_trials("sgx", params, seed=args.seed, rounds=2)
+    for trial in batch.trials:
+        result = trial.payload
         print(
-            f"secret {secret}: Time1 {result.time1} / Time2 {result.time2} cycles "
-            f"-> inferred {result.inferred_secret}"
+            f"secret {trial.true_outcome}: Time1 {result.time1} / Time2 {result.time2} "
+            f"cycles -> inferred {trial.inferred_outcome}"
         )
 
 
@@ -228,15 +233,53 @@ def cmd_report(params: MachineParams, args: argparse.Namespace) -> None:
 
 
 def cmd_tracker(params: MachineParams, args: argparse.Namespace) -> None:
-    from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim
-    from repro.cpu.machine import Machine
+    from repro.attacks import run_trials
 
-    machine = Machine(params.quiet(), seed=args.seed)
-    victim = OpenSSLRSAVictim(machine, machine.new_thread("openssl"))
-    samples = LoadTimingTracker(machine, victim, target=args.target).track()
+    batch = run_trials(
+        "tracker",
+        params.quiet(),
+        seed=args.seed,
+        rounds=1,
+        options={"target": args.target},
+    )
+    samples = batch.trials[0].payload
     _table(
         [(s.poll_index, s.latency, s.victim_phase.value) for s in samples],
         ("poll", "cycles", "phase"),
+    )
+
+
+def cmd_run(params: MachineParams, args: argparse.Namespace) -> None:
+    from repro.attacks import TrialExecutor, build_matrix
+
+    if args.suite:
+        names: tuple[str, ...] = attack_names()
+    elif args.attack is not None:
+        names = (args.attack,)
+    else:
+        print("specify an attack name or --suite", file=sys.stderr)
+        sys.exit(2)
+    tasks = build_matrix(
+        names,
+        base_seed=args.seed,
+        repeats=args.repeats,
+        params=(params,),
+        rounds=args.rounds,
+    )
+    result = TrialExecutor(jobs=args.jobs).run(tasks)
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+        return
+    _table(
+        [
+            (name, f"{batch.quality:.3f}", batch.n_trials, batch.detail)
+            for name, batch in result.merged.items()
+        ],
+        ("attack", "quality", "trials", "detail"),
+    )
+    print(
+        f"{len(result.batches)} batches, jobs={result.jobs}, "
+        f"wall {result.wall_seconds:.2f}s"
     )
 
 
@@ -289,6 +332,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "report": (cmd_report, "Run headline experiments, emit a markdown report"),
     "trace": (cmd_trace, "Run an attack with tracing, write a Chrome trace_event file"),
     "metrics": (cmd_metrics, "Run an attack, dump the machine's metrics registry"),
+    "run": (cmd_run, "Run any registered attack (or --suite) across --jobs workers"),
 }
 
 
@@ -334,11 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--quick", action="store_true")
             cmd.add_argument("-o", "--output", default=None)
         if name in ("trace", "metrics"):
-            cmd.add_argument("attack", choices=ATTACK_NAMES)
+            cmd.add_argument("attack", choices=attack_names())
             cmd.add_argument("--rounds", type=int, default=None)
         if name == "trace":
             cmd.add_argument("--out", default="run.trace.json")
         if name == "metrics":
+            cmd.add_argument("--format", choices=("text", "json"), default="text")
+        if name == "run":
+            cmd.add_argument("attack", nargs="?", default=None, choices=attack_names())
+            cmd.add_argument("--suite", action="store_true")
+            cmd.add_argument("--rounds", type=int, default=None)
+            cmd.add_argument("--jobs", type=int, default=1)
+            cmd.add_argument("--repeats", type=int, default=1)
             cmd.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 

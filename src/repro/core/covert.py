@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.channels.flush_reload import FlushReload
+from repro.core.gadget import non_aliasing_ip
 from repro.cpu.machine import Machine
 from repro.cpu.scheduler import DEFAULT_QUANTUM_CYCLES
 from repro.params import LINES_PER_PAGE, PAGE_SIZE
@@ -141,9 +142,7 @@ class CovertChannel:
         self._entry_indexes = {low_bits(ip, index_bits) for ip in self.entry_ips}
         if len(self._entry_indexes) != n_entries:
             raise ValueError("entry IPs must not alias each other")
-        reload_ip = base + 0x10_0000
-        while low_bits(reload_ip, index_bits) in self._entry_indexes:
-            reload_ip += 1
+        reload_ip = non_aliasing_ip(base + 0x10_0000, self._entry_indexes, index_bits)
         self.flush_reload = FlushReload(
             machine,
             self.receiver_ctx,

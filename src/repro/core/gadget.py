@@ -15,7 +15,7 @@ if/else shape on top of it.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Collection, Sequence
 
 from repro.channels.thresholds import classify_hit
 from repro.cpu.code import CodeRegion
@@ -29,6 +29,21 @@ from repro.utils.bits import low_bits
 #: uncommon (prime) so they stand out against noise (§7.1).
 DEFAULT_S1 = 7
 DEFAULT_S2 = 13
+
+
+def non_aliasing_ip(base: int, avoid_indexes: Collection[int], index_bits: int) -> int:
+    """Smallest IP at or above ``base`` whose prefetcher index avoids
+    ``avoid_indexes``.
+
+    Every measurement load (Flush+Reload's reload, Prime+Probe's probe,
+    the PSC check) must not alias a monitored entry, or the measurement
+    itself would retrain the state it is reading — each deployment used to
+    carry its own copy of this scan.
+    """
+    ip = base
+    while low_bits(ip, index_bits) in avoid_indexes:
+        ip += 1
+    return ip
 
 
 class MultiTargetTrainingGadget:
@@ -84,9 +99,10 @@ class MultiTargetTrainingGadget:
         for buffer in self.buffers:
             machine.warm_buffer_tlb(ctx, buffer)
         # The PSC probe load must not alias any monitored entry.
-        probe_offset = 0x10_0000
-        while low_bits(gadget_base + probe_offset, index_bits) in set(indexes):
-            probe_offset += 1
+        probe_offset = (
+            non_aliasing_ip(gadget_base + 0x10_0000, set(indexes), index_bits)
+            - gadget_base
+        )
         self.probe_ip = self.code.place("gadget_probe", probe_offset)
         self._next_line = [0] * len(targets)
 

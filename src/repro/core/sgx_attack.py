@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.channels.thresholds import classify_hit
+from repro.core.gadget import non_aliasing_ip
 from repro.cpu.machine import Machine
 from repro.params import PAGE_SIZE
 from repro.sgx.enclave import StrideSecretEnclave
@@ -82,10 +83,7 @@ class SGXControlFlowAttack:
         machine.warm_buffer_tlb(self.attacker_ctx, self.buffer)
         index_bits = machine.params.prefetcher.index_bits
         enclave_index = low_bits(self.enclave.load_ip, index_bits)
-        probe_ip = 0x0073_0000
-        while low_bits(probe_ip, index_bits) == enclave_index:
-            probe_ip += 1
-        self.probe_ip = probe_ip
+        self.probe_ip = non_aliasing_ip(0x0073_0000, {enclave_index}, index_bits)
         s_if = StrideSecretEnclave.STRIDE_IF_SECRET_SET
         s_else = StrideSecretEnclave.STRIDE_IF_SECRET_CLEAR
         n = StrideSecretEnclave.N_TRAIN_LOADS

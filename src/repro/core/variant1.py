@@ -22,7 +22,7 @@ from repro.channels.eviction_sets import EvictionSetBuilder
 from repro.channels.flush_reload import FlushReload
 from repro.channels.prime_probe import PrimeProbe, ProbeSample
 from repro.core.detect import detect_stride
-from repro.core.gadget import TrainingGadget
+from repro.core.gadget import TrainingGadget, non_aliasing_ip
 from repro.cpu.context import ThreadContext
 from repro.cpu.machine import Machine
 from repro.mmu.buffer import Buffer
@@ -150,18 +150,15 @@ class Variant1CrossThread(_Variant1Base):
         )
         builder = EvictionSetBuilder(machine, self.attacker_ctx, pool_pages=es_pool_pages)
         eviction_sets = builder.build_for_page(self.attacker_ctx, data.base)
-        probe_ip = self._non_aliasing_ip(0x0070_0000)
+        probe_ip = non_aliasing_ip(
+            0x0070_0000,
+            self.gadget.monitored_indexes,
+            machine.params.prefetcher.index_bits,
+        )
         for es in eviction_sets:
             for vaddr in es.addresses:
                 machine.warm_tlb(self.attacker_ctx, vaddr)
         self.prime_probe = PrimeProbe(machine, self.attacker_ctx, eviction_sets, probe_ip)
-
-    def _non_aliasing_ip(self, base: int) -> int:
-        index_bits = self.machine.params.prefetcher.index_bits
-        ip = base
-        while low_bits(ip, index_bits) in self.gadget.monitored_indexes:
-            ip += 1
-        return ip
 
     def run_round(self, secret_bit: int, line: int | None = None) -> RoundResult:
         """One observation round: train → prime → victim → probe → classify."""
@@ -212,10 +209,11 @@ class Variant1CrossProcess(_Variant1Base):
             machine, self.attacker_ctx, self.victim.if_ip, self.victim.else_ip,
             s1_lines, s2_lines,
         )
-        reload_ip = 0x0071_0000
-        index_bits = machine.params.prefetcher.index_bits
-        while low_bits(reload_ip, index_bits) in self.gadget.monitored_indexes:
-            reload_ip += 1
+        reload_ip = non_aliasing_ip(
+            0x0071_0000,
+            self.gadget.monitored_indexes,
+            machine.params.prefetcher.index_bits,
+        )
         self.flush_reload = FlushReload(
             machine,
             self.attacker_ctx,
@@ -250,9 +248,13 @@ class Variant1CrossProcess(_Variant1Base):
         """Run a round but return the raw reload samples (Figure 13c data)."""
         line = self._pick_line(line)
         self.machine.context_switch(self.attacker_ctx)
-        self.gadget.train()
-        self.flush_reload.flush()
+        with self.machine.span("train"):
+            self.gadget.train()
+        with self.machine.span("flush"):
+            self.flush_reload.flush()
         self.machine.context_switch(self.victim_ctx)
-        self.victim.run(secret_bit, line)
+        with self.machine.span("victim"):
+            self.victim.run(secret_bit, line)
         self.machine.context_switch(self.attacker_ctx)
-        return self.flush_reload.reload()
+        with self.machine.span("reload"):
+            return self.flush_reload.reload()

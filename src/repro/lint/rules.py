@@ -1,4 +1,4 @@
-"""Lint rules RL001–RL011: the conventions the reproduction depends on.
+"""Lint rules RL001–RL012: the conventions the reproduction depends on.
 
 Each rule is a class with a stable id, a one-line title, and an autofix
 hint.  Rules receive a :class:`~repro.lint.engine.FileContext` (parsed AST
@@ -514,6 +514,58 @@ class PrintRule(Rule):
                 yield ctx.finding(self, node, "print() bypasses the caller's output channel")
 
 
+class UnregisteredAttackRule(Rule):
+    """RL012 — attack classes in ``repro/core`` must register an AttackSpec.
+
+    The :mod:`repro.attacks` registry is the single source of truth for
+    every consumer (CLI, tracing, report, bench, executor); an attack class
+    that never appears in any spec's ``covers`` tuple is invisible to all
+    of them — exactly how ``sgx`` and ``switch-leak`` went missing from the
+    observability tooling before the registry existed.  A class counts as
+    an attack when it defines one of the entry-point methods the registry
+    scenarios drive (``run_round``/``transmit``/``recover_key_bits``/
+    ``track``); victim classes expose plain ``run``/``work_slice`` and are
+    deliberately out of scope — they are driven *by* attacks.
+    """
+
+    rule_id = "RL012"
+    title = "attack class not covered by any registered AttackSpec"
+    hint = 'register it in repro/attacks/builtin.py with covers=("ClassName",)'
+
+    _ENTRY_POINTS = frozenset({"run_round", "transmit", "recover_key_bits", "track"})
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, "repro/core") and not _is_test_path(path)
+
+    @staticmethod
+    def _registered_covers() -> frozenset[str] | None:
+        try:
+            from repro.attacks import registered_covers
+        except ImportError:  # linting a tree without the attacks package
+            return None
+        return registered_covers()
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        covered = self._registered_covers()
+        if covered is None:
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            entry_points = sorted(methods & self._ENTRY_POINTS)
+            if entry_points and node.name not in covered:
+                yield ctx.finding(
+                    self, node,
+                    f"`{node.name}` defines {', '.join(entry_points)} but no "
+                    f"AttackSpec lists it in covers=",
+                )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     StdlibRandomRule,
     NumpyRngRule,
@@ -526,4 +578,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableDefaultRule,
     AssertValidationRule,
     PrintRule,
+    UnregisteredAttackRule,
 )

@@ -33,7 +33,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import Histogram, MetricsRegistry, latency_bounds, snapshot
 from repro.obs.profiler import Span, SpanProfile, SpanStats
-from repro.obs.runner import ATTACK_NAMES, AttackRun, run_attack
+from repro.obs.runner import AttackRun, run_attack
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink, Sink, event_json
 from repro.obs.tracer import (
     ENV_VAR,
@@ -45,7 +45,6 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
-    "ATTACK_NAMES",
     "AttackRun",
     "ChromeTraceSink",
     "Clflush",

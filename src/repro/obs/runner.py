@@ -2,10 +2,15 @@
 
 `afterimage trace`, `afterimage metrics`, the bench harness
 (``benchmarks/bench_obs.py``) and the CI smoke artifact all need the same
-thing: construct a machine (optionally traced), run one named attack for a
-few rounds inside a ``total`` profiler span, and report a scalar quality
-figure.  Centralizing it here keeps the CLI thin and the benchmark
-comparable across sessions.
+thing: construct a machine (optionally traced), run one named attack, and
+report a scalar quality figure.  Since the :mod:`repro.attacks` registry
+became the single source of truth this module is a thin compatibility
+shim over :func:`repro.attacks.run_on_machine` — it no longer carries its
+own dispatch table, so every registered attack (including ``sgx`` and
+``switch-leak``, which the old hand-written table missed) is traceable
+for free.  :class:`AttackRun` keeps the live machine for callers that
+want to poke at its metrics/profile after the run; the full unified
+result rides along as :attr:`AttackRun.batch`.
 """
 
 from __future__ import annotations
@@ -13,29 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.attacks.registry import run_on_machine
+from repro.attacks.trial import TrialBatch
 from repro.params import DEFAULT_MACHINE, MachineParams
-from repro.utils.rng import make_rng
 
 if TYPE_CHECKING:
     from repro.cpu.machine import Machine
     from repro.obs.tracer import Tracer
-
-#: Attacks the runner knows how to drive.
-ATTACK_NAMES = ("variant1", "variant1-thread", "variant2", "covert", "rsa", "tracker")
-
-#: Per-attack default round counts, sized so a full sweep stays interactive.
-DEFAULT_ROUNDS = {
-    "variant1": 40,
-    "variant1-thread": 40,
-    "variant2": 40,
-    "covert": 40,
-    "rsa": 16,
-    "tracker": 3,
-}
-
-#: RSA key size for the runner's quick recovery (full-size keys belong to
-#: the dedicated attack tests, not the observability smoke path).
-RUNNER_RSA_KEY_BITS = 48
 
 
 @dataclass
@@ -47,6 +36,7 @@ class AttackRun:
     quality: float
     detail: str
     machine: "Machine"
+    batch: TrialBatch
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -65,106 +55,19 @@ def run_attack(
     seed: int = 2023,
     rounds: int | None = None,
     trace: "Tracer | bool | None" = None,
+    sanitize: bool | None = None,
+    options: dict[str, Any] | None = None,
 ) -> AttackRun:
     """Run attack ``name`` on a fresh machine; returns the scored run."""
     from repro.cpu.machine import Machine
 
-    if name not in ATTACK_NAMES:
-        raise ValueError(f"unknown attack {name!r}; known: {', '.join(ATTACK_NAMES)}")
-    if rounds is None:
-        rounds = DEFAULT_ROUNDS[name]
-    if rounds <= 0:
-        raise ValueError(f"rounds must be positive, got {rounds}")
-    machine = Machine(params, seed=seed, trace=trace)
-    rng = make_rng(seed)
-    with machine.span("total"):
-        quality, detail = _RUNNERS[name](machine, rng, rounds)
-    return AttackRun(name=name, rounds=rounds, quality=quality, detail=detail, machine=machine)
-
-
-def _run_variant1(machine: "Machine", rng: Any, rounds: int) -> tuple[float, str]:
-    from repro.core.variant1 import Variant1CrossProcess
-
-    attack = Variant1CrossProcess(machine)
-    wins = sum(
-        attack.run_round(int(rng.integers(0, 2))).success for _ in range(rounds)
+    machine = Machine(params, seed=seed, trace=trace, sanitize=sanitize)
+    batch = run_on_machine(name, machine, seed=seed, rounds=rounds, options=options)
+    return AttackRun(
+        name=name,
+        rounds=batch.rounds,
+        quality=batch.quality,
+        detail=batch.detail,
+        machine=machine,
+        batch=batch,
     )
-    return wins / rounds, f"{wins}/{rounds} rounds leaked the branch bit"
-
-
-def _run_variant1_thread(machine: "Machine", rng: Any, rounds: int) -> tuple[float, str]:
-    from repro.core.variant1 import Variant1CrossThread
-
-    attack = Variant1CrossThread(machine)
-    wins = sum(
-        attack.run_round(int(rng.integers(0, 2))).success for _ in range(rounds)
-    )
-    return wins / rounds, f"{wins}/{rounds} rounds leaked the branch bit"
-
-
-def _run_variant2(machine: "Machine", rng: Any, rounds: int) -> tuple[float, str]:
-    from repro.core.variant2 import Variant2UserKernel
-
-    attack = Variant2UserKernel(machine, secret_source=lambda: int(rng.integers(0, 2)))
-    search = attack.find_target_index()
-    if search.index != attack.true_target_index:
-        raise RuntimeError(
-            f"IP search found index {search.index}, expected {attack.true_target_index}"
-        )
-    wins = sum(attack.run_round().success for _ in range(rounds))
-    return wins / rounds, f"{wins}/{rounds} rounds leaked the kernel branch"
-
-
-def _run_covert(machine: "Machine", rng: Any, rounds: int) -> tuple[float, str]:
-    from repro.core.covert import MIN_CLEAN_STRIDE, CovertChannel
-
-    channel = CovertChannel(machine, n_entries=1)
-    symbols = [int(x) for x in rng.integers(MIN_CLEAN_STRIDE, 32, rounds)]
-    report = channel.transmit(symbols)
-    return (
-        1.0 - report.error_rate,
-        f"{report.bandwidth_bps:.0f} bps, {report.error_rate * 100:.1f}% symbol error",
-    )
-
-
-def _run_rsa(machine: "Machine", rng: Any, rounds: int) -> tuple[float, str]:
-    from repro.core.tc_rsa_attack import TimingConstantRSAAttack
-    from repro.crypto.primes import generate_keypair
-
-    key = generate_keypair(RUNNER_RSA_KEY_BITS, rng)
-    attack = TimingConstantRSAAttack(machine, key)
-    n_bits = min(rounds, key.d.bit_length())
-    recovery = attack.recover_key_bits(key.encrypt(0xBEEF), n_bits=n_bits)
-    correct = len(recovery.true_bits) - recovery.bit_errors
-    return (
-        correct / len(recovery.true_bits),
-        f"{correct}/{len(recovery.true_bits)} key bits recovered "
-        f"in {recovery.passes} passes",
-    )
-
-
-def _run_tracker(machine: "Machine", rng: Any, rounds: int) -> tuple[float, str]:
-    from repro.core.load_tracker import LoadTimingTracker, OpenSSLRSAVictim, VictimPhase
-
-    detected = 0
-    for i in range(rounds):
-        victim_ctx = machine.new_thread(f"rsa-victim-{i}")
-        victim = OpenSSLRSAVictim(machine, victim_ctx)
-        tracker = LoadTimingTracker(machine, victim, target="key-load")
-        samples = tracker.track()
-        key_load_polls = [
-            s for s in samples if s.victim_phase is VictimPhase.KEY_LOAD
-        ]
-        if any(not s.prefetcher_triggered for s in key_load_polls):
-            detected += 1
-    return detected / rounds, f"key-load slice localized in {detected}/{rounds} runs"
-
-
-_RUNNERS = {
-    "variant1": _run_variant1,
-    "variant1-thread": _run_variant1_thread,
-    "variant2": _run_variant2,
-    "covert": _run_covert,
-    "rsa": _run_rsa,
-    "tracker": _run_tracker,
-}

@@ -23,7 +23,7 @@ class TestParser:
         sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
         for name in ("fig06", "fig07", "table1", "fig08", "variant1", "variant2",
                      "covert", "rsa", "sgx", "tracker", "ttest", "mitigation",
-                     "trace", "metrics"):
+                     "trace", "metrics", "run"):
             assert name in sub.choices
 
 
@@ -112,6 +112,33 @@ class TestObservability:
         with pytest.raises(SystemExit):
             main(["trace", "nonexistent"])
         capsys.readouterr()
+
+
+class TestRun:
+    def test_run_single_attack(self, capsys):
+        assert main(["run", "sgx", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sgx" in out and "jobs=1" in out
+
+    def test_run_suite_parallel_json(self, capsys):
+        assert main(["run", "--suite", "--rounds", "2", "--jobs", "2",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 2
+        assert len(payload["merged"]) == 8
+        for batch in payload["merged"].values():
+            assert batch["n_trials"] >= 2
+
+    def test_run_without_attack_or_suite_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+        capsys.readouterr()
+
+    def test_run_repeats_merge(self, capsys):
+        assert main(["run", "tracker", "--rounds", "1", "--repeats", "2",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["merged"]["tracker"]["n_trials"] == 2
 
 
 class TestReport:

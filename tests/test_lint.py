@@ -450,3 +450,55 @@ class TestPrint:
 
     def test_returning_string_clean(self):
         assert lint("def render():\n    return 'hello'\n") == []
+
+
+# --------------------------------------------------------------------- #
+# RL012 — unregistered attack class in repro/core                        #
+# --------------------------------------------------------------------- #
+
+CORE_PATH = "src/repro/core/example.py"
+
+
+class TestUnregisteredAttack:
+    def test_unregistered_run_round_flagged(self):
+        source = "class NovelAttack:\n    def run_round(self):\n        pass\n"
+        assert "RL012" in rule_ids(lint(source, path=CORE_PATH))
+
+    def test_each_entry_point_method_flagged(self):
+        for method in ("run_round", "transmit", "recover_key_bits", "track"):
+            source = f"class NovelAttack:\n    def {method}(self):\n        pass\n"
+            assert "RL012" in rule_ids(lint(source, path=CORE_PATH)), method
+
+    def test_registered_class_clean(self):
+        # Variant1CrossProcess is in the `covers` of the "variant1" spec.
+        source = "class Variant1CrossProcess:\n    def run_round(self):\n        pass\n"
+        assert lint(source, path=CORE_PATH) == []
+
+    def test_private_class_exempt(self):
+        source = "class _Helper:\n    def run_round(self):\n        pass\n"
+        assert lint(source, path=CORE_PATH) == []
+
+    def test_victim_run_method_exempt(self):
+        source = "class SomeVictim:\n    def run(self, secret):\n        pass\n"
+        assert lint(source, path=CORE_PATH) == []
+
+    def test_outside_core_exempt(self):
+        source = "class NovelAttack:\n    def run_round(self):\n        pass\n"
+        assert lint(source, path=UTIL_PATH) == []
+
+    def test_noqa_suppresses(self):
+        source = (
+            "class NovelAttack:  # repro: noqa[RL012] - registered next PR\n"
+            "    def run_round(self):\n"
+            "        pass\n"
+        )
+        assert lint(source, path=CORE_PATH) == []
+
+    def test_core_tree_is_clean(self):
+        # The real repro/core modules must all be covered by the registry.
+        import pathlib
+
+        core = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro" / "core"
+        for module in sorted(core.glob("*.py")):
+            findings = lint_source(module.read_text(), f"src/repro/core/{module.name}")
+            assert [f for f in findings if f.rule == "RL012"] == [], module.name
