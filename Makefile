@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-json leakcheck bench bench-figures check
+.PHONY: test test-sanitize lint lint-json leakcheck bench bench-figures campaign campaign-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,9 +21,23 @@ leakcheck:
 	$(PYTHON) -m repro.leakcheck --suite
 
 # Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json, plus
-# the serial-vs-parallel executor comparison -> BENCH_attacks.json.
+# the serial-vs-parallel executor comparison -> BENCH_attacks.json and the
+# cold-vs-warm campaign store comparison -> BENCH_campaign.json.
 bench:
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json --attacks-out BENCH_attacks.json --jobs 2
+	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --jobs 2
+
+# The three paper-evaluation grids, cached and resumable in .campaign-store
+# (re-run `make campaign` after an interrupt: finished cells are not redone).
+campaign:
+	$(PYTHON) -m repro.cli campaign run revng-table1 --store .campaign-store --jobs 2
+	$(PYTHON) -m repro.cli campaign run attacks-vs-noise --store .campaign-store --jobs 2
+	$(PYTHON) -m repro.cli campaign run defense-matrix --store .campaign-store --jobs 2
+
+# The CI smoke: a tiny campaign twice; the second pass must be 100% cache
+# hits with byte-identical aggregates (asserted inside the benchmark).
+campaign-smoke:
+	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --campaign attacks-vs-noise --attacks variant1,sgx --rounds 3 --store campaign-smoke-store
 
 # The paper-figure pytest benchmarks (the old `make bench`).
 bench-figures:

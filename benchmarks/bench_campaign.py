@@ -1,0 +1,136 @@
+"""Campaign benchmark: cold vs. warm wall-clock through the trial store.
+
+Runs a shrunk ``attacks-vs-noise`` campaign twice against a fresh
+:class:`~repro.campaign.store.TrialStore` — the first pass executes every
+cell, the second must be served entirely from the store — and writes
+``BENCH_campaign.json`` with both wall-clocks, the measured speedup, and
+a verification block asserting the warm pass executed zero cells with
+byte-identical aggregates (the campaign layer's caching contract)::
+
+    python benchmarks/bench_campaign.py --out BENCH_campaign.json --jobs 2
+
+The cold wall-clock tracks simulator throughput like BENCH_obs.json does;
+the warm wall-clock tracks store read-path overhead, which is the number
+that must stay negligible as campaigns grow to paper-scale grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import tempfile
+from collections.abc import Sequence
+
+from repro.campaign import CampaignRunner, TrialStore, builtin_campaign
+
+#: Bump when the JSON layout changes so downstream diffing can gate on it.
+SCHEMA_VERSION = 1
+
+
+def canonical(aggregates: dict) -> str:
+    return json.dumps(aggregates, sort_keys=True, separators=(",", ":"))
+
+
+def bench_campaign(
+    campaign: str,
+    store_dir: str,
+    jobs: int,
+    rounds: int,
+    repeats: int,
+    attacks: str | None,
+) -> dict:
+    """Cold run then warm run; returns the JSON-ready result document."""
+    spec = builtin_campaign(campaign)
+    overrides: dict = {"rounds": rounds, "repeats": repeats}
+    if attacks:
+        overrides["attacks"] = tuple(attacks.split(","))
+    spec = dataclasses.replace(spec, **overrides)
+    runner = CampaignRunner(TrialStore(store_dir), jobs=jobs)
+    cold = runner.run(spec)
+    warm = runner.run(spec)
+    return {
+        "schema": SCHEMA_VERSION,
+        "campaign": spec.name,
+        "n_cells": spec.n_cells,
+        "rounds": spec.rounds,
+        "repeats": spec.repeats,
+        "jobs": jobs,
+        "cold_wall_seconds": round(cold.wall_seconds, 4),
+        "warm_wall_seconds": round(warm.wall_seconds, 4),
+        "speedup": (
+            round(cold.wall_seconds / warm.wall_seconds, 1)
+            if warm.wall_seconds > 0
+            else None
+        ),
+        "verification": {
+            "cold_executed": cold.executed_count,
+            "warm_executed": warm.executed_count,
+            "warm_all_cached": warm.all_cached,
+            "aggregates_identical": canonical(cold.aggregates())
+            == canonical(warm.aggregates()),
+        },
+        "groups": {
+            label: {
+                "quality": batch.quality,
+                "n_trials": batch.n_trials,
+                "detail": batch.detail,
+            }
+            for label, batch in warm.merged().items()
+        },
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_campaign.json")
+    parser.add_argument("--campaign", default="attacks-vs-noise")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--attacks", default=None, help="override spec attacks (comma-separated)"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: a fresh temp dir, so the cold pass is cold)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.store is None:
+        with tempfile.TemporaryDirectory(prefix="bench-campaign-") as store_dir:
+            document = bench_campaign(
+                args.campaign, store_dir, args.jobs, args.rounds, args.repeats, args.attacks
+            )
+    else:
+        document = bench_campaign(
+            args.campaign, args.store, args.jobs, args.rounds, args.repeats, args.attacks
+        )
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    verification = document["verification"]
+    print(
+        f"{document['campaign']}: {document['n_cells']} cells  "
+        f"cold {document['cold_wall_seconds']:.2f}s  "
+        f"warm {document['warm_wall_seconds']:.2f}s  "
+        f"speedup {document['speedup']}x"
+    )
+    print(
+        f"warm executed {verification['warm_executed']} cells, "
+        f"all cached: {verification['warm_all_cached']}, "
+        f"aggregates identical: {verification['aggregates_identical']}"
+    )
+    print(f"wrote {args.out}")
+    if not (
+        verification["warm_all_cached"] and verification["aggregates_identical"]
+    ):
+        print("caching contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

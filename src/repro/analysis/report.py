@@ -128,10 +128,17 @@ ATTACK_ROWS: dict[str, AttackRow] = {
 }
 
 
-def _fmt(rows: list[ReportRow]) -> str:
-    lines = [
-        "# AfterImage reproduction report",
-        "",
+def format_rows(
+    rows: list[ReportRow], title: str | None = "# AfterImage reproduction report"
+) -> str:
+    """Render report rows as the paper-vs-measured markdown table.
+
+    Public because :mod:`repro.campaign.render` reuses the exact same row
+    schema and formatting for campaign sections (``title=None`` omits the
+    heading so the section supplies its own).
+    """
+    lines = [title, ""] if title else []
+    lines += [
         "| experiment | paper | measured | verdict |",
         "|---|---|---|---|",
     ]
@@ -143,11 +150,18 @@ def _fmt(rows: list[ReportRow]) -> str:
 
 
 def generate_report(
-    params: MachineParams, seed: int = 2023, rounds: int = 100, quick: bool = False
+    params: MachineParams,
+    seed: int = 2023,
+    rounds: int = 100,
+    quick: bool = False,
+    extra_sections: list[str] | None = None,
 ) -> str:
     """Run the headline experiments; returns the markdown report.
 
-    ``quick=True`` shrinks round counts for smoke runs.
+    ``quick=True`` shrinks round counts for smoke runs.  ``extra_sections``
+    are pre-rendered markdown blocks appended after the built-in sections —
+    the hook ``afterimage campaign report`` uses to graft campaign grids
+    onto the same document.
     """
     from repro.analysis.ttest import TVLATest
     from repro.mitigation.analytical import MitigationCostModel
@@ -236,7 +250,7 @@ def generate_report(
     # `afterimage metrics` prints, inlined so a report archives them.
     ct = attack_runs["variant1-thread"]
     sections = [
-        _fmt(rows),
+        format_rows(rows),
         "## Machine metrics",
         "",
         "Variant 1 cross-thread machine after its "
@@ -245,4 +259,5 @@ def generate_report(
         ct.machine.metrics().render_markdown(),
         "",
     ]
+    sections.extend(extra_sections or [])
     return "\n".join(sections)

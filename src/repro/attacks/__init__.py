@@ -10,10 +10,12 @@ machine), getting back a :class:`TrialBatch`.  Sweeps go through
 
 from repro.attacks.executor import (
     ExecutionResult,
+    TaskError,
     TrialExecutor,
     TrialTask,
     build_matrix,
     run_task,
+    run_task_safe,
     task_seed,
 )
 from repro.attacks.registry import (
@@ -36,6 +38,7 @@ __all__ = [
     "AttackSpec",
     "ExecutionResult",
     "Scorer",
+    "TaskError",
     "Trial",
     "TrialBatch",
     "TrialExecutor",
@@ -48,6 +51,7 @@ __all__ = [
     "registered_covers",
     "run_on_machine",
     "run_task",
+    "run_task_safe",
     "run_trials",
     "success_rate_score",
 ]

@@ -19,11 +19,19 @@ Workers are plain processes (``fork`` where the platform has it, else
 :class:`~repro.params.MachineParams` and ships back a
 :class:`~repro.attacks.trial.TrialBatch`, which carries serializable
 snapshots instead of the machine itself.
+
+Failures are isolated per cell: :func:`run_task_safe` converts a raising
+worker into a :class:`TaskError` carrying the task and its traceback, so
+one bad cell can no longer abort ``pool.map`` and discard every completed
+batch.  Errors surface on :attr:`ExecutionResult.errors`; the
+:mod:`repro.campaign` runner builds its retry-with-backoff loop on the
+same primitive.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from dataclasses import dataclass, field
 from time import perf_counter  # repro: noqa[RL003] — executor measures host wall-clock
 from typing import Any, Iterable, Sequence
@@ -97,20 +105,66 @@ def run_task(task: TrialTask) -> TrialBatch:
     )
 
 
+@dataclass(frozen=True)
+class TaskError:
+    """One failed matrix cell: the task that raised plus its traceback.
+
+    Picklable (the task's params and plain strings), so it crosses the
+    pool boundary exactly like a batch would.
+    """
+
+    task: TrialTask
+    error: str
+
+    @property
+    def summary(self) -> str:
+        """The exception line alone, without the traceback body."""
+        lines = [line for line in self.error.strip().splitlines() if line.strip()]
+        return lines[-1] if lines else "unknown error"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "attack": self.task.attack,
+            "machine": self.task.params.name,
+            "seed": self.task.seed,
+            "error": self.summary,
+        }
+
+
+def run_task_safe(task: TrialTask) -> TrialBatch | TaskError:
+    """Like :func:`run_task`, but a raising cell becomes a :class:`TaskError`.
+
+    This is what the pool actually maps: one crashing worker used to
+    propagate out of ``pool.map`` and lose every completed batch; now it
+    comes back as data and only its own cell is affected.
+    """
+    try:
+        return run_task(task)
+    except Exception:
+        return TaskError(task=task, error=traceback.format_exc())
+
+
 @dataclass
 class ExecutionResult:
-    """Everything a sweep produced: raw cells plus per-attack merges."""
+    """Everything a sweep produced: raw cells plus per-attack merges.
+
+    ``errors`` lists the cells whose workers raised; their attacks are
+    absent from ``merged`` unless another repeat of the same attack
+    succeeded.
+    """
 
     batches: list[TrialBatch]
     merged: dict[str, TrialBatch]
     jobs: int
     wall_seconds: float
+    errors: list[TaskError] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
             "n_batches": len(self.batches),
+            "errors": [error.as_dict() for error in self.errors],
             "merged": {
                 name: batch.as_dict() for name, batch in self.merged.items()
             },
@@ -137,22 +191,25 @@ class TrialExecutor:
             raise ValueError("no tasks to run")
         start = perf_counter()
         if self.jobs == 1 or len(tasks) == 1:
-            batches = [run_task(task) for task in tasks]
+            outcomes = [run_task_safe(task) for task in tasks]
         else:
-            batches = self._run_pool(tasks)
+            outcomes = self._run_pool(tasks)
         wall = perf_counter() - start
+        batches = [item for item in outcomes if isinstance(item, TrialBatch)]
+        errors = [item for item in outcomes if isinstance(item, TaskError)]
         return ExecutionResult(
-            batches=list(batches),
+            batches=batches,
             merged=_merge_by_attack(batches),
             jobs=self.jobs,
             wall_seconds=wall,
+            errors=errors,
         )
 
-    def _run_pool(self, tasks: Sequence[TrialTask]) -> list[TrialBatch]:
+    def _run_pool(self, tasks: Sequence[TrialTask]) -> list[TrialBatch | TaskError]:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork (e.g. Windows)
             context = multiprocessing.get_context("spawn")
         n_workers = min(self.jobs, len(tasks))
         with context.Pool(processes=n_workers) as pool:
-            return pool.map(run_task, tasks)
+            return pool.map(run_task_safe, tasks)

@@ -194,9 +194,19 @@ def run_trials(
     trace: "Tracer | bool | None" = None,
     sanitize: bool | None = None,
     options: dict[str, Any] | None = None,
+    configure: Callable[["Machine"], None] | None = None,
 ) -> TrialBatch:
-    """Run attack ``name`` on a fresh machine built from ``params``."""
+    """Run attack ``name`` on a fresh machine built from ``params``.
+
+    ``configure`` is called on the freshly built machine before the attack
+    starts — the hook the :mod:`repro.campaign` defense axis uses to apply
+    ``flush_prefetcher_on_switch`` / ``harden_machine`` /
+    ``disable_ip_stride_prefetcher`` without every caller re-implementing
+    machine construction.
+    """
     from repro.cpu.machine import Machine
 
     machine = Machine(params, seed=seed, trace=trace, sanitize=sanitize)
+    if configure is not None:
+        configure(machine)
     return run_on_machine(name, machine, seed=seed, rounds=rounds, options=options)

@@ -14,6 +14,13 @@ Batches from a trial matrix (attack × seed × machine) merge with
 :meth:`TrialBatch.merge`, which recomputes the aggregate success rate from
 the union of trials — the executor's fan-out therefore cannot change any
 aggregate number, only the wall-clock it takes to produce it.
+
+Batches also round-trip through plain dicts: ``TrialBatch.from_dict(
+batch.as_dict())`` reconstructs every aggregate-bearing field, which is
+what lets the :mod:`repro.campaign` trial store persist cells as JSONL and
+serve them back on a resumed campaign.  The one deliberate loss is the
+per-trial ``payload`` (the attack's rich result object): it is excluded
+from :meth:`Trial.as_dict` and comes back as ``None``.
 """
 
 from __future__ import annotations
@@ -51,6 +58,19 @@ class Trial:
             "cycles": self.cycles,
             "spans": dict(self.spans),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Trial":
+        """Rebuild a trial from :meth:`as_dict` output (payload is lost)."""
+        return cls(
+            index=int(data["index"]),
+            true_outcome=data["true_outcome"],
+            inferred_outcome=data["inferred_outcome"],
+            success=bool(data["success"]),
+            cycles=int(data.get("cycles", 0)),
+            spans={str(k): int(v) for k, v in (data.get("spans") or {}).items()},
+            payload=None,
+        )
 
 
 @dataclass
@@ -108,6 +128,41 @@ class TrialBatch:
         }
 
     @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrialBatch":
+        """Rebuild a batch from :meth:`as_dict` output (the store read path).
+
+        The derived aggregates (``n_trials``, ``successes``,
+        ``success_rate``) are recomputed from the trial list; when the dict
+        carries them they are cross-checked, so a record whose trial lines
+        were truncated fails loudly here instead of serving wrong numbers.
+        """
+        trials = [Trial.from_dict(t) for t in data.get("trials", [])]
+        if "n_trials" in data and int(data["n_trials"]) != len(trials):
+            raise ValueError(
+                f"corrupt batch record: n_trials={data['n_trials']} but "
+                f"{len(trials)} trials present"
+            )
+        successes = sum(1 for trial in trials if trial.success)
+        if "successes" in data and int(data["successes"]) != successes:
+            raise ValueError(
+                f"corrupt batch record: successes={data['successes']} but "
+                f"trials contain {successes}"
+            )
+        return cls(
+            attack=str(data["attack"]),
+            seed=int(data["seed"]),
+            machine=str(data["machine"]),
+            rounds=int(data["rounds"]),
+            trials=trials,
+            quality=float(data["quality"]),
+            detail=str(data["detail"]),
+            simulated_cycles=int(data["simulated_cycles"]),
+            spans=dict(data.get("spans") or {}),
+            metrics=dict(data.get("metrics") or {}),
+            notes=dict(data.get("notes") or {}),
+        )
+
+    @classmethod
     def merge(cls, batches: list["TrialBatch"]) -> "TrialBatch":
         """Aggregate same-attack batches (one matrix cell over many seeds).
 
@@ -115,6 +170,12 @@ class TrialBatch:
         plain success rate over the union — every builtin scorer's quality
         coincides with it, so merging commutes with scoring.  Metrics
         counters are summed; non-numeric metric values are dropped.
+
+        The merged batch's scalar ``seed``/``machine`` fields can only hold
+        one value, so the full provenance — every constituent seed in batch
+        order and the set of machines — is recorded in ``notes`` under
+        ``merged_seeds``/``merged_machines``; a merged artifact written to
+        disk stays reproducible without the raw batches.
         """
         if not batches:
             raise ValueError("cannot merge zero batches")
@@ -157,5 +218,9 @@ class TrialBatch:
             simulated_cycles=sum(batch.simulated_cycles for batch in batches),
             spans=spans,
             metrics=metrics,
-            notes={"merged_batches": len(batches)},
+            notes={
+                "merged_batches": len(batches),
+                "merged_seeds": [batch.seed for batch in batches],
+                "merged_machines": sorted({batch.machine for batch in batches}),
+            },
         )

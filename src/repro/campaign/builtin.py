@@ -1,0 +1,105 @@
+"""The three built-in campaigns, mirroring the paper's evaluation grids.
+
+* ``revng-table1`` — the §4.3 page-boundary sweep on both Table 2
+  machines, repeated over independent seeds: the reverse-engineering
+  claims as a regression grid.
+* ``attacks-vs-noise`` — every registered attack against a noise axis
+  from quiet to hostile: the success-rate-vs-noise curves behind the
+  paper's Table 3 discussion (and the robustness story PhantomFetch-style
+  evaluations lead with).
+* ``defense-matrix`` — representative attacks crossed with the paper's
+  §8.2/§8.3 defenses: the attack × defense verdict matrix.
+
+Each is a plain :class:`~repro.campaign.spec.CampaignSpec` value —
+``afterimage campaign run <name>`` resolves it here, and callers may
+shrink it with ``--rounds``/``--repeats``/``--attacks`` overrides (CI's
+smoke job does exactly that).
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import AxisPoint, CampaignSpec
+
+#: Noise axis: the paper's calibrated defaults sit between a quiet,
+#: pinned-core setup (§4's microbenchmark conditions) and a hostile,
+#: switch-heavy one (§7.2's multi-entry degradation regime).
+_NOISE_AXES = (
+    AxisPoint(
+        name="quiet",
+        noise=(
+            ("kernel_variable_ips", 0),
+            ("switch_cache_lines", 0),
+            ("switch_fixed_ips", 0),
+            ("switch_variable_ips", 0),
+            ("timing_sigma", 0.0),
+            ("timing_spike_prob", 0.0),
+        ),
+    ),
+    AxisPoint(name="paper"),  # the calibrated NoiseParams defaults
+    AxisPoint(
+        name="hostile",
+        noise=(
+            ("kernel_variable_ips", 64),
+            ("switch_cache_lines", 192),
+            ("switch_variable_ips", 4),
+            ("timing_sigma", 6.0),
+            ("timing_spike_prob", 0.01),
+        ),
+    ),
+)
+
+_DEFENSE_AXES = (
+    AxisPoint(name="baseline"),
+    AxisPoint(name="flush-on-switch", defense="flush-on-switch"),
+    AxisPoint(name="tagged", defense="tagged"),
+    AxisPoint(name="disabled", defense="disabled"),
+)
+
+REVNG_TABLE1 = CampaignSpec(
+    name="revng-table1",
+    description="Table 1 page-boundary verdicts on both Table 2 machines",
+    attacks=("table1",),
+    machines=("i7-4770", "i7-9700"),
+    axes=(AxisPoint(name="baseline"),),
+    repeats=3,
+)
+
+ATTACKS_VS_NOISE = CampaignSpec(
+    name="attacks-vs-noise",
+    description="every attack's success rate across a quiet→hostile noise axis",
+    attacks=(
+        "variant1",
+        "variant1-thread",
+        "variant2",
+        "covert",
+        "sgx",
+        "switch-leak",
+        "rsa",
+        "tracker",
+    ),
+    machines=("i7-9700",),
+    axes=_NOISE_AXES,
+    repeats=2,
+)
+
+DEFENSE_MATRIX = CampaignSpec(
+    name="defense-matrix",
+    description="representative attacks crossed with the §8.2/§8.3 defenses",
+    attacks=("variant1", "variant1-thread", "covert", "sgx"),
+    machines=("i7-9700",),
+    axes=_DEFENSE_AXES,
+    repeats=2,
+)
+
+BUILTIN_CAMPAIGNS: dict[str, CampaignSpec] = {
+    spec.name: spec for spec in (REVNG_TABLE1, ATTACKS_VS_NOISE, DEFENSE_MATRIX)
+}
+
+
+def builtin_campaign(name: str) -> CampaignSpec:
+    if name not in BUILTIN_CAMPAIGNS:
+        raise KeyError(
+            f"unknown builtin campaign {name!r}; known: "
+            f"{', '.join(BUILTIN_CAMPAIGNS)}"
+        )
+    return BUILTIN_CAMPAIGNS[name]

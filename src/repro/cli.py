@@ -14,6 +14,10 @@ Installed as the ``afterimage`` console script::
     afterimage metrics switch-leak --format json
     afterimage run rsa --rounds 24
     afterimage run --suite --jobs 4
+    afterimage campaign list
+    afterimage campaign run attacks-vs-noise --jobs 4
+    afterimage campaign status defense-matrix
+    afterimage campaign report revng-table1 -o campaign.md
 
 Each subcommand prints the corresponding figure/table series, like the
 benchmark suite, but without pytest in the loop.  The attack subcommands
@@ -269,18 +273,101 @@ def cmd_run(params: MachineParams, args: argparse.Namespace) -> None:
     result = TrialExecutor(jobs=args.jobs).run(tasks)
     if args.format == "json":
         print(json.dumps(result.as_dict(), indent=2))
-        return
-    _table(
-        [
-            (name, f"{batch.quality:.3f}", batch.n_trials, batch.detail)
-            for name, batch in result.merged.items()
-        ],
-        ("attack", "quality", "trials", "detail"),
+    else:
+        _table(
+            [
+                (name, f"{batch.quality:.3f}", batch.n_trials, batch.detail)
+                for name, batch in result.merged.items()
+            ],
+            ("attack", "quality", "trials", "detail"),
+        )
+        print(
+            f"{len(result.batches)} batches, jobs={result.jobs}, "
+            f"wall {result.wall_seconds:.2f}s"
+        )
+    for error in result.errors:
+        print(
+            f"FAILED {error.task.attack} (seed {error.task.seed}): {error.summary}",
+            file=sys.stderr,
+        )
+    if result.errors:
+        sys.exit(1)
+
+
+def _resolve_campaign_spec(name: str, args: argparse.Namespace):
+    """A builtin campaign by name, or a ``.toml``/``.json`` spec file,
+    shrunk by any ``--rounds``/``--repeats``/``--attacks`` overrides."""
+    import dataclasses
+
+    from repro.campaign import builtin_campaign, load_spec
+
+    if name.endswith((".toml", ".json")):
+        spec = load_spec(name)
+    else:
+        spec = builtin_campaign(name)
+    overrides: dict = {}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.attacks is not None:
+        overrides["attacks"] = tuple(
+            part.strip() for part in args.attacks.split(",") if part.strip()
+        )
+    if args.base_seed is not None:
+        overrides["base_seed"] = args.base_seed
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """`afterimage campaign list|run|status|report` (early dispatch: specs
+    name their own machines, so the global ``--machine`` preset is unused)."""
+    from repro.campaign import (
+        BUILTIN_CAMPAIGNS,
+        CampaignRunner,
+        TrialStore,
+        campaign_status,
+        render_markdown,
+        render_result,
+        render_status,
     )
-    print(
-        f"{len(result.batches)} batches, jobs={result.jobs}, "
-        f"wall {result.wall_seconds:.2f}s"
-    )
+
+    if args.action == "list":
+        _table(
+            [
+                (spec.name, spec.n_cells, spec.description)
+                for spec in BUILTIN_CAMPAIGNS.values()
+            ],
+            ("campaign", "cells", "description"),
+        )
+        return 0
+    if args.campaign is None:
+        print("specify a builtin campaign name or a spec file", file=sys.stderr)
+        return 2
+    spec = _resolve_campaign_spec(args.campaign, args)
+    store = TrialStore(args.store)
+    if args.action == "status":
+        status = campaign_status(spec, store)
+        if args.format == "json":
+            print(json.dumps(status.as_dict(), indent=2))
+        else:
+            print(render_status(status))
+        return 0
+    runner = CampaignRunner(store, jobs=args.jobs, max_attempts=args.max_attempts)
+    result = runner.run(spec)
+    if args.action == "report":
+        markdown = render_markdown(result)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(markdown + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(markdown)
+    elif args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(render_result(result))
+    return 0 if result.complete else 1
 
 
 def cmd_trace(params: MachineParams, args: argparse.Namespace) -> None:
@@ -359,6 +446,32 @@ def build_parser() -> argparse.ArgumentParser:
     leakcheck.add_argument("--format", choices=("text", "json"), default="text")
     leakcheck.add_argument("--list-victims", action="store_true")
     leakcheck.add_argument("--suite", action="store_true")
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative cached sweeps (repro.campaign): list|run|status|report",
+    )
+    campaign.add_argument("action", choices=("list", "run", "status", "report"))
+    campaign.add_argument(
+        "campaign",
+        nargs="?",
+        default=None,
+        help="builtin campaign name or a .toml/.json spec file",
+    )
+    campaign.add_argument(
+        "--store",
+        default=".campaign-store",
+        help="trial store directory (default: .campaign-store)",
+    )
+    campaign.add_argument("--jobs", type=int, default=1)
+    campaign.add_argument("--max-attempts", type=int, default=3)
+    campaign.add_argument("--rounds", type=int, default=None, help="override spec rounds")
+    campaign.add_argument("--repeats", type=int, default=None, help="override spec repeats")
+    campaign.add_argument(
+        "--attacks", default=None, help="override spec attacks (comma-separated)"
+    )
+    campaign.add_argument("--base-seed", type=int, default=None)
+    campaign.add_argument("--format", choices=("text", "json"), default="text")
+    campaign.add_argument("-o", "--output", default=None, help="report output file")
     for name, (_fn, help_text) in _COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         if name in ("variant1", "variant2", "covert"):
@@ -411,6 +524,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.list_rules:
                 lint_argv.append("--list-rules")
             return lint_main(lint_argv)
+        if args.command == "campaign":
+            # Campaign specs declare their own machines; early dispatch.
+            return cmd_campaign(args)
         if args.command == "leakcheck":
             # Pure static analysis, no machine model; same early dispatch.
             from repro.leakcheck.cli import main as leakcheck_main

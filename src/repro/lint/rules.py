@@ -1,4 +1,4 @@
-"""Lint rules RL001–RL012: the conventions the reproduction depends on.
+"""Lint rules RL001–RL013: the conventions the reproduction depends on.
 
 Each rule is a class with a stable id, a one-line title, and an autofix
 hint.  Rules receive a :class:`~repro.lint.engine.FileContext` (parsed AST
@@ -566,6 +566,48 @@ class UnregisteredAttackRule(Rule):
                 )
 
 
+class ConfinedMultiprocessingRule(Rule):
+    """RL013 — ``multiprocessing`` imports are confined to the two pool owners.
+
+    Worker fan-out has exactly two sanctioned homes: the trial executor
+    (``repro/attacks/executor.py``) and the campaign layer
+    (``repro/campaign/``).  Both get the platform context dance, per-cell
+    fault isolation, and deterministic per-task seed derivation right; an
+    ad-hoc ``multiprocessing`` pool anywhere else would re-introduce the
+    all-or-nothing ``pool.map`` failure mode and dispatch-order-dependent
+    seeds those layers exist to prevent.  Everything else parallelises by
+    building a task list and handing it to the executor or a campaign.
+    """
+
+    rule_id = "RL013"
+    title = "multiprocessing import outside attacks/executor.py and campaign/"
+    hint = "fan out via repro.attacks.TrialExecutor or repro.campaign.CampaignRunner"
+
+    _ALLOWED = ("repro/attacks/executor.py", "repro/campaign/")
+
+    def applies_to(self, path: str) -> bool:
+        if not _in_package(path, "repro") or _is_test_path(path):
+            return False
+        return not any(allowed in path for allowed in self._ALLOWED)
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "multiprocessing" or alias.name.startswith(
+                        "multiprocessing."
+                    ):
+                        yield ctx.finding(
+                            self, node, "direct `import multiprocessing`"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "multiprocessing" or module.startswith("multiprocessing."):
+                    yield ctx.finding(
+                        self, node, "direct `from multiprocessing import ...`"
+                    )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     StdlibRandomRule,
     NumpyRngRule,
@@ -579,4 +621,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AssertValidationRule,
     PrintRule,
     UnregisteredAttackRule,
+    ConfinedMultiprocessingRule,
 )

@@ -15,7 +15,9 @@ reported bands; see DESIGN.md §5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 #: Bytes per cache line on every modeled machine.
 CACHE_LINE_SIZE = 64
@@ -153,6 +155,18 @@ class MachineParams:
     def with_noise(self, **updates: object) -> "MachineParams":
         """Return a copy with selected noise knobs replaced."""
         return replace(self, noise=replace(self.noise, **updates))
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the full resolved machine description.
+
+        Canonical-JSON of every field (sorted keys, no whitespace), so any
+        model-parameter change — a latency, a prefetcher knob, a noise
+        level — yields a new fingerprint.  :mod:`repro.campaign` builds its
+        content-addressed cell keys on this: stale cached results can never
+        be served for a reconfigured machine.
+        """
+        canonical = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     def quiet(self) -> "MachineParams":
         """Return a noise-free copy, used by the reverse-engineering benches.

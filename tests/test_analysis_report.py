@@ -1,6 +1,6 @@
 """Tests for the automated reproduction report."""
 
-from repro.analysis.report import ReportRow, _fmt, generate_report
+from repro.analysis.report import ReportRow, format_rows, generate_report
 from repro.params import COFFEE_LAKE_I7_9700
 
 
@@ -10,10 +10,27 @@ class TestFormatting:
             ReportRow("exp-a", "1", "1", True),
             ReportRow("exp-b", "2", "3", False),
         ]
-        text = _fmt(rows)
+        text = format_rows(rows)
         assert text.startswith("# AfterImage reproduction report")
         assert "| exp-a | 1 | 1 | reproduced |" in text
         assert "| exp-b | 2 | 3 | **out of band** |" in text
+
+    def test_title_none_omits_heading(self):
+        rows = [ReportRow("exp-a", "1", "1", True)]
+        text = format_rows(rows, title=None)
+        assert text.startswith("| experiment |")
+
+    def test_extra_sections_appended(self):
+        base = generate_report(COFFEE_LAKE_I7_9700, seed=230, rounds=10, quick=True)
+        extended = generate_report(
+            COFFEE_LAKE_I7_9700,
+            seed=230,
+            rounds=10,
+            quick=True,
+            extra_sections=["## Campaign `smoke`", "grid body"],
+        )
+        assert extended.startswith(base)
+        assert extended.endswith("## Campaign `smoke`\ngrid body")
 
 
 class TestGeneration:

@@ -10,12 +10,15 @@ import json
 import pytest
 
 from repro.attacks import (
+    TaskError,
     TrialBatch,
     TrialExecutor,
+    TrialTask,
     attack_names,
     build_matrix,
     get_attack,
     registered_covers,
+    run_task_safe,
     run_trials,
     task_seed,
 )
@@ -139,7 +142,11 @@ class TestTrialBatchMerge:
         assert merged.spans["total"]["cycles"] == (
             a.spans["total"]["cycles"] + b.spans["total"]["cycles"]
         )
-        assert merged.notes == {"merged_batches": 2}
+        assert merged.notes == {
+            "merged_batches": 2,
+            "merged_seeds": [1, 2],
+            "merged_machines": ["i7-9700"],
+        }
 
     def test_merge_refuses_mixed_attacks(self):
         a = run_trials("variant1", PARAMS, seed=1, rounds=2)
@@ -193,3 +200,80 @@ class TestExecutor:
     def test_empty_tasks_rejected(self):
         with pytest.raises(ValueError):
             TrialExecutor(jobs=1).run([])
+
+
+class TestTrialBatchRoundTrip:
+    """Satellite contract: ``from_dict(as_dict())`` preserves every
+    aggregate for all eight attacks; payloads are documented as lost."""
+
+    @pytest.mark.parametrize("name", attack_names())
+    def test_round_trip_preserves_aggregates(self, name):
+        batch = run_trials(name, PARAMS, seed=SEED, rounds=2)
+        # The store's actual path: dict → JSON → dict → batch → dict.
+        over_the_wire = json.loads(json.dumps(batch.as_dict()))
+        restored = TrialBatch.from_dict(over_the_wire)
+        assert restored.attack == batch.attack
+        assert restored.seed == batch.seed
+        assert restored.machine == batch.machine
+        assert restored.n_trials == batch.n_trials
+        assert restored.successes == batch.successes
+        assert restored.success_rate == batch.success_rate
+        assert restored.quality == batch.quality
+        assert restored.detail == batch.detail
+        assert restored.simulated_cycles == batch.simulated_cycles
+        assert json.loads(json.dumps(restored.as_dict())) == over_the_wire
+        # The one deliberate loss: per-trial rich result objects.
+        assert all(trial.payload is None for trial in restored.trials)
+
+    def test_merged_batch_round_trips(self):
+        merged = TrialBatch.merge(
+            [
+                run_trials("variant1", PARAMS, seed=1, rounds=2),
+                run_trials("variant1", PARAMS, seed=2, rounds=2),
+            ]
+        )
+        restored = TrialBatch.from_dict(json.loads(json.dumps(merged.as_dict())))
+        assert restored.notes["merged_seeds"] == [1, 2]
+        assert restored.quality == merged.quality
+
+
+class TestExecutorFaultIsolation:
+    """Satellite contract: one raising worker no longer aborts ``pool.map``
+    and discards every completed batch — it comes back as a TaskError."""
+
+    def bad_task(self) -> TrialTask:
+        # An unknown attack name makes run_task raise inside the worker.
+        return TrialTask(attack="rowhammer", params=PARAMS, seed=SEED, rounds=2)
+
+    def test_run_task_safe_returns_error_value(self):
+        outcome = run_task_safe(self.bad_task())
+        assert isinstance(outcome, TaskError)
+        assert outcome.task.attack == "rowhammer"
+        assert "unknown attack" in outcome.summary
+        json.dumps(outcome.as_dict())
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_good_cells_survive_a_failing_cell(self, jobs):
+        tasks = build_matrix(("sgx",), base_seed=SEED, repeats=2, rounds=2)
+        tasks.append(self.bad_task())
+        result = TrialExecutor(jobs=jobs).run(tasks)
+        assert len(result.batches) == 2
+        assert len(result.errors) == 1
+        assert result.errors[0].task.attack == "rowhammer"
+        assert set(result.merged) == {"sgx"}
+        assert result.as_dict()["errors"][0]["attack"] == "rowhammer"
+
+    def test_failing_cell_does_not_change_sibling_aggregates(self):
+        tasks = build_matrix(("sgx",), base_seed=SEED, repeats=2, rounds=2)
+        clean = TrialExecutor(jobs=1).run(list(tasks))
+        dirty = TrialExecutor(jobs=1).run(list(tasks) + [self.bad_task()])
+
+        def deterministic(batch):  # host wall-clock varies run to run
+            data = batch.as_dict()
+            data["spans"] = {
+                name: {k: v for k, v in stats.items() if k != "wall_seconds"}
+                for name, stats in data["spans"].items()
+            }
+            return data
+
+        assert deterministic(clean.merged["sgx"]) == deterministic(dirty.merged["sgx"])

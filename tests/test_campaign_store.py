@@ -1,0 +1,149 @@
+"""Tests for the content-addressed TrialStore: sharding, atomicity,
+corruption tolerance (a damaged record reads as a miss, never a crash)."""
+
+import json
+
+import pytest
+
+from repro.attacks.trial import Trial, TrialBatch
+from repro.campaign import SCHEMA_VERSION, TrialStore
+
+
+def make_batch(seed: int = 1, n: int = 3) -> TrialBatch:
+    trials = [
+        Trial(index=i, true_outcome=i % 2, inferred_outcome=i % 2, success=True, cycles=10)
+        for i in range(n)
+    ]
+    return TrialBatch(
+        attack="variant1",
+        seed=seed,
+        machine="i7-9700",
+        rounds=n,
+        trials=trials,
+        quality=1.0,
+        detail=f"{n}/{n}",
+        simulated_cycles=100,
+        spans={"total": {"count": 1, "cycles": 100, "wall_seconds": 0.1}},
+        metrics={"machine.cycles": 100},
+        notes={"k": "v"},
+    )
+
+
+KEY = "ab" + "0" * 62
+OTHER_KEY = "cd" + "1" * 62
+
+
+class TestStoreBasics:
+    def test_miss_then_hit(self, tmp_path):
+        store = TrialStore(tmp_path)
+        assert store.get(KEY) is None
+        assert KEY not in store
+        batch = make_batch()
+        store.put(KEY, batch)
+        assert KEY in store
+        restored = store.get(KEY)
+        assert restored.as_dict() == batch.as_dict()
+
+    def test_round_trip_across_handles(self, tmp_path):
+        TrialStore(tmp_path).put(KEY, make_batch(seed=7))
+        restored = TrialStore(tmp_path).get(KEY)
+        assert restored.seed == 7
+        assert restored.n_trials == 3
+
+    def test_sharded_by_key_prefix(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.put(KEY, make_batch())
+        store.put(OTHER_KEY, make_batch(seed=2))
+        assert (tmp_path / "shards" / "ab.jsonl").exists()
+        assert (tmp_path / "shards" / "cd.jsonl").exists()
+        assert sorted(store.keys()) == sorted([KEY, OTHER_KEY])
+        assert len(store) == 2
+
+    def test_put_is_idempotent_last_write_wins(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.put(KEY, make_batch(seed=1))
+        store.put(KEY, make_batch(seed=2))
+        assert len(store) == 1
+        assert store.get(KEY).seed == 2
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = TrialStore(tmp_path)
+        for i, key in enumerate((KEY, OTHER_KEY)):
+            store.put(key, make_batch(seed=i))
+        leftovers = [p for p in (tmp_path / "shards").iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_marker_written_once(self, tmp_path):
+        TrialStore(tmp_path)
+        marker = json.loads((tmp_path / "store.json").read_text())
+        assert marker["format"] == "repro.campaign.TrialStore"
+        assert marker["schema"] == SCHEMA_VERSION
+
+
+class TestCorruptionTolerance:
+    def shard_path(self, tmp_path):
+        return tmp_path / "shards" / "ab.jsonl"
+
+    def test_truncated_line_reads_as_miss(self, tmp_path):
+        TrialStore(tmp_path).put(KEY, make_batch())
+        path = self.shard_path(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        store = TrialStore(tmp_path)
+        assert store.get(KEY) is None
+        assert store.corrupt_lines == 1
+
+    def test_garbage_line_skipped_good_line_served(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.put(KEY, make_batch())
+        path = self.shard_path(tmp_path)
+        path.write_text("not json at all\n" + path.read_text())
+        reopened = TrialStore(tmp_path)
+        assert reopened.get(KEY) is not None
+        assert reopened.corrupt_lines == 1
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.put(KEY, make_batch())
+        path = self.shard_path(tmp_path)
+        record = json.loads(path.read_text())
+        record["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record) + "\n")
+        assert TrialStore(tmp_path).get(KEY) is None
+
+    def test_inconsistent_batch_record_reads_as_miss(self, tmp_path):
+        # Valid JSON whose aggregates contradict its trial list — e.g. a
+        # partially-written record: from_dict cross-checks and the store
+        # turns that failure into a miss so the cell re-runs.
+        store = TrialStore(tmp_path)
+        store.put(KEY, make_batch())
+        path = self.shard_path(tmp_path)
+        record = json.loads(path.read_text())
+        record["batch"]["n_trials"] = 99
+        path.write_text(json.dumps(record) + "\n")
+        reopened = TrialStore(tmp_path)
+        assert reopened.get(KEY) is None
+        assert reopened.corrupt_lines == 1
+
+    def test_rewrite_drops_corrupt_lines(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.put(KEY, make_batch())
+        path = self.shard_path(tmp_path)
+        path.write_text("garbage\n" + path.read_text())
+        reopened = TrialStore(tmp_path)
+        reopened.put(KEY, make_batch(seed=5))  # rewrite of the same shard
+        assert "garbage" not in path.read_text()
+        assert TrialStore(tmp_path).get(KEY).seed == 5
+
+
+class TestFromDictValidation:
+    def test_n_trials_mismatch_raises(self):
+        data = make_batch().as_dict()
+        data["n_trials"] = 99
+        with pytest.raises(ValueError, match="corrupt batch record"):
+            TrialBatch.from_dict(data)
+
+    def test_successes_mismatch_raises(self):
+        data = make_batch().as_dict()
+        data["successes"] = 0
+        with pytest.raises(ValueError, match="corrupt batch record"):
+            TrialBatch.from_dict(data)

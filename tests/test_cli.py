@@ -154,3 +154,68 @@ class TestReport:
         assert main(["report", "--quick", "--rounds", "20", "-o", str(target)]) == 0
         assert "wrote" in capsys.readouterr().out
         assert "| experiment |" in target.read_text()
+
+
+class TestCampaign:
+    def run_args(self, tmp_path, *extra):
+        return [
+            "campaign", *extra,
+            "--store", str(tmp_path / "store"),
+            "--attacks", "variant1",
+            "--repeats", "1",
+            "--rounds", "3",
+        ]
+
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("revng-table1", "attacks-vs-noise", "defense-matrix"):
+            assert name in out
+
+    def test_campaign_without_name_errors(self, capsys):
+        assert main(["campaign", "run"]) == 2
+        assert "specify a builtin campaign" in capsys.readouterr().err
+
+    def test_campaign_run_twice_second_all_cached(self, tmp_path, capsys):
+        assert main(self.run_args(tmp_path, "run", "attacks-vs-noise")) == 0
+        first = capsys.readouterr().out
+        assert "0 cached, 3 executed" in first
+        assert main(
+            self.run_args(tmp_path, "run", "attacks-vs-noise") + ["--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cached"] == payload["n_cells"] == 3
+        assert payload["executed"] == 0
+        assert payload["complete"] is True
+
+    def test_campaign_status(self, tmp_path, capsys):
+        assert main(self.run_args(tmp_path, "status", "defense-matrix")) == 0
+        out = capsys.readouterr().out
+        assert "0/4 cells cached" in out
+        assert main(self.run_args(tmp_path, "run", "defense-matrix")) == 0
+        capsys.readouterr()
+        assert main(self.run_args(tmp_path, "status", "defense-matrix")) == 0
+        assert "a run would execute nothing" in capsys.readouterr().out
+
+    def test_campaign_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "campaign.md"
+        assert main(
+            self.run_args(tmp_path, "report", "revng-table1") + ["-o", str(target)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        text = target.read_text()
+        assert text.startswith("## Campaign `revng-table1`")
+        assert "| experiment |" in text
+
+    def test_campaign_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "mini.json"
+        spec_path.write_text(json.dumps({
+            "name": "mini",
+            "attacks": ["sgx"],
+            "repeats": 1,
+            "rounds": 2,
+        }))
+        assert main([
+            "campaign", "run", str(spec_path), "--store", str(tmp_path / "store"),
+        ]) == 0
+        assert "sgx/i7-9700/baseline" in capsys.readouterr().out
