@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-json leakcheck bench bench-figures campaign campaign-smoke check
+.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck bench bench-figures campaign campaign-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,11 +11,20 @@ test:
 test-sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
+# Full pass: syntactic rules + the CFG/dataflow rules (RL014-RL017).
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
 
+# Syntactic rules only (the flow pass dominates lint wall time).
+lint-fast:
+	$(PYTHON) -m repro.lint src tests benchmarks examples --no-flow
+
 lint-json:
 	$(PYTHON) -m repro.lint src tests benchmarks examples --format json
+
+# Pre-commit convenience: lint only files changed vs HEAD.
+lint-changed:
+	$(PYTHON) -m repro.lint src tests benchmarks examples --changed
 
 leakcheck:
 	$(PYTHON) -m repro.leakcheck --suite

@@ -435,6 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", default=None, help="comma-separated rule ids (e.g. RL001,RL006)")
+    lint.add_argument(
+        "--flow",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="CFG/dataflow pass: RL014-RL017 plus alias-aware RL001/RL003/RL008",
+    )
+    lint.add_argument("--changed", action="store_true", help="lint only files changed vs HEAD")
     lint.add_argument("--list-rules", action="store_true")
     leakcheck = sub.add_parser(
         "leakcheck", help="static AfterImage-leakage analysis (repro.leakcheck)"
@@ -521,6 +528,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             lint_argv = list(args.paths) + ["--format", args.format]
             if args.select:
                 lint_argv += ["--select", args.select]
+            lint_argv.append("--flow" if args.flow else "--no-flow")
+            if args.changed:
+                lint_argv.append("--changed")
             if args.list_rules:
                 lint_argv.append("--list-rules")
             return lint_main(lint_argv)

@@ -13,7 +13,9 @@ import re
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from time import perf_counter  # repro: noqa[RL003] — lint timing, not model code
 
+from repro.lint.flow import DEAD_CODE_FILTERED_RULES, FlowContext
 from repro.lint.rules import ALL_RULES, Rule
 
 #: ``# repro: noqa`` or ``# repro: noqa[RL001]`` / ``[RL001, RL006]``.
@@ -46,6 +48,9 @@ class FileContext:
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
+        #: CFG/dataflow state, attached by :func:`lint_source` when the
+        #: flow pass is on; rules with ``requires_flow`` read it.
+        self.flow: FlowContext | None = None
         self._parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
@@ -104,9 +109,23 @@ def _make_rules(only: Iterable[str] | None = None) -> list[Rule]:
 
 
 def lint_source(
-    source: str, path: str, rules: Sequence[Rule] | None = None
+    source: str,
+    path: str,
+    rules: Sequence[Rule] | None = None,
+    *,
+    flow: bool = False,
+    timings: dict[str, float] | None = None,
 ) -> list[Finding]:
-    """Lint one source string presented as ``path`` (rules scope by path)."""
+    """Lint one source string presented as ``path`` (rules scope by path).
+
+    With ``flow=True`` a :class:`~repro.lint.flow.context.FlowContext`
+    (CFGs + taint fixpoints) is built once for the file: the flow rules
+    (``requires_flow``) run, the syntactic rules gain their flow-aware
+    extensions, and findings of the dead-code-filtered rules landing on
+    CFG-unreachable lines are dropped.  ``timings``, when given, is
+    updated in place with cumulative per-rule wall seconds (plus a
+    ``"flow-build"`` entry for CFG/fixpoint construction).
+    """
     normalized = Path(path).as_posix()
     try:
         tree = ast.parse(source, filename=path)
@@ -122,13 +141,35 @@ def lint_source(
             )
         ]
     ctx = FileContext(normalized, source, tree)
+    if flow:
+        started = perf_counter()
+        ctx.flow = FlowContext(tree)
+        if timings is not None:
+            timings["flow-build"] = timings.get("flow-build", 0.0) + (
+                perf_counter() - started
+            )
     findings: list[Finding] = []
     for rule in rules if rules is not None else _make_rules():
+        if rule.requires_flow and ctx.flow is None:
+            continue
         if not rule.applies_to(ctx.path):
             continue
-        for finding in rule.check(ctx):
-            if not ctx.suppressed(finding):
-                findings.append(finding)
+        started = perf_counter()
+        raw = list(rule.check(ctx))
+        if timings is not None:
+            timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) + (
+                perf_counter() - started
+            )
+        for finding in raw:
+            if ctx.suppressed(finding):
+                continue
+            if (
+                ctx.flow is not None
+                and finding.rule in DEAD_CODE_FILTERED_RULES
+                and finding.line in ctx.flow.dead_lines
+            ):
+                continue  # the flagged call sits in a CFG-dead branch
+            findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -146,7 +187,11 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Sequence[str | Path], only: Iterable[str] | None = None
+    paths: Sequence[str | Path],
+    only: Iterable[str] | None = None,
+    *,
+    flow: bool = False,
+    timings: dict[str, float] | None = None,
 ) -> tuple[list[Finding], int]:
     """Lint files/trees; return (findings, files_checked)."""
     rules = _make_rules(only)
@@ -154,7 +199,11 @@ def lint_paths(
     n_files = 0
     for file_path in iter_python_files(paths):
         n_files += 1
-        findings.extend(lint_source(file_path.read_text(), str(file_path), rules))
+        findings.extend(
+            lint_source(
+                file_path.read_text(), str(file_path), rules, flow=flow, timings=timings
+            )
+        )
     return findings, n_files
 
 
@@ -168,12 +217,20 @@ def render_text(findings: Sequence[Finding], n_files: int) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], n_files: int) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    n_files: int,
+    timings: dict[str, float] | None = None,
+) -> str:
     payload = {
         "files_checked": n_files,
         "findings": [asdict(finding) for finding in findings],
         "rules": [rule_cls.describe() for rule_cls in ALL_RULES],
     }
+    if timings is not None:
+        payload["timings"] = {
+            key: round(seconds, 6) for key, seconds in sorted(timings.items())
+        }
     return json.dumps(payload, indent=2)
 
 

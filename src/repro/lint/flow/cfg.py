@@ -1,0 +1,292 @@
+"""Intraprocedural control-flow graphs over stdlib ``ast``.
+
+A :class:`CFG` is a list of :class:`BasicBlock`\\ s connected by successor/
+predecessor edges.  Blocks hold *items*: ordinary statements, plus the
+bare test expression of an ``if``/``while`` header, the ``for``/``with``/
+``except`` header nodes (whose bodies live in successor blocks or later
+items), so a dataflow transfer function can process exactly what executes
+at that program point and nothing nested.
+
+The builder is deliberately approximate where precision buys nothing for
+a may-analysis over union joins:
+
+* every ``except`` handler is entered both from the start and from the
+  end of its ``try`` body (an exception may fire before or after any
+  definition inside it);
+* ``match`` statements fan out one edge per case plus a fall-through;
+* comprehensions are not control flow here — their binding semantics are
+  handled at expression level by the taint evaluator.
+
+Literal-constant branch tests (``if False:``, ``while True:`` exits,
+``if True:`` else-arms) suppress the corresponding edge, which is what
+makes dead-branch code CFG-unreachable — see :func:`unreachable_lines`.
+
+Nested ``def``/``class`` statements are opaque binding items: their
+bodies get their own CFGs via :class:`repro.lint.flow.context.Scope`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Loop bookkeeping: (header block, after block) for break/continue.
+_Loop = tuple[int, int]
+
+
+@dataclass
+class BasicBlock:
+    """One straight-line run of items plus its edges."""
+
+    index: int
+    items: list[ast.AST] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    reachable: bool = False
+
+
+class CFG:
+    """Blocks, an entry, an exit, and reachability over the edges."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def new_block(self) -> int:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def mark_reachable(self) -> None:
+        seen = {self.entry}
+        queue = deque([self.entry])
+        while queue:
+            index = queue.popleft()
+            self.blocks[index].reachable = True
+            for succ in self.blocks[index].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+
+    def reachable_blocks(self) -> list[BasicBlock]:
+        return [block for block in self.blocks if block.reachable]
+
+
+def _literal_test(test: ast.expr) -> bool | None:
+    """The truth value of a constant branch test, or None when dynamic."""
+    if isinstance(test, ast.Constant):
+        return bool(test.value)
+    return None
+
+
+def _item_lines(item: ast.AST) -> range:
+    """Source lines an item *itself* occupies (headers, not their bodies)."""
+    start = getattr(item, "lineno", 0)
+    end = getattr(item, "end_lineno", start)
+    if isinstance(item, (ast.For, ast.AsyncFor)):
+        end = getattr(item.iter, "end_lineno", start)
+    elif isinstance(item, (ast.With, ast.AsyncWith)):
+        last = item.items[-1]
+        bound = last.optional_vars or last.context_expr
+        end = getattr(bound, "end_lineno", start)
+    elif isinstance(item, ast.ExceptHandler):
+        end = start
+    return range(start, end + 1)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self.cfg.new_block()
+        self.cfg.exit = self.cfg.new_block()
+        self._loops: list[_Loop] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        end = self._visit_body(body, self.cfg.entry)
+        self.cfg.add_edge(end, self.cfg.exit)
+        self.cfg.mark_reachable()
+        return self.cfg
+
+    # ------------------------------------------------------------------ #
+    # Statement dispatch                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _visit_body(self, body: list[ast.stmt], current: int) -> int:
+        for stmt in body:
+            current = self._visit_stmt(stmt, current)
+        return current
+
+    def _visit_stmt(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._visit_while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._visit_for(stmt, current)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._visit_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.blocks[current].items.append(stmt)
+            return self._visit_body(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._visit_match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.blocks[current].items.append(stmt)
+            cfg.add_edge(current, cfg.exit)
+            return cfg.new_block()
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                cfg.add_edge(current, self._loops[-1][1])
+            else:
+                cfg.add_edge(current, cfg.exit)
+            return cfg.new_block()
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                cfg.add_edge(current, self._loops[-1][0])
+            else:
+                cfg.add_edge(current, cfg.exit)
+            return cfg.new_block()
+        # Simple statements — including nested def/class, which bind a
+        # name here and get their own CFG in their own Scope.
+        cfg.blocks[current].items.append(stmt)
+        return current
+
+    # ------------------------------------------------------------------ #
+    # Structured statements                                               #
+    # ------------------------------------------------------------------ #
+
+    def _visit_if(self, stmt: ast.If, current: int) -> int:
+        cfg = self.cfg
+        cfg.blocks[current].items.append(stmt.test)
+        literal = _literal_test(stmt.test)
+        after = cfg.new_block()
+        then_entry = cfg.new_block()
+        if literal is not False:
+            cfg.add_edge(current, then_entry)
+        then_end = self._visit_body(stmt.body, then_entry)
+        cfg.add_edge(then_end, after)
+        if stmt.orelse:
+            else_entry = cfg.new_block()
+            if literal is not True:
+                cfg.add_edge(current, else_entry)
+            else_end = self._visit_body(stmt.orelse, else_entry)
+            cfg.add_edge(else_end, after)
+        elif literal is not True:
+            cfg.add_edge(current, after)
+        return after
+
+    def _visit_while(self, stmt: ast.While, current: int) -> int:
+        cfg = self.cfg
+        header = cfg.new_block()
+        cfg.add_edge(current, header)
+        cfg.blocks[header].items.append(stmt.test)
+        literal = _literal_test(stmt.test)
+        body_entry = cfg.new_block()
+        after = cfg.new_block()
+        if literal is not False:
+            cfg.add_edge(header, body_entry)
+        self._loops.append((header, after))
+        body_end = self._visit_body(stmt.body, body_entry)
+        self._loops.pop()
+        cfg.add_edge(body_end, header)
+        if literal is not True:
+            if stmt.orelse:
+                else_entry = cfg.new_block()
+                cfg.add_edge(header, else_entry)
+                cfg.add_edge(self._visit_body(stmt.orelse, else_entry), after)
+            else:
+                cfg.add_edge(header, after)
+        return after
+
+    def _visit_for(self, stmt: ast.For | ast.AsyncFor, current: int) -> int:
+        cfg = self.cfg
+        header = cfg.new_block()
+        cfg.add_edge(current, header)
+        cfg.blocks[header].items.append(stmt)  # transfer binds target from iter
+        body_entry = cfg.new_block()
+        after = cfg.new_block()
+        cfg.add_edge(header, body_entry)
+        self._loops.append((header, after))
+        body_end = self._visit_body(stmt.body, body_entry)
+        self._loops.pop()
+        cfg.add_edge(body_end, header)
+        if stmt.orelse:
+            else_entry = cfg.new_block()
+            cfg.add_edge(header, else_entry)
+            cfg.add_edge(self._visit_body(stmt.orelse, else_entry), after)
+        else:
+            cfg.add_edge(header, after)
+        return after
+
+    def _visit_try(self, stmt: ast.Try, current: int) -> int:
+        cfg = self.cfg
+        body_entry = cfg.new_block()
+        cfg.add_edge(current, body_entry)
+        # Statement-granular body: the exception may fire before the body
+        # (current's out) or after any single statement in it, so each
+        # statement ends a block whose out-fact feeds the handlers.
+        exception_sources = [current]
+        block = body_entry
+        for inner in stmt.body:
+            block = self._visit_stmt(inner, block)
+            exception_sources.append(block)
+            nxt = cfg.new_block()
+            cfg.add_edge(block, nxt)
+            block = nxt
+        body_end = block
+        after = cfg.new_block()
+        normal_end = body_end
+        if stmt.orelse:
+            else_entry = cfg.new_block()
+            cfg.add_edge(body_end, else_entry)
+            normal_end = self._visit_body(stmt.orelse, else_entry)
+        cfg.add_edge(normal_end, after)
+        for handler in stmt.handlers:
+            handler_entry = cfg.new_block()
+            cfg.blocks[handler_entry].items.append(handler)  # binds `as name`
+            for source in exception_sources:
+                cfg.add_edge(source, handler_entry)
+            handler_end = self._visit_body(handler.body, handler_entry)
+            cfg.add_edge(handler_end, after)
+        if stmt.finalbody:
+            fin_entry = cfg.new_block()
+            cfg.add_edge(after, fin_entry)
+            return self._visit_body(stmt.finalbody, fin_entry)
+        return after
+
+    def _visit_match(self, stmt: ast.Match, current: int) -> int:
+        cfg = self.cfg
+        cfg.blocks[current].items.append(stmt.subject)
+        after = cfg.new_block()
+        for case in stmt.cases:
+            case_entry = cfg.new_block()
+            cfg.add_edge(current, case_entry)
+            cfg.add_edge(self._visit_body(case.body, case_entry), after)
+        cfg.add_edge(current, after)  # no case matched
+        return after
+
+
+def build_cfg(body: list[ast.stmt]) -> CFG:
+    """Build the CFG of one straight scope body (module/class/function)."""
+    return _Builder().build(body)
+
+
+def unreachable_lines(cfg: CFG) -> set[int]:
+    """Source lines of items sitting in CFG-unreachable blocks."""
+    dead: set[int] = set()
+    for block in cfg.blocks:
+        if block.reachable:
+            continue
+        for item in block.items:
+            dead.update(_item_lines(item))
+    return dead

@@ -1,0 +1,173 @@
+"""A generic forward worklist fixpoint solver over :class:`~repro.lint.flow.cfg.CFG`.
+
+An analysis supplies a bottom element, an entry fact, a join, and a
+per-item transfer function; :func:`solve_forward` iterates blocks until
+the out-facts stop changing.  Facts must support ``==``; joins must be
+monotone over a finite lattice (every analysis here unions finite sets
+of (name, label) pairs, so termination is structural, with a generous
+iteration cap as a belt-and-braces guard).
+
+:class:`ReachingDefinitions` is the textbook client — used directly by
+the CFG/solver tests and as the reference for writing new analyses.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Protocol, TypeVar
+
+from repro.lint.flow.cfg import CFG, BasicBlock
+
+F = TypeVar("F")
+
+#: Hard cap on block visits; ~never hit (lattices here are finite and
+#: joins monotone) but turns a hypothetical non-termination into a loud
+#: failure instead of a hung lint run.
+MAX_VISITS_PER_BLOCK = 1000
+
+
+class ForwardAnalysis(Protocol[F]):
+    """What :func:`solve_forward` needs from an analysis."""
+
+    def bottom(self) -> F: ...
+
+    def initial(self) -> F: ...
+
+    def join(self, left: F, right: F) -> F: ...
+
+    def transfer_block(self, block: BasicBlock, fact: F) -> F: ...
+
+
+def solve_forward(cfg: CFG, analysis: "ForwardAnalysis[F]") -> tuple[dict[int, F], dict[int, F]]:
+    """Run ``analysis`` to fixpoint; return (in_facts, out_facts) by block."""
+    in_facts: dict[int, F] = {block.index: analysis.bottom() for block in cfg.blocks}
+    out_facts: dict[int, F] = {block.index: analysis.bottom() for block in cfg.blocks}
+    in_facts[cfg.entry] = analysis.initial()
+    worklist = deque(block.index for block in cfg.blocks if block.reachable)
+    queued = set(worklist)
+    visits: dict[int, int] = {}
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > MAX_VISITS_PER_BLOCK:
+            raise RuntimeError(
+                f"dataflow solver did not converge at block {index} "
+                f"(> {MAX_VISITS_PER_BLOCK} visits) — non-monotone transfer?"
+            )
+        block = cfg.blocks[index]
+        fact = in_facts[index]
+        for pred in block.preds:
+            fact = analysis.join(fact, out_facts[pred])
+        in_facts[index] = fact
+        out = analysis.transfer_block(block, fact)
+        if out != out_facts[index]:
+            out_facts[index] = out
+            for succ in block.succs:
+                if succ not in queued:
+                    queued.add(succ)
+                    worklist.append(succ)
+    return in_facts, out_facts
+
+
+# ---------------------------------------------------------------------- #
+# Reaching definitions                                                    #
+# ---------------------------------------------------------------------- #
+
+#: One fact element: (variable name, line of the definition).
+Definition = tuple[str, int]
+
+
+def assigned_names(item: ast.AST) -> list[str]:
+    """Names an item (re)binds at its own program point."""
+    names: list[str] = []
+
+    def flatten(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                flatten(element)
+        elif isinstance(target, ast.Starred):
+            flatten(target.value)
+
+    if isinstance(item, ast.Assign):
+        for target in item.targets:
+            flatten(target)
+    elif isinstance(item, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(item, ast.AnnAssign) and item.value is None:
+            return names
+        flatten(item.target)
+    elif isinstance(item, (ast.For, ast.AsyncFor)):
+        flatten(item.target)
+    elif isinstance(item, (ast.With, ast.AsyncWith)):
+        for with_item in item.items:
+            if with_item.optional_vars is not None:
+                flatten(with_item.optional_vars)
+    elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.append(item.name)
+    elif isinstance(item, (ast.Import, ast.ImportFrom)):
+        for alias in item.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            names.append(bound)
+    elif isinstance(item, ast.ExceptHandler):
+        if item.name:
+            names.append(item.name)
+    elif isinstance(item, ast.expr):
+        for node in ast.walk(item):
+            if isinstance(node, ast.NamedExpr):
+                names.append(node.target.id)
+    return names
+
+
+class ReachingDefinitions:
+    """Which (name, def-line) pairs may reach each program point."""
+
+    def bottom(self) -> frozenset[Definition]:
+        return frozenset()
+
+    def initial(self) -> frozenset[Definition]:
+        return frozenset()
+
+    def join(
+        self, left: frozenset[Definition], right: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        return left | right
+
+    def transfer_item(
+        self, item: ast.AST, fact: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        killed_gen: dict[str, int] = {
+            name: getattr(item, "lineno", 0) for name in assigned_names(item)
+        }
+        if not killed_gen:
+            return fact
+        survivors = {pair for pair in fact if pair[0] not in killed_gen}
+        survivors.update(killed_gen.items())
+        return frozenset(survivors)
+
+    def transfer_block(
+        self, block: BasicBlock, fact: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        for item in block.items:
+            fact = self.transfer_item(item, fact)
+        return fact
+
+
+def definitions_reaching_exit(cfg: CFG, analysis: ReachingDefinitions | None = None) -> frozenset[Definition]:
+    """Convenience for tests: the reaching-definitions fact at scope exit."""
+    analysis = analysis or ReachingDefinitions()
+    in_facts, _out_facts = solve_forward(cfg, analysis)
+    return in_facts[cfg.exit]
+
+
+__all__ = [
+    "Definition",
+    "ForwardAnalysis",
+    "MAX_VISITS_PER_BLOCK",
+    "ReachingDefinitions",
+    "assigned_names",
+    "definitions_reaching_exit",
+    "solve_forward",
+]

@@ -13,60 +13,28 @@ from __future__ import annotations
 
 import ast
 from collections.abc import Iterator
-from typing import TYPE_CHECKING, ClassVar
+from typing import TYPE_CHECKING
+
+from repro.lint.base import (
+    CORE_MODEL_PACKAGES,
+    MODEL_PACKAGES,
+    Rule,
+    _MUTATOR_METHODS,
+    _dotted,
+    _in_any_package,
+    _in_package,
+    _is_test_path,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.engine import FileContext, Finding
 
-#: Packages holding per-cycle model state (the sanitizer's subjects).
-MODEL_PACKAGES = ("repro/prefetch", "repro/memsys", "repro/mmu", "repro/cpu")
-
-#: Packages where even the small paper constants (24 entries, 64-byte
-#: lines) are load-bearing and must come from :mod:`repro.params`.
-CORE_MODEL_PACKAGES = MODEL_PACKAGES + ("repro/channels", "repro/revng")
-
-
-def _in_package(path: str, package: str) -> bool:
-    return f"/{package}/" in path or path.startswith(f"{package}/")
-
-
-def _in_any_package(path: str, packages: tuple[str, ...]) -> bool:
-    return any(_in_package(path, package) for package in packages)
-
-
-def _is_test_path(path: str) -> bool:
-    return "tests" in path.split("/")[:-1]
-
-
-def _dotted(node: ast.AST) -> tuple[str, ...] | None:
-    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return tuple(reversed(parts))
-
-
-class Rule:
-    """One lint rule.  Subclasses set the class attributes and ``check``."""
-
-    rule_id: ClassVar[str]
-    title: ClassVar[str]
-    hint: ClassVar[str]
-
-    def applies_to(self, path: str) -> bool:
-        """Whether the rule runs on ``path`` (posix-style, repo-relative)."""
-        return True
-
-    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
-        raise NotImplementedError
-
-    @classmethod
-    def describe(cls) -> dict[str, str]:
-        return {"id": cls.rule_id, "title": cls.title, "hint": cls.hint}
+__all__ = [
+    "ALL_RULES",
+    "CORE_MODEL_PACKAGES",
+    "MODEL_PACKAGES",
+    "Rule",
+]
 
 
 class StdlibRandomRule(Rule):
@@ -90,6 +58,15 @@ class StdlibRandomRule(Rule):
             elif isinstance(node, ast.ImportFrom):
                 if node.module == "random" or (node.module or "").startswith("random."):
                     yield ctx.finding(self, node, "`from random import ...` uses the process-global RNG")
+        # Flow-aware: dynamic imports (`__import__("random")`) that the
+        # syntactic import scan above cannot see.
+        flow = getattr(ctx, "flow", None)
+        if flow is not None:
+            for kind, call in flow.alias_calls():
+                if kind == "random-import":
+                    yield ctx.finding(
+                        self, call, "dynamic import of the process-global `random` module"
+                    )
 
 
 class NumpyRngRule(Rule):
@@ -151,6 +128,15 @@ class WallClockRule(Rule):
                 banned = [alias.name for alias in node.names if alias.name in self._BANNED]
                 if banned:
                     yield ctx.finding(self, node, f"imports wall-clock function(s): {', '.join(banned)}")
+        # Flow-aware: calls through aliases of wall-clock functions
+        # (`t = time.time; ...; t()`), invisible to the dotted-name scan.
+        flow = getattr(ctx, "flow", None)
+        if flow is not None:
+            for kind, call in flow.alias_calls():
+                if kind == "wall-clock":
+                    yield ctx.finding(
+                        self, call, "call through an alias of a wall-clock function"
+                    )
 
 
 class FloatEqualityRule(Rule):
@@ -178,12 +164,6 @@ class FloatEqualityRule(Rule):
                     if isinstance(side, ast.Constant) and isinstance(side.value, float):
                         yield ctx.finding(self, node, f"float literal {side.value!r} compared with ==/!=")
                         break
-
-
-_MUTATOR_METHODS = frozenset(
-    {"append", "add", "clear", "discard", "extend", "insert", "pop", "popitem",
-     "remove", "setdefault", "sort", "update", "reverse"}
-)
 
 
 def _foreign_private_attr(node: ast.AST) -> ast.Attribute | None:
@@ -379,6 +359,14 @@ class UnstableHashRule(Rule):
                 and node.func.id == "hash"
             ):
                 yield ctx.finding(self, node, "builtin hash() result varies across processes")
+        # Flow-aware: calls through aliases of hash (`h = hash; h(x)`).
+        flow = getattr(ctx, "flow", None)
+        if flow is not None:
+            for kind, call in flow.alias_calls():
+                if kind == "hash":
+                    yield ctx.finding(
+                        self, call, "call through an alias of builtin hash()"
+                    )
 
 
 class MutableDefaultRule(Rule):
@@ -608,6 +596,10 @@ class ConfinedMultiprocessingRule(Rule):
                     )
 
 
+# Imported at the bottom so the flow rules can subclass Rule above
+# without a circular import.
+from repro.lint.flow.rules import FLOW_RULES  # noqa: E402
+
 ALL_RULES: tuple[type[Rule], ...] = (
     StdlibRandomRule,
     NumpyRngRule,
@@ -622,4 +614,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     PrintRule,
     UnregisteredAttackRule,
     ConfinedMultiprocessingRule,
+    *FLOW_RULES,
 )

@@ -1,0 +1,52 @@
+"""Guard: docs/LINT.md's rule catalogue and ALL_RULES stay in sync.
+
+Every registered rule must have a row in the catalogue table (plus
+RL000, the engine-level syntax-error pseudo-rule), and the table must
+not document rules that no longer exist — stale docs about a lint pass
+are worse than no docs.
+"""
+
+import re
+from pathlib import Path
+
+from repro.lint.engine import SYNTAX_RULE_ID
+from repro.lint.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LINT_DOC = REPO_ROOT / "docs" / "LINT.md"
+
+#: A catalogue row: a table line whose first cell is a rule id.
+_ROW_RE = re.compile(r"^\|\s*(RL\d{3})\s*\|", re.MULTILINE)
+
+
+def documented_rule_ids() -> set[str]:
+    return set(_ROW_RE.findall(LINT_DOC.read_text()))
+
+
+def registered_rule_ids() -> set[str]:
+    return {rule_cls.rule_id for rule_cls in ALL_RULES}
+
+
+def test_every_registered_rule_is_documented():
+    missing = registered_rule_ids() - documented_rule_ids()
+    assert not missing, (
+        f"rules missing a docs/LINT.md catalogue row: {sorted(missing)}"
+    )
+
+
+def test_syntax_pseudo_rule_is_documented():
+    assert SYNTAX_RULE_ID in documented_rule_ids(), (
+        f"{SYNTAX_RULE_ID} (file does not parse) must stay in the catalogue"
+    )
+
+
+def test_no_stale_documented_rules():
+    stale = documented_rule_ids() - registered_rule_ids() - {SYNTAX_RULE_ID}
+    assert not stale, (
+        f"docs/LINT.md documents rules that are not registered: {sorted(stale)}"
+    )
+
+
+def test_rule_ids_are_unique():
+    ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
+    assert len(ids) == len(set(ids)), "duplicate rule id in ALL_RULES"

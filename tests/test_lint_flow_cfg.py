@@ -1,0 +1,224 @@
+"""Unit tests for the flow layer's CFG builder and fixpoint solver.
+
+Fixture programs with known control-flow shapes and known
+reaching-definitions/taint facts: if the builder misroutes an edge or the
+solver under-iterates, these fail with the exact fact set that went wrong.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.flow.cfg import build_cfg, unreachable_lines
+from repro.lint.flow.context import FlowContext
+from repro.lint.flow.solver import (
+    ReachingDefinitions,
+    definitions_reaching_exit,
+    solve_forward,
+)
+from repro.lint.flow.taint import KIND_SET_ORDER, KIND_WALLCLOCK, TaintAnalysis
+
+
+def cfg_of(source: str):
+    return build_cfg(ast.parse(textwrap.dedent(source)).body)
+
+
+def reaching(source: str) -> set:
+    return set(definitions_reaching_exit(cfg_of(source)))
+
+
+def taint_at_exit(source: str) -> dict:
+    cfg = cfg_of(source)
+    in_facts, _out = solve_forward(cfg, TaintAnalysis())
+    return in_facts[cfg.exit]
+
+
+def kinds_of(env: dict, name: str) -> set:
+    return {kind for kind, _line in env.get(name, frozenset())}
+
+
+# --------------------------------------------------------------------- #
+# CFG shape                                                              #
+# --------------------------------------------------------------------- #
+
+
+class TestCfgShape:
+    def test_straight_line_is_one_reachable_chain(self):
+        cfg = cfg_of("a = 1\nb = a + 1\n")
+        assert cfg.blocks[cfg.exit].reachable
+        items = [item for block in cfg.reachable_blocks() for item in block.items]
+        assert len(items) == 2
+
+    def test_if_without_else_joins_both_ways(self):
+        # x=1 reaches the exit both through and around the branch.
+        assert reaching("x = 1\nif cond:\n    x = 3\n") == {("x", 1), ("x", 3), ("cond", 0)} - {("cond", 0)}
+
+    def test_if_else_kills_on_both_arms(self):
+        facts = reaching("x = 1\nif cond:\n    x = 3\nelse:\n    x = 5\n")
+        assert ("x", 1) not in facts
+        assert {("x", 3), ("x", 5)} <= facts
+
+    def test_loop_body_definition_reaches_exit(self):
+        facts = reaching("total = 0\nfor item in items:\n    total = total + item\n")
+        assert {("total", 1), ("total", 3), ("item", 2)} <= facts
+
+    def test_while_loop_reaches_fixpoint(self):
+        facts = reaching("x = 1\nwhile x:\n    x = x + 1\n    y = x\n")
+        assert {("x", 1), ("x", 3), ("y", 4)} <= facts
+
+    def test_try_handler_entered_before_and_after_body(self):
+        # The exception may fire between the two defs, so both (and the
+        # handler's own) must reach the exit.
+        facts = reaching(
+            """
+            try:
+                x = 2
+                x = 3
+            except ValueError:
+                y = x
+            """
+        )
+        # The handler may run between the two defs, so the first def
+        # (line 3) is live through it; normal completion leaves line 4.
+        assert {("x", 3), ("x", 4), ("y", 6)} <= facts
+
+    def test_break_and_continue_edges(self):
+        facts = reaching(
+            """
+            while cond:
+                x = 2
+                if x:
+                    break
+                continue
+            """
+        )
+        assert ("x", 3) in facts  # break jumps past the loop with x defined
+
+    def test_with_body_stays_in_flow(self):
+        facts = reaching("with open('f') as fh:\n    data = fh.read()\n")
+        assert {("fh", 1), ("data", 2)} <= facts
+
+    def test_match_fans_out_per_case(self):
+        facts = reaching(
+            """
+            match value:
+                case 1:
+                    x = 3
+                case _:
+                    x = 5
+            """
+        )
+        # No-match fall-through exists, so neither case def is guaranteed,
+        # but both may reach.
+        assert {("x", 4), ("x", 6)} <= facts
+
+
+# --------------------------------------------------------------------- #
+# Dead-branch / unreachable detection                                    #
+# --------------------------------------------------------------------- #
+
+
+class TestUnreachable:
+    def test_if_false_branch_is_dead(self):
+        cfg = cfg_of("if False:\n    x = time.time()\ny = 1\n")
+        assert 2 in unreachable_lines(cfg)
+
+    def test_if_true_else_arm_is_dead(self):
+        cfg = cfg_of("if True:\n    x = 1\nelse:\n    x = 2\n")
+        assert 4 in unreachable_lines(cfg)
+        assert 2 not in unreachable_lines(cfg)
+
+    def test_code_after_return_is_dead(self):
+        source = "def f():\n    return 1\n    x = 2\n"
+        flow = FlowContext(ast.parse(source))
+        assert 3 in flow.dead_lines
+
+    def test_code_after_while_true_is_dead(self):
+        cfg = cfg_of("while True:\n    pass\nx = 1\n")
+        assert 3 in unreachable_lines(cfg)
+
+    def test_break_resurrects_code_after_while_true(self):
+        cfg = cfg_of("while True:\n    break\nx = 1\n")
+        assert 3 not in unreachable_lines(cfg)
+
+    def test_live_code_is_not_dead(self):
+        cfg = cfg_of("if cond:\n    x = 1\nelse:\n    x = 2\n")
+        assert unreachable_lines(cfg) == set()
+
+    def test_dead_loop_header_does_not_swallow_sibling_lines(self):
+        # The dead `for` header's range must cover only the header, not
+        # lines that happen to fall inside the statement's full span.
+        source = "return 0\nfor item in xs:\n    use(item)\n"
+        cfg = build_cfg(ast.parse(f"def f():\n{textwrap.indent(source, '    ')}").body[0].body)
+        # Header (3) and body (4) are each dead via their *own* blocks;
+        # the header item's range must not be the For node's full span.
+        assert unreachable_lines(cfg) == {3, 4}
+
+
+# --------------------------------------------------------------------- #
+# Solver behaviour                                                       #
+# --------------------------------------------------------------------- #
+
+
+class TestSolver:
+    def test_join_is_union_over_preds(self):
+        cfg = cfg_of("if cond:\n    x = 2\nelse:\n    x = 4\ny = x\n")
+        in_facts, _ = solve_forward(cfg, ReachingDefinitions())
+        assert {("x", 2), ("x", 4)} <= set(in_facts[cfg.exit])
+
+    def test_nonconvergence_raises_instead_of_hanging(self):
+        class Diverging:
+            def bottom(self):
+                return 0
+
+            def initial(self):
+                return 0
+
+            def join(self, left, right):
+                return max(left, right)
+
+            def transfer_block(self, block, fact):
+                return fact + 1  # strictly increasing: never converges
+
+        cfg = cfg_of("while cond:\n    x = 1\n")
+        with pytest.raises(RuntimeError, match="did not converge"):
+            solve_forward(cfg, Diverging())
+
+    def test_unreachable_blocks_keep_bottom(self):
+        cfg = cfg_of("if False:\n    x = 1\n")
+        _in, out = solve_forward(cfg, ReachingDefinitions())
+        dead = [b for b in cfg.blocks if not b.reachable and b.items]
+        assert dead and all(out[b.index] == frozenset() for b in dead)
+
+
+# --------------------------------------------------------------------- #
+# Taint facts                                                            #
+# --------------------------------------------------------------------- #
+
+
+class TestTaintFacts:
+    def test_wallclock_propagates_through_assignment_and_arithmetic(self):
+        env = taint_at_exit("import time\nt = time.time()\nelapsed = t - 5\n")
+        assert KIND_WALLCLOCK in kinds_of(env, "elapsed")
+
+    def test_taint_joins_across_branches(self):
+        env = taint_at_exit(
+            "import time\nif cond:\n    v = time.time()\nelse:\n    v = 0\n"
+        )
+        assert KIND_WALLCLOCK in kinds_of(env, "v")
+
+    def test_rebinding_clears_taint(self):
+        env = taint_at_exit("import time\nv = time.time()\nv = 0\n")
+        assert kinds_of(env, "v") == set()
+
+    def test_sorted_strips_set_order(self):
+        env = taint_at_exit("s = {1, 2}\nraw = list(s)\nfixed = sorted(s)\n")
+        assert KIND_SET_ORDER in kinds_of(env, "raw")
+        assert KIND_SET_ORDER not in kinds_of(env, "fixed")
+
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        env = taint_at_exit(
+            "import time\nacc = 0\nfor _ in range(3):\n    acc = acc + time.time()\n"
+        )
+        assert KIND_WALLCLOCK in kinds_of(env, "acc")
