@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck bench bench-figures campaign campaign-smoke check
+.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck leakcheck-scan bench bench-figures campaign campaign-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,17 @@ lint-changed:
 leakcheck:
 	$(PYTHON) -m repro.leakcheck --suite
 
+# Whole-tree gadget discovery (exit 1 = gadgets found is expected: the
+# simulator sources *are* AfterImage gadgets), then the planted-fixture
+# positive control, which must flag EX001 (exit 1) or the scan is blind.
+leakcheck-scan:
+	$(PYTHON) -m repro.leakcheck --scan src/repro/crypto src/repro/kernel src/repro/core; \
+		rc=$$?; [ $$rc -le 1 ] || exit $$rc
+	@$(PYTHON) -m repro.leakcheck --extract src/repro/leakcheck/extract/fixtures.py > /dev/null; \
+		rc=$$?; if [ $$rc -ne 1 ]; then \
+			echo "positive control failed: fixture scan exited $$rc, want 1"; exit 1; \
+		else echo "positive control: planted fixture flagged (exit 1)"; fi
+
 # Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json, plus
 # the serial-vs-parallel executor comparison -> BENCH_attacks.json and the
 # cold-vs-warm campaign store comparison -> BENCH_campaign.json.
@@ -52,10 +63,11 @@ campaign-smoke:
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q
 
-# The CI gate: static analysis, the leakage-verdict matrix, a
+# The CI gate: static analysis, the leakage-verdict matrix, the
+# extraction scan (with its seeded-fixture positive control), a
 # sanitizer-instrumented smoke slice of the test suite, and the
 # observability overhead/determinism tests.
-check: lint leakcheck
+check: lint leakcheck leakcheck-scan
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q tests/test_examples.py tests/test_leakcheck.py
 	$(PYTHON) -m pytest -x -q tests/test_obs.py tests/test_obs_metrics.py tests/test_obs_overhead.py
 	@echo "check: all gates passed"

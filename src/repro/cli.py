@@ -10,6 +10,7 @@ Installed as the ``afterimage`` console script::
     afterimage covert --entries 24
     afterimage lint src tests --format json
     afterimage leakcheck --suite
+    afterimage leakcheck --scan src/
     afterimage trace sgx --out run.trace.json
     afterimage metrics switch-leak --format json
     afterimage run rsa --rounds 24
@@ -453,6 +454,18 @@ def build_parser() -> argparse.ArgumentParser:
     leakcheck.add_argument("--format", choices=("text", "json"), default="text")
     leakcheck.add_argument("--list-victims", action="store_true")
     leakcheck.add_argument("--suite", action="store_true")
+    leakcheck.add_argument(
+        "--extract",
+        nargs="+",
+        metavar="FILE",
+        help="statically compile and analyze candidate functions in files",
+    )
+    leakcheck.add_argument(
+        "--scan",
+        nargs="+",
+        metavar="PATH",
+        help="recursively extract and analyze every candidate under paths",
+    )
     campaign = sub.add_parser(
         "campaign",
         help="declarative cached sweeps (repro.campaign): list|run|status|report",
@@ -548,6 +561,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 leakcheck_argv.append("--list-victims")
             if args.suite:
                 leakcheck_argv.append("--suite")
+            if args.extract:
+                leakcheck_argv += ["--extract", *args.extract]
+            if args.scan:
+                leakcheck_argv += ["--scan", *args.scan]
             return leakcheck_main(leakcheck_argv)
         params = preset(args.machine)
         _COMMANDS[args.command][0](params, args)

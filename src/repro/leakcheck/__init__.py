@@ -18,27 +18,36 @@ trace for a witness pair of secrets and diffing the resulting table states.
 * :mod:`repro.leakcheck.victims` — the paper's victims, pre-registered.
 * :mod:`repro.leakcheck.dynamic` — the simulator-backed oracle the static
   verdicts are differentially tested against.
+* :mod:`repro.leakcheck.extract` — the static victim front-end: compiles
+  *arbitrary* Python functions into :class:`VictimSpec` traces for
+  repo-wide gadget discovery (``afterimage leakcheck --scan src/``).
 
 See docs/LEAKCHECK.md for the abstract domain and its soundness caveats.
 """
 
 from repro.leakcheck.analyzer import DEFENSES, analyze
-from repro.leakcheck.report import LeakReport, LeakyEntry
+from repro.leakcheck.extract import ExtractError, compile_path, compile_source, scan_paths
+from repro.leakcheck.report import SCHEMA_VERSION, LeakReport, LeakyEntry
 from repro.leakcheck.table import AbstractEntry, AbstractPrefetch, AbstractTable
 from repro.leakcheck.trace import TraceLoad, VictimSpec
 from repro.leakcheck.victims import RegisteredVictim, get_victim, victim_names
 
 __all__ = [
     "DEFENSES",
+    "SCHEMA_VERSION",
     "AbstractEntry",
     "AbstractPrefetch",
     "AbstractTable",
+    "ExtractError",
     "LeakReport",
     "LeakyEntry",
     "RegisteredVictim",
     "TraceLoad",
     "VictimSpec",
     "analyze",
+    "compile_path",
+    "compile_source",
     "get_victim",
+    "scan_paths",
     "victim_names",
 ]

@@ -5,6 +5,17 @@ Exit codes mirror :mod:`repro.lint`: 0 when every analyzed victim is safe,
 the registered victims against the full defense matrix and instead returns
 0 only when every verdict matches its expectation — the CI mode wired
 into ``make check``.
+
+Two static-extraction modes reuse the same exit-code contract:
+
+* ``--extract FILE...`` compiles the candidate functions in specific
+  files and analyzes them across all four defenses;
+* ``--scan PATH...`` walks whole trees (``afterimage leakcheck --scan
+  src/``) for repo-wide gadget discovery.
+
+Both emit lint-shaped ``EX001``/``EX002``/``EX003`` findings (see
+``docs/LEAKCHECK.md``, "Static extraction") and return 1 only for
+``EX001`` — a victim leaky under ``defense=none``.
 """
 
 from __future__ import annotations
@@ -12,8 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from time import perf_counter  # repro: noqa[RL003] — CLI timing, not model code
 
 from repro.leakcheck.analyzer import DEFENSES, analyze
+from repro.leakcheck.extract.scan import render_scan, scan_paths
 from repro.leakcheck.report import render_json, render_text
 from repro.leakcheck.victims import get_victim, victim_names
 
@@ -55,6 +68,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="check every victim against its expected verdict matrix (CI mode)",
     )
+    parser.add_argument(
+        "--extract",
+        nargs="+",
+        metavar="FILE",
+        help="compile candidate functions in the given Python files and "
+        "analyze them across all defenses",
+    )
+    parser.add_argument(
+        "--scan",
+        nargs="+",
+        metavar="PATH",
+        help="recursively extract and analyze every candidate under the "
+        "given paths (repo-wide gadget discovery)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_victims:
@@ -63,17 +90,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.suite:
         return _run_suite()
+    if args.extract or args.scan:
+        if args.victims:
+            print(
+                "repro.leakcheck: victim names and --extract/--scan are exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        result = scan_paths([*(args.extract or []), *(args.scan or [])])
+        print(render_scan(result, args.format))
+        return result.exit_code
 
     names = args.victims or victim_names()
     reports = []
+    timings: dict[str, float] = {}
     try:
         for name in names:
+            started = perf_counter()
             reports.append(analyze(get_victim(name).spec, defense=args.defense))
+            timings[name] = perf_counter() - started
     except ValueError as error:
         print(f"repro.leakcheck: {error}", file=sys.stderr)
         return 2
     renderer = render_json if args.format == "json" else render_text
-    print(renderer(reports))
+    print(renderer(reports, timings))
     return 1 if any(report.leaky for report in reports) else 0
 
 

@@ -1,0 +1,80 @@
+"""``repro.leakcheck.extract`` — static victim front-end.
+
+Compiles arbitrary Python functions into :class:`~repro.leakcheck.trace.VictimSpec`
+load traces so the witness-pair analyzer can judge *unregistered* code:
+
+* :mod:`~repro.leakcheck.extract.domain` — the concolic value domain
+  (concrete execution + a symbolic shadow for bit demands and taint);
+* :mod:`~repro.leakcheck.extract.interp` — the abstract interpreter over
+  function bodies, with interprocedural inlining via the shared
+  :mod:`repro.lint.flow.callgraph` machinery;
+* :mod:`~repro.leakcheck.extract.builder` — the probe/freeze pipeline
+  that turns one candidate function into a pure, replayable spec;
+* :mod:`~repro.leakcheck.extract.scan` — whole-tree gadget discovery
+  with lint-shaped ``EX001``/``EX002``/``EX003`` findings;
+* :mod:`~repro.leakcheck.extract.victim_sources` /
+  :mod:`~repro.leakcheck.extract.fixtures` — never-executed Python read
+  by the differential test and the CI positive control.
+
+See ``docs/LEAKCHECK.md`` ("Static extraction").
+"""
+
+from __future__ import annotations
+
+from repro.leakcheck.extract.builder import (
+    Candidate,
+    Extraction,
+    MAX_SITES,
+    candidates,
+    compile_candidate,
+    compile_path,
+    compile_source,
+    module_info,
+)
+from repro.leakcheck.extract.interp import (
+    ExtractError,
+    Interpreter,
+    ModuleInfo,
+    RecordedLoad,
+    RunResult,
+    SiteKey,
+    SlotTable,
+    is_secret_param,
+)
+from repro.leakcheck.extract.scan import (
+    EXTRACT_CODES,
+    ScanFinding,
+    ScanResult,
+    VictimRow,
+    render_scan,
+    render_scan_json,
+    render_scan_text,
+    scan_paths,
+)
+
+__all__ = [
+    "Candidate",
+    "EXTRACT_CODES",
+    "ExtractError",
+    "Extraction",
+    "Interpreter",
+    "MAX_SITES",
+    "ModuleInfo",
+    "RecordedLoad",
+    "RunResult",
+    "ScanFinding",
+    "ScanResult",
+    "SiteKey",
+    "SlotTable",
+    "VictimRow",
+    "candidates",
+    "compile_candidate",
+    "compile_path",
+    "compile_source",
+    "is_secret_param",
+    "module_info",
+    "render_scan",
+    "render_scan_json",
+    "render_scan_text",
+    "scan_paths",
+]

@@ -1,0 +1,351 @@
+"""Compile Python victim functions into :class:`VictimSpec` load traces.
+
+The pipeline per candidate function:
+
+1. **CFG sanity** — every definition in the function's inlining closure
+   (:func:`repro.lint.flow.callgraph.closure_defs`, the PR-6 machinery)
+   must have a CFG-reachable exit; a provably non-terminating victim is
+   rejected before any execution.
+2. **Width fixpoint** — probe runs over the witness closure collect *bit
+   demands* (masks, shifts, comparisons — see
+   :mod:`repro.leakcheck.extract.domain`) until ``secret_bits``
+   stabilizes.  The closure is exactly the secret set ``analyze()``
+   replays (``base`` and ``base ^ (1 << bit)`` for both default witness
+   bases), so every site and slot a replay can reach is probed here.
+3. **Oblivious synthesis** — the same closure re-runs in ``"oblivious"``
+   mode (both branch arms, swept addresses); failure (secret-dependent
+   trip counts) downgrades the spec to ``oblivious_fn=None`` instead of
+   failing the compile.
+4. **Freeze** — named-slot offsets and the site universe are frozen;
+   labels get IPs ``VICTIM_TEXT_BASE + 4 * ordinal`` in sorted site
+   order (≤ :data:`MAX_SITES` sites keeps low-8-bit IP indexes distinct,
+   matching the prefetcher's index width).
+
+The compiled ``trace_fn`` is a *pure* replay: each call builds a fresh
+:class:`~repro.leakcheck.extract.interp.Interpreter` against the frozen
+slot table, so ``analyze()`` can diff witness pairs safely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.core.variant1 import VICTIM_TEXT_BASE
+from repro.leakcheck.extract.domain import taint_labels
+from repro.leakcheck.extract.interp import (
+    ExtractError,
+    Interpreter,
+    ModuleInfo,
+    RecordedLoad,
+    RunResult,
+    SiteKey,
+    SlotTable,
+    is_secret_param,
+)
+from repro.leakcheck.trace import TraceLoad, VictimSpec
+from repro.lint.flow.callgraph import closure_defs, function_defs
+from repro.lint.flow.cfg import build_cfg
+from repro.params import PAGE_SIZE
+
+#: Hard cap on distinct load sites: with 4-byte IP spacing this keeps the
+#: low 8 bits of every site IP distinct, the width the modeled prefetcher
+#: indexes its history table by.
+MAX_SITES = 64
+
+#: secret_bits defaults to a byte when no operation constrains the width.
+_DEFAULT_SECRET_BITS = 8
+_MAX_SECRET_BITS = 16
+_WIDTH_ROUNDS = 6
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One extractable function: a def with a secret-named parameter."""
+
+    qualname: str
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    secret_param: str
+
+
+@dataclass(frozen=True, slots=True)
+class Extraction:
+    """The outcome of compiling one candidate."""
+
+    qualname: str
+    path: str
+    line: int
+    secret_param: str
+    spec: VictimSpec | None
+    error: str | None  # ExtractError reason when compilation failed
+    pure: bool  # True when the function performs no modeled loads
+    oblivious_note: str | None  # why no oblivious rewrite, when spec has none
+
+
+def module_info(source: str, path: str) -> ModuleInfo:
+    """Parse a module once for all candidates it contains."""
+    tree = ast.parse(source, filename=path)
+    constants: dict[str, object] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        try:
+            literal = ast.literal_eval(value)
+        except ValueError:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                constants[target.id] = literal
+    return ModuleInfo(
+        path=path, tree=tree, constants=constants, defs=function_defs(tree)
+    )
+
+
+def candidates(module: ModuleInfo) -> list[Candidate]:
+    """Module- and class-level defs with a secret-named parameter.
+
+    Dunders are skipped; so are functions whose secret travels through a
+    parameter name outside :data:`~.interp.SECRET_PARAM_STEMS` (the
+    kernel dispatch handlers keyed by *string* secrets are the canonical
+    documented miss).
+    """
+    found: list[Candidate] = []
+    for stmt in module.tree.body:
+        if isinstance(stmt, _FUNC_NODES):
+            _add_candidate(found, stmt, stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                if isinstance(inner, _FUNC_NODES):
+                    _add_candidate(found, inner, f"{stmt.name}.{inner.name}")
+    return found
+
+
+def _add_candidate(
+    out: list[Candidate],
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+) -> None:
+    if func.name.startswith("__") and func.name.endswith("__"):
+        return
+    spec = func.args
+    for arg in spec.posonlyargs + spec.args + spec.kwonlyargs:
+        if is_secret_param(arg.arg):
+            out.append(Candidate(qualname=qualname, func=func, secret_param=arg.arg))
+            return
+
+
+def _check_cfgs(module: ModuleInfo, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+    """Reject functions whose inlining closure contains a def that can
+    never reach its exit (CFG-proven non-termination)."""
+    for definition in closure_defs(module.defs, func):
+        cfg = build_cfg(definition.body)
+        if not cfg.blocks[cfg.exit].reachable:
+            raise ExtractError(
+                f"`{definition.name}` (line {definition.lineno}) cannot reach "
+                "its exit: non-terminating control flow"
+            )
+
+
+def _witness_closure(secret_bits: int) -> list[int]:
+    """The exact secrets ``analyze()`` replays for the default bases."""
+    mask = (1 << secret_bits) - 1
+    secrets: list[int] = []
+    for base in (0, mask):
+        for value in (base, *(base ^ (1 << bit) for bit in range(secret_bits))):
+            if value not in secrets:
+                secrets.append(value)
+    return secrets
+
+
+def _clamp_width(demands: set[int]) -> int:
+    width = max(demands, default=_DEFAULT_SECRET_BITS)
+    return max(1, min(width, _MAX_SECRET_BITS))
+
+
+def compile_candidate(module: ModuleInfo, candidate: Candidate) -> Extraction:
+    """Run the full pipeline for one candidate function."""
+    base = dict(
+        qualname=candidate.qualname,
+        path=module.path,
+        line=candidate.func.lineno,
+        secret_param=candidate.secret_param,
+    )
+    try:
+        spec, pure, oblivious_note = _compile(module, candidate)
+    except ExtractError as error:
+        return Extraction(
+            **base, spec=None, error=str(error), pure=False, oblivious_note=None
+        )
+    return Extraction(
+        **base, spec=spec, error=None, pure=pure, oblivious_note=oblivious_note
+    )
+
+
+def _compile(
+    module: ModuleInfo, candidate: Candidate
+) -> tuple[VictimSpec | None, bool, str | None]:
+    func = candidate.func
+    _check_cfgs(module, func)
+    slots = SlotTable()
+
+    def probe(secret: int) -> RunResult:
+        interp = Interpreter(
+            module, func, secret_param=candidate.secret_param, slots=slots
+        )
+        return interp.run(secret)
+
+    # Phase 2: fixpoint over the secret width.
+    secret_bits = 1
+    results: dict[int, RunResult] = {}
+    for _ in range(_WIDTH_ROUNDS):
+        results = {secret: probe(secret) for secret in _witness_closure(secret_bits)}
+        demands: set[int] = set()
+        for result in results.values():
+            demands |= result.demands
+        width = _clamp_width(demands)
+        if width == secret_bits:
+            break
+        secret_bits = width
+    else:
+        raise ExtractError("secret width did not converge")
+
+    sites: set[SiteKey] = set()
+    max_offsets: dict[str, int] = {}
+    for result in results.values():
+        _fold_loads(result.loads, sites, max_offsets)
+    if not sites:
+        return None, True, None  # pure: nothing for the prefetcher to see
+
+    # Phase 3: oblivious synthesis over the same closure.
+    sweep_spans = {
+        region: (offset // PAGE_SIZE + 1) * PAGE_SIZE
+        for region, offset in max_offsets.items()
+    }
+    oblivious_note: str | None = None
+    canonical: list[RecordedLoad] | None = None
+    try:
+        for secret in _witness_closure(secret_bits):
+            interp = Interpreter(
+                module,
+                func,
+                secret_param=candidate.secret_param,
+                mode="oblivious",
+                slots=slots,
+                sweep_regions=sweep_spans,
+            )
+            result = interp.run(secret)
+            _fold_loads(result.loads, sites, max_offsets)
+            if secret == 0:
+                canonical = result.loads
+    except ExtractError as error:
+        oblivious_note = str(error)
+        canonical = None
+
+    if len(sites) > MAX_SITES:
+        raise ExtractError(
+            f"{len(sites)} distinct load sites exceed the {MAX_SITES}-site cap "
+            "(IP low-bit aliasing would fold sites together)"
+        )
+
+    # Phase 4: freeze identities.
+    slots.freeze()
+    ordered = sorted(sites, key=lambda site: (site.line, site.col, site.prov))
+    site_label = {
+        site: f"{site.prov}@{site.line}:{site.col}" for site in ordered
+    }
+    labels = {
+        site_label[site]: VICTIM_TEXT_BASE + 4 * ordinal
+        for ordinal, site in enumerate(ordered)
+    }
+    region_pages = {
+        region: offset // PAGE_SIZE + 1 for region, offset in sorted(max_offsets.items())
+    }
+    name = f"{module.path}::{candidate.qualname}"
+    width = secret_bits
+
+    def trace_fn(secret: int) -> list[TraceLoad]:
+        interp = Interpreter(
+            module, func, secret_param=candidate.secret_param, slots=slots
+        )
+        return [_to_trace_load(load, site_label, width) for load in interp.run(secret).loads]
+
+    oblivious_fn = None
+    if canonical is not None:
+        frozen = tuple(
+            _to_trace_load(load, site_label, width) for load in canonical
+        )
+
+        def oblivious_fn() -> VictimSpec:
+            return VictimSpec(
+                name=f"{name}(oblivious)",
+                description=f"oblivious rewrite synthesized from {candidate.qualname}",
+                secret_bits=width,
+                labels=labels,
+                region_pages=region_pages,
+                # The rewrite is secret-independent by construction, so the
+                # canonical (secret=0) trace stands in for every secret.
+                trace_fn=lambda _secret: list(frozen),
+            )
+
+    spec = VictimSpec(
+        name=name,
+        description=(
+            f"extracted from {candidate.qualname} "
+            f"(secret parameter `{candidate.secret_param}`)"
+        ),
+        secret_bits=width,
+        labels=labels,
+        region_pages=region_pages,
+        trace_fn=trace_fn,
+        oblivious_fn=oblivious_fn,
+    )
+    return spec, False, oblivious_note
+
+
+def _fold_loads(
+    loads: list[RecordedLoad],
+    sites: set[SiteKey],
+    max_offsets: dict[str, int],
+) -> None:
+    for load in loads:
+        sites.add(load.site)
+        previous = max_offsets.get(load.region, 0)
+        if load.offset > previous:
+            max_offsets[load.region] = load.offset
+        else:
+            max_offsets.setdefault(load.region, previous)
+
+
+def _to_trace_load(
+    load: RecordedLoad, site_label: dict[SiteKey, str], secret_bits: int
+) -> TraceLoad:
+    label = site_label.get(load.site)
+    if label is None:
+        raise ExtractError(
+            f"replay reached unprobed load site {load.site!r}; the witness "
+            "closure should cover every replayed secret"
+        )
+    taint = frozenset()
+    if load.sym is not None:
+        taint = taint_labels(load.sym, secret_bits) | {label}
+    return TraceLoad(label=label, region=load.region, offset=load.offset, taint=taint)
+
+
+def compile_source(source: str, path: str) -> list[Extraction]:
+    """Compile every candidate in one module's source text."""
+    module = module_info(source, path)
+    return [compile_candidate(module, candidate) for candidate in candidates(module)]
+
+
+def compile_path(path: str) -> list[Extraction]:
+    """Compile every candidate in one file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        return compile_source(handle.read(), path)

@@ -1,0 +1,207 @@
+"""Concolic value domain for the static victim front-end.
+
+The extractor executes victim functions *concretely* (the analyzer replays
+real witness secrets, so every run has one concrete secret) while carrying
+a light *symbolic* shadow that answers two questions the concrete value
+cannot:
+
+* **how wide is the secret?** — the shapes below record which secret bit
+  positions a value depends on, so masking (``& 0xFF``), shifting
+  (``>> i``) and modular reduction (``% 3``) turn into *bit demands* the
+  builder folds into ``VictimSpec.secret_bits``;
+* **which bits taint this load?** — :func:`taint_labels` renders a shadow
+  into the ``bit3``-style strings :class:`~repro.leakcheck.trace.TraceLoad`
+  attributes leaky entries to.
+
+The domain is deliberately tiny: ``secret >> s`` stays precise
+(:class:`SecretExpr`), a single extracted bit stays precise
+(:class:`BitExpr`), linear combinations stay walkable
+(:class:`AffineExpr`), and everything else collapses to :class:`MixExpr`
+with a (possibly unknown) bit set.  Precision only matters where it feeds
+demands and labels — divergence itself is detected downstream by
+``analyze()``'s witness-pair differencing, not by the symbols.
+
+Besides the symbolic shadow, the interpreter's runtime values use two
+reference shapes: :class:`Opaque` for objects it cannot look inside
+(parameters, ``self``-rooted configuration) and :class:`Addr` for modeled
+virtual addresses (``buffer.line_addr(k)`` results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SymExpr:
+    """Base class of the symbolic shadow attached to tainted values."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SecretExpr(SymExpr):
+    """``secret >> shift`` — the secret itself, possibly right-shifted."""
+
+    shift: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BitExpr(SymExpr):
+    """``(secret >> index) & 1`` — one extracted secret bit."""
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class AffineExpr(SymExpr):
+    """``scale * inner + offset`` over another shadow (loop-scaled bits)."""
+
+    inner: SymExpr
+    scale: int
+    offset: int
+
+
+@dataclass(frozen=True, slots=True)
+class MixExpr(SymExpr):
+    """An opaque combination of secret bits; ``bits`` is ``None`` when the
+    dependent positions are unknown (treated as *all* of them)."""
+
+    bits: frozenset[int] | None = None
+
+
+def bits_of(expr: SymExpr, secret_bits: int) -> frozenset[int]:
+    """The secret bit positions ``expr`` may depend on, given the width."""
+    if isinstance(expr, SecretExpr):
+        return frozenset(range(min(expr.shift, secret_bits), secret_bits))
+    if isinstance(expr, BitExpr):
+        return frozenset({expr.index} if expr.index < secret_bits else ())
+    if isinstance(expr, AffineExpr):
+        return bits_of(expr.inner, secret_bits)
+    if isinstance(expr, MixExpr):
+        if expr.bits is None:
+            return frozenset(range(secret_bits))
+        return frozenset(b for b in expr.bits if b < secret_bits)
+    raise TypeError(f"unknown symbolic shape {expr!r}")
+
+
+def taint_labels(expr: SymExpr | None, secret_bits: int) -> frozenset[str]:
+    """``bit<i>`` labels for a shadow (empty for untainted values)."""
+    if expr is None:
+        return frozenset()
+    return frozenset(f"bit{i}" for i in sorted(bits_of(expr, secret_bits)))
+
+
+def mix(*exprs: SymExpr | None) -> SymExpr | None:
+    """Join shadows from several operands (``None`` operands are untainted)."""
+    live = [expr for expr in exprs if expr is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+    sets = []
+    for expr in live:
+        if isinstance(expr, MixExpr) and expr.bits is None:
+            return MixExpr(None)
+        if isinstance(expr, SecretExpr):
+            return MixExpr(None)  # unbounded upward: width decides later
+        if isinstance(expr, BitExpr):
+            sets.append(frozenset({expr.index}))
+        elif isinstance(expr, MixExpr):
+            sets.append(expr.bits or frozenset())
+        else:  # AffineExpr
+            inner = mix(expr.inner)
+            if isinstance(inner, MixExpr) and inner.bits is not None:
+                sets.append(inner.bits)
+            elif isinstance(inner, BitExpr):
+                sets.append(frozenset({inner.index}))
+            else:
+                return MixExpr(None)
+    return MixExpr(frozenset().union(*sets))
+
+
+def shift_right(expr: SymExpr, amount: int) -> SymExpr:
+    """Shadow of ``value >> amount``."""
+    if isinstance(expr, SecretExpr):
+        return SecretExpr(expr.shift + amount)
+    if isinstance(expr, BitExpr):
+        return BitExpr(expr.index) if amount == 0 else MixExpr(frozenset())
+    return MixExpr(None) if not isinstance(expr, MixExpr) else expr
+
+
+def mask(expr: SymExpr, value: int) -> SymExpr:
+    """Shadow of ``value_expr & mask`` for a constant mask."""
+    if isinstance(expr, SecretExpr):
+        if value == 1:
+            return BitExpr(expr.shift)
+        return MixExpr(
+            frozenset(range(expr.shift, expr.shift + value.bit_length()))
+        )
+    if isinstance(expr, BitExpr):
+        return expr if value & 1 else MixExpr(frozenset())
+    return MixExpr(None)
+
+
+def affine(expr: SymExpr, scale: int = 1, offset: int = 0) -> SymExpr:
+    """Shadow of ``scale * value + offset`` for constant scale/offset."""
+    if scale == 1 and offset == 0:
+        return expr
+    if isinstance(expr, AffineExpr):
+        return AffineExpr(expr.inner, expr.scale * scale, expr.offset * scale + offset)
+    return AffineExpr(expr, scale, offset)
+
+
+@dataclass(frozen=True, slots=True)
+class Value:
+    """One runtime value: a concrete Python object plus its shadow."""
+
+    concrete: object
+    sym: SymExpr | None = None
+
+    @property
+    def tainted(self) -> bool:
+        return self.sym is not None
+
+
+@dataclass(frozen=True, slots=True)
+class Opaque:
+    """A reference the interpreter cannot look inside.
+
+    ``kind`` splits the two roles unknowable objects play in a victim:
+
+    * ``"config"`` — ``self``/``cls``-rooted machine plumbing (code
+      regions, IP attributes, the modeled :class:`~repro.cpu.machine.Machine`).
+      Reading its attributes is *not* a memory access of interest; its
+      method calls are matched against the modeled-load vocabulary.
+    * ``"data"`` — any other unknown parameter: a table, an operand
+      buffer, a state struct.  Subscript/attribute *reads* on it are the
+      load sites the extractor records.
+
+    ``path`` is the dotted access chain from the root parameter; it
+    doubles as the provenance string that distinguishes load sites fed
+    with different configuration IPs (``self.if_ip`` vs ``self.else_ip``).
+    """
+
+    path: str
+    kind: str  # "config" | "data"
+
+
+@dataclass(frozen=True, slots=True)
+class Addr:
+    """A modeled virtual address: byte ``offset`` into named ``region``."""
+
+    region: str
+    offset: int
+    sym: SymExpr | None = None
+
+
+def describe(value: object) -> str:
+    """Provenance string for site identity (stable across runs)."""
+    if isinstance(value, Opaque):
+        return value.path
+    if isinstance(value, Addr):
+        return f"&{value.region}"
+    if isinstance(value, Value):
+        if value.tainted:
+            return f"ip={value.concrete:#x}" if isinstance(value.concrete, int) else "ip=?"
+        return "ip"
+    return "ip"

@@ -1,0 +1,33 @@
+"""Seeded positive control for the extraction scan.
+
+``make check`` and the CI ``leakcheck-extract`` job point
+``afterimage leakcheck --extract`` at this file and assert the planted
+gadget below is flagged ``EX001`` (leaky under ``defense=none``) and
+safe under ``tagged``/``flush-on-switch``/``oblivious`` — proving the
+scan can find a secret-dependent load *nobody registered by hand*.
+
+Like :mod:`repro.leakcheck.extract.victim_sources`, nothing here is ever
+executed; the class exists only to be compiled by the extractor.
+"""
+
+from __future__ import annotations
+
+
+class PlantedGadgetFixture:
+    """An unregistered Listing-1-style gadget: the low two secret bits
+    pick which cache line of a per-connection table one fixed load
+    instruction touches."""
+
+    def lookup(self, secret):
+        row = secret & 0x3
+        vaddr = self.table.line_addr(row)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        return self.machine.load(self.ctx, self.gadget_ip, vaddr)
+
+    def fold_bits(self, bits):
+        # A candidate with no modeled loads: the scan must count it as
+        # pure/skipped, not report it.
+        total = 0
+        for shift in (0, 1, 2, 3):
+            total = (total + (bits >> shift)) % 255
+        return total

@@ -1,0 +1,1155 @@
+"""Concolic abstract interpreter: one victim function → one load trace.
+
+The interpreter executes a Python function for one *concrete* secret and
+records every modeled memory access as a :class:`RecordedLoad`.  The
+builder (:mod:`repro.leakcheck.extract.builder`) replays it for each
+witness secret ``analyze()`` asks about, which is what makes a compiled
+``trace_fn`` pure: all state lives inside one :meth:`Interpreter.run`.
+
+What counts as a load (the site vocabulary):
+
+* subscript/attribute *reads* on ``data``-opaque objects (non-secret,
+  non-``self`` parameters) — tables, operand buffers, state structs;
+* calls to the modeled machine: ``*.load(ctx, ip, vaddr)`` records a
+  load whose site identity includes the *provenance* of the IP argument
+  (``self.if_ip`` vs ``self.else_ip`` are different instructions even
+  though they flow through one call expression);
+* ``*.line_addr(k)`` / ``*.addr(off)`` produce :class:`~.domain.Addr`
+  values; ``warm_tlb``/``advance``-style calls are modeled no-ops.
+
+Two modes share the walker:
+
+* ``"trace"`` — plain concrete execution: secret-conditioned branches
+  take their concrete arm, so witness-pair differencing downstream sees
+  the per-arm IP divergence (the paper's Listing-1 pattern);
+* ``"oblivious"`` — synthesizes the §8.2 developer rewrite: tainted
+  branches execute *every* arm (untaken arms run against a sandboxed
+  copy of the environment, keeping their loads, discarding their
+  writes), and tainted load addresses become full-region sweeps.
+  Secret-dependent trip counts cannot be rewritten and raise.
+
+Bounded loops are summarized by unrolling: the loop body re-executes per
+concrete iteration, which for the canonical ``for i in range(n_bits)``
+exponentiation loops *is* the per-bit-position unrolling — each
+iteration's shadow narrows to ``BitExpr(position)`` via the shift/mask
+rules in :mod:`repro.leakcheck.extract.domain`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.leakcheck.extract.domain import (
+    Addr,
+    MixExpr,
+    Opaque,
+    SecretExpr,
+    BitExpr,
+    SymExpr,
+    Value,
+    affine,
+    describe,
+    mask,
+    mix,
+    shift_right,
+)
+from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+
+#: Modeled machine calls that have no memory-trace effect.
+NOOP_METHODS = frozenset(
+    {"warm_tlb", "warm_buffer_tlb", "advance", "sched_yield", "flush", "clflush"}
+)
+
+#: Parameter names treated as the secret input of a candidate function.
+#: A name matches when it equals a stem or extends it with ``_`` (so
+#: ``secret``, ``secret_bit`` and ``key`` match; ``packet_type`` does not —
+#: string-valued dispatch secrets are a documented blind spot).
+SECRET_PARAM_STEMS = ("secret", "key", "exponent", "exp", "bit", "bits")
+
+_MAX_CALL_DEPTH = 16
+_MAX_LOOP_ITERATIONS = 65_536
+
+
+class ExtractError(Exception):
+    """The function cannot be compiled into a load trace; str() says why."""
+
+
+@dataclass(frozen=True, slots=True)
+class SiteKey:
+    """Stable identity of one load site: position plus IP provenance."""
+
+    line: int
+    col: int
+    prov: str
+
+
+@dataclass(frozen=True, slots=True)
+class RecordedLoad:
+    """One dynamic load: which site ran, touching which region byte."""
+
+    site: SiteKey
+    region: str
+    offset: int
+    sym: SymExpr | None
+
+
+@dataclass
+class RunResult:
+    """Everything one concrete execution tells the builder."""
+
+    loads: list[RecordedLoad]
+    demands: set[int]
+    tainted_loop: bool
+    aborted: bool
+
+
+class SlotTable:
+    """Deterministic region-relative offsets for *named* accesses.
+
+    Integer subscripts map straight to ``index * CACHE_LINE_SIZE``;
+    attribute reads and string keys get one cache line each, assigned in
+    first-probe order.  The builder freezes the table after probing, so
+    replays inside ``analyze()`` can only ever look up existing slots —
+    a missing slot at replay time would mean the replay escaped the
+    probed witness closure, which is a bug, not an input condition.
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[str, dict[tuple[str, object], int]] = {}
+        self._frozen = False
+
+    def freeze(self) -> None:
+        self._frozen = True
+
+    def offset(self, region: str, key: tuple[str, object]) -> int:
+        slots = self._slots.setdefault(region, {})
+        if key not in slots:
+            if self._frozen:
+                raise ExtractError(
+                    f"replay reached unprobed slot {key!r} in region {region!r}"
+                )
+            slots[key] = len(slots) * CACHE_LINE_SIZE
+        return slots[key]
+
+
+def is_secret_param(name: str) -> bool:
+    """Does this parameter name mark the function's secret input?"""
+    for stem in SECRET_PARAM_STEMS:
+        if name == stem or name.startswith(stem + "_"):
+            return True
+    return False
+
+
+def region_name(path: str) -> str:
+    """Region a data path maps to: last dotted component, underscores
+    stripped for readability (``self._stats`` → ``stats``)."""
+    base = path.split("(")[0].split("[")[0]
+    leaf = base.split(".")[-1]
+    return leaf.lstrip("_") or leaf
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleInfo:
+    """Pre-parsed module context shared by every compile in a file."""
+
+    path: str
+    tree: ast.Module
+    constants: dict[str, object]
+    defs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]]
+
+
+class _Return(Exception):
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Abort(Exception):
+    """The victim raised: the trace ends here (loads so far are kept)."""
+
+
+@dataclass
+class _State:
+    """Mutable per-run state the sandboxed-arm machinery snapshots."""
+
+    stores: dict[str, dict[tuple[str, object], object]] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Walks one function definition for one concrete secret."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        secret_param: str,
+        mode: str = "trace",
+        slots: SlotTable | None = None,
+        sweep_regions: dict[str, int] | None = None,
+        op_budget: int = 200_000,
+    ) -> None:
+        if mode not in ("trace", "oblivious"):
+            raise ValueError(f"unknown interpreter mode {mode!r}")
+        self.module = module
+        self.func = func
+        self.secret_param = secret_param
+        self.mode = mode
+        self.slots = slots if slots is not None else SlotTable()
+        #: region → sweep size in bytes, for oblivious address flattening.
+        self.sweep_regions = sweep_regions or {}
+        self.op_budget = op_budget
+        # Per-run state, reset by run().
+        self.loads: list[RecordedLoad] = []
+        self.demands: set[int] = set()
+        self.tainted_loop = False
+        self._state = _State()
+        self._ops = 0
+        self._depth = 0
+
+    # ------------------------------------------------------------------ #
+    # entry point                                                        #
+    # ------------------------------------------------------------------ #
+
+    def run(self, secret: int) -> RunResult:
+        """Execute the target function for one concrete secret."""
+        self.loads = []
+        self.demands = set()
+        self.tainted_loop = False
+        self._state = _State()
+        self._ops = 0
+        self._depth = 0
+        env = self._bind_root(secret)
+        aborted = False
+        try:
+            self._exec_block(self.func.body, env)
+        except _Return:
+            pass
+        except _Abort:
+            aborted = True
+        except RecursionError as error:  # deep AST recursion, not a loop
+            raise ExtractError("expression nesting too deep") from error
+        return RunResult(
+            loads=list(self.loads),
+            demands=set(self.demands),
+            tainted_loop=self.tainted_loop,
+            aborted=aborted,
+        )
+
+    def _bind_root(self, secret: int) -> dict[str, object]:
+        args = self.func.args
+        if args.vararg or args.kwarg:
+            raise ExtractError("*args/**kwargs parameters are not supported")
+        env: dict[str, object] = {}
+        for index, arg in enumerate(args.posonlyargs + args.args + args.kwonlyargs):
+            name = arg.arg
+            if name == self.secret_param:
+                env[name] = Value(secret, SecretExpr(0))
+            elif index == 0 and name in ("self", "cls"):
+                env[name] = Opaque("self", "config")
+            else:
+                env[name] = Opaque(name, "data")
+        return env
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _tick(self, node: ast.AST) -> None:
+        self._ops += 1
+        if self._ops > self.op_budget:
+            raise ExtractError(
+                f"operation budget exceeded at line {getattr(node, 'lineno', '?')} "
+                "(possibly unbounded loop)"
+            )
+
+    def _demand(self, sym: SymExpr | None, width: int = 1) -> None:
+        """Record that ``width`` secret bits above the shadow's shift are used."""
+        if sym is None:
+            return
+        if isinstance(sym, SecretExpr):
+            self.demands.add(sym.shift + width)
+        elif isinstance(sym, BitExpr):
+            self.demands.add(sym.index + 1)
+        elif isinstance(sym, MixExpr) and sym.bits:
+            self.demands.add(max(sym.bits) + 1)
+        else:
+            self.demands.add(width)
+
+    def _record(
+        self, node: ast.AST, prov: str, region: str, offset: int, sym: SymExpr | None
+    ) -> None:
+        if offset < 0:
+            raise ExtractError(
+                f"negative load offset {offset} at line {node.lineno} "
+                f"(region {region!r})"
+            )
+        site = SiteKey(line=node.lineno, col=node.col_offset, prov=prov)
+        if self.mode == "oblivious" and sym is not None:
+            # §8.2 flattening: a secret-addressed load becomes a sweep of
+            # the whole region, so the address no longer carries the bits.
+            span = self.sweep_regions.get(region, PAGE_SIZE)
+            for swept in range(0, span, CACHE_LINE_SIZE):
+                self.loads.append(RecordedLoad(site, region, swept, None))
+            return
+        self.loads.append(RecordedLoad(site, region, offset, sym))
+
+    # ------------------------------------------------------------------ #
+    # statements                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _exec_block(self, stmts: list[ast.stmt], env: dict[str, object]) -> None:
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _exec(self, stmt: ast.stmt, env: dict[str, object]) -> None:
+        self._tick(stmt)
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self._eval_load_target(stmt.target, env)
+            combined = self._binop(stmt.op, current, self._eval(stmt.value, env), stmt)
+            self._assign(stmt.target, combined, env)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, env)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            raise _Return(
+                self._eval(stmt.value, env) if stmt.value is not None else Value(None)
+            )
+        elif isinstance(stmt, ast.Raise):
+            raise _Abort()
+        elif isinstance(stmt, ast.Assert):
+            if stmt.test is not None:
+                self._eval(stmt.test, env)
+        elif isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal)):
+            pass
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                managed = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, managed, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            raise ExtractError(
+                f"try/except at line {stmt.lineno} is not modeled "
+                "(exceptional control flow)"
+            )
+        else:
+            raise ExtractError(
+                f"unsupported statement {type(stmt).__name__} at line {stmt.lineno}"
+            )
+
+    def _exec_if(self, stmt: ast.If, env: dict[str, object]) -> None:
+        cond = self._eval(stmt.test, env)
+        sym = self._sym_of(cond)
+        taken = stmt.body if self._truth(cond) else stmt.orelse
+        if sym is None:
+            self._exec_block(taken, env)
+            return
+        self._demand(sym)
+        self._exec_block(taken, env)
+        if self.mode == "oblivious":
+            untaken = stmt.orelse if taken is stmt.body else stmt.body
+            self._exec_sandboxed(untaken, env)
+
+    def _exec_sandboxed(self, stmts: list[ast.stmt], env: dict[str, object]) -> None:
+        """Run an untaken arm for its loads; discard every other effect."""
+        saved_env = dict(env)
+        saved_stores = {
+            path: dict(store) for path, store in self._state.stores.items()
+        }
+        try:
+            self._exec_block(stmts, env)
+        except (_Return, _Break, _Continue, _Abort):
+            pass
+        finally:
+            env.clear()
+            env.update(saved_env)
+            self._state.stores = saved_stores
+
+    def _exec_while(self, stmt: ast.While, env: dict[str, object]) -> None:
+        iterations = 0
+        while True:
+            cond = self._eval(stmt.test, env)
+            if self._sym_of(cond) is not None:
+                self._demand(self._sym_of(cond))
+                self.tainted_loop = True
+                if self.mode == "oblivious":
+                    raise ExtractError(
+                        f"secret-dependent while condition at line {stmt.lineno} "
+                        "cannot be made oblivious (trip count carries the secret)"
+                    )
+            if not self._truth(cond):
+                break
+            iterations += 1
+            if iterations > _MAX_LOOP_ITERATIONS:
+                raise ExtractError(f"loop at line {stmt.lineno} exceeds iteration cap")
+            try:
+                self._exec_block(stmt.body, env)
+            except _Break:
+                return
+            except _Continue:
+                continue
+        self._exec_block(stmt.orelse, env)
+
+    def _exec_for(self, stmt: ast.For, env: dict[str, object]) -> None:
+        iterable = self._eval(stmt.iter, env)
+        if isinstance(iterable, Opaque):
+            raise ExtractError(
+                f"iteration over opaque object `{iterable.path}` at line {stmt.lineno}"
+            )
+        if not isinstance(iterable, Value):
+            raise ExtractError(f"uniterable loop source at line {stmt.lineno}")
+        iter_sym = iterable.sym
+        if iter_sym is not None:
+            self._demand(iter_sym)
+            self.tainted_loop = True
+            if self.mode == "oblivious":
+                raise ExtractError(
+                    f"secret-dependent trip count at line {stmt.lineno} "
+                    "cannot be made oblivious"
+                )
+        try:
+            items = list(iterable.concrete)  # type: ignore[arg-type]
+        except TypeError as error:
+            raise ExtractError(
+                f"loop source at line {stmt.lineno} is not iterable: {error}"
+            ) from error
+        if len(items) > _MAX_LOOP_ITERATIONS:
+            raise ExtractError(f"loop at line {stmt.lineno} exceeds iteration cap")
+        for item in items:
+            self._tick(stmt)
+            self._assign(stmt.target, self._wrap(item, iter_sym), env)
+            try:
+                self._exec_block(stmt.body, env)
+            except _Break:
+                return
+            except _Continue:
+                continue
+        self._exec_block(stmt.orelse, env)
+
+    # ------------------------------------------------------------------ #
+    # assignment targets                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _assign(self, target: ast.expr, value: object, env: dict[str, object]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items = self._unpack(value, len(target.elts), target)
+            for element, item in zip(target.elts, items):
+                self._assign(element, item, env)
+        elif isinstance(target, ast.Attribute):
+            base = self._eval(target.value, env)
+            if isinstance(base, Opaque):
+                self._state.stores.setdefault(base.path, {})[
+                    ("attr", target.attr)
+                ] = value
+            else:
+                raise ExtractError(
+                    f"attribute store on non-opaque value at line {target.lineno}"
+                )
+        elif isinstance(target, ast.Subscript):
+            base = self._eval(target.value, env)
+            key = self._eval(target.slice, env)
+            if isinstance(base, Opaque):
+                self._state.stores.setdefault(base.path, {})[
+                    self._store_key(key, target)
+                ] = value
+            elif isinstance(base, Value) and isinstance(base.concrete, (list, dict)):
+                base.concrete[self._concrete_key(key, target)] = value  # type: ignore[index]
+            else:
+                raise ExtractError(f"subscript store at line {target.lineno}")
+        else:
+            raise ExtractError(
+                f"unsupported assignment target {type(target).__name__} "
+                f"at line {target.lineno}"
+            )
+
+    def _unpack(self, value: object, count: int, node: ast.AST) -> list[object]:
+        if isinstance(value, Value) and isinstance(value.concrete, (tuple, list)):
+            items = [self._wrap(item, value.sym) for item in value.concrete]
+            if len(items) == count:
+                return items
+        if isinstance(value, (tuple, list)) and len(value) == count:
+            return list(value)
+        raise ExtractError(f"cannot unpack value at line {getattr(node, 'lineno', '?')}")
+
+    def _store_key(self, key: object, node: ast.AST) -> tuple[str, object]:
+        concrete = self._concrete_key(key, node)
+        if isinstance(concrete, int):
+            return ("idx", concrete)
+        return ("key", concrete)
+
+    def _concrete_key(self, key: object, node: ast.AST) -> object:
+        if isinstance(key, Value) and isinstance(key.concrete, (int, str, bool)):
+            return key.concrete
+        raise ExtractError(
+            f"unsupported subscript key at line {getattr(node, 'lineno', '?')}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # expressions                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _eval(self, node: ast.expr, env: dict[str, object]) -> object:
+        self._tick(node)
+        if isinstance(node, ast.Constant):
+            return Value(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.module.constants:
+                return Value(self.module.constants[node.id])
+            raise ExtractError(f"unknown name `{node.id}` at line {node.lineno}")
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = [self._eval(element, env) for element in node.elts]
+            return Value(tuple(items) if isinstance(node, ast.Tuple) else list(items))
+        if isinstance(node, ast.BinOp):
+            return self._binop(
+                node.op, self._eval(node.left, env), self._eval(node.right, env), node
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._unaryop(node, env)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node, env)
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env)
+        if isinstance(node, ast.IfExp):
+            return self._ifexp(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_load(node, env)
+        if isinstance(node, ast.Attribute):
+            return self._attribute_load(node, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        raise ExtractError(
+            f"unsupported expression {type(node).__name__} at line {node.lineno}"
+        )
+
+    def _eval_load_target(self, target: ast.expr, env: dict[str, object]) -> object:
+        """Read the current value of an AugAssign target (records loads)."""
+        if isinstance(target, ast.Name):
+            if target.id not in env:
+                raise ExtractError(f"unknown name `{target.id}` at line {target.lineno}")
+            return env[target.id]
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            return self._eval(target, env)
+        raise ExtractError(f"unsupported augmented target at line {target.lineno}")
+
+    def _wrap(self, raw: object, sym: SymExpr | None = None) -> object:
+        if isinstance(raw, (Value, Opaque, Addr)):
+            if sym is not None and isinstance(raw, Value):
+                return Value(raw.concrete, mix(raw.sym, sym))
+            return raw
+        return Value(raw, sym)
+
+    def _sym_of(self, value: object) -> SymExpr | None:
+        if isinstance(value, Value):
+            return value.sym
+        if isinstance(value, Addr):
+            return value.sym
+        return None
+
+    def _truth(self, value: object) -> bool:
+        if isinstance(value, Value):
+            return bool(value.concrete)
+        return True  # opaque objects and addresses are truthy
+
+    def _as_number(self, value: object, node: ast.AST) -> int | float:
+        if isinstance(value, Value) and isinstance(value.concrete, (int, float)):
+            return value.concrete
+        if isinstance(value, Opaque):
+            return 1  # neutral stand-in for unknowable numeric configuration
+        raise ExtractError(
+            f"non-numeric operand at line {getattr(node, 'lineno', '?')}"
+        )
+
+    # -- operators ------------------------------------------------------ #
+
+    def _binop(self, op: ast.operator, left: object, right: object, node: ast.AST) -> object:
+        if isinstance(left, Addr) or isinstance(right, Addr):
+            return self._addr_arith(op, left, right, node)
+        lsym, rsym = self._sym_of(left), self._sym_of(right)
+        lval = self._as_operand(left, node)
+        rval = self._as_operand(right, node)
+        try:
+            concrete = _APPLY[type(op)](lval, rval)
+        except KeyError as error:
+            raise ExtractError(
+                f"unsupported operator {type(op).__name__} at line "
+                f"{getattr(node, 'lineno', '?')}"
+            ) from error
+        except ZeroDivisionError:
+            concrete = 0  # neutral stand-ins can hit x % 1 style edges
+        except TypeError as error:
+            raise ExtractError(
+                f"untypeable operation at line {getattr(node, 'lineno', '?')}: {error}"
+            ) from error
+        if lsym is None and rsym is None:
+            return Value(concrete)
+        if lsym is not None and rsym is not None:
+            return Value(concrete, mix(lsym, rsym))
+        sym, const = (lsym, rval) if lsym is not None else (rsym, lval)
+        return Value(concrete, self._shadow_with_const(op, sym, const, lsym is not None))
+
+    def _shadow_with_const(
+        self, op: ast.operator, sym: SymExpr, const: object, sym_on_left: bool
+    ) -> SymExpr:
+        """Shadow of (tainted op constant), recording bit demands."""
+        if not isinstance(const, int) or isinstance(const, bool):
+            self._demand(sym)
+            return MixExpr(None)
+        if isinstance(op, ast.RShift) and sym_on_left:
+            self._demand(sym, const + 1 if not isinstance(sym, SecretExpr) else const + 1)
+            return shift_right(sym, const)
+        if isinstance(op, ast.BitAnd):
+            self._demand(sym, max(1, const.bit_length()))
+            return mask(sym, const)
+        if isinstance(op, ast.Mod) and sym_on_left and const > 0:
+            width = max(1, (const - 1).bit_length())
+            self._demand(sym, width)
+            return mask(sym, (1 << width) - 1)
+        if isinstance(op, ast.Add):
+            return affine(sym, 1, const)
+        if isinstance(op, ast.Sub):
+            return affine(sym, 1, -const) if sym_on_left else affine(sym, -1, const)
+        if isinstance(op, ast.Mult):
+            return affine(sym, const, 0)
+        if isinstance(op, ast.LShift) and sym_on_left:
+            return affine(sym, 1 << const, 0)
+        if isinstance(op, ast.FloorDiv) and sym_on_left and const > 0:
+            if const & (const - 1) == 0:  # power of two: exact shift
+                return shift_right(sym, const.bit_length() - 1)
+            return MixExpr(None)
+        if isinstance(op, (ast.BitXor, ast.BitOr)):
+            if isinstance(sym, BitExpr):
+                return MixExpr(frozenset({sym.index}))
+            return MixExpr(None)
+        return MixExpr(None)
+
+    def _as_operand(self, value: object, node: ast.AST) -> object:
+        if isinstance(value, Opaque):
+            return 1
+        if isinstance(value, Value):
+            return value.concrete
+        raise ExtractError(
+            f"unsupported operand at line {getattr(node, 'lineno', '?')}"
+        )
+
+    def _addr_arith(self, op: ast.operator, left: object, right: object, node: ast.AST) -> Addr:
+        if isinstance(left, Addr) and not isinstance(right, Addr):
+            delta = self._as_number(right, node)
+            sign = 1 if isinstance(op, ast.Add) else -1 if isinstance(op, ast.Sub) else None
+        elif isinstance(right, Addr) and not isinstance(left, Addr):
+            left, right = right, left
+            delta = self._as_number(right, node)
+            sign = 1 if isinstance(op, ast.Add) else None
+        else:
+            sign = None
+            delta = 0
+        if sign is None:
+            raise ExtractError(
+                f"unsupported address arithmetic at line {getattr(node, 'lineno', '?')}"
+            )
+        addr = left
+        return Addr(addr.region, addr.offset + sign * int(delta), mix(addr.sym, self._sym_of(right)))  # type: ignore[union-attr]
+
+    def _unaryop(self, node: ast.UnaryOp, env: dict[str, object]) -> object:
+        operand = self._eval(node.operand, env)
+        sym = self._sym_of(operand)
+        if isinstance(node.op, ast.Not):
+            if sym is not None:
+                self._demand(sym)
+            return Value(not self._truth(operand), MixExpr(None) if sym else None)
+        number = self._as_number(operand, node)
+        if isinstance(node.op, ast.USub):
+            return Value(-number, affine(sym, -1, 0) if sym is not None else None)
+        if isinstance(node.op, ast.UAdd):
+            return Value(number, sym)
+        if isinstance(node.op, ast.Invert):
+            return Value(~int(number), MixExpr(None) if sym is not None else None)
+        raise ExtractError(f"unsupported unary operator at line {node.lineno}")
+
+    def _boolop(self, node: ast.BoolOp, env: dict[str, object]) -> object:
+        result: object = Value(True)
+        syms: list[SymExpr | None] = []
+        for value_node in node.values:
+            result = self._eval(value_node, env)
+            syms.append(self._sym_of(result))
+            truth = self._truth(result)
+            if isinstance(node.op, ast.And) and not truth:
+                break
+            if isinstance(node.op, ast.Or) and truth:
+                break
+        joined = mix(*syms)
+        if joined is not None:
+            self._demand(joined)
+        if isinstance(result, Value):
+            return Value(result.concrete, mix(result.sym, joined) if joined else result.sym)
+        return result
+
+    def _compare(self, node: ast.Compare, env: dict[str, object]) -> Value:
+        left = self._eval(node.left, env)
+        result = True
+        syms: list[SymExpr | None] = [self._sym_of(left)]
+        for op, comparator_node in zip(node.ops, node.comparators):
+            right = self._eval(comparator_node, env)
+            syms.append(self._sym_of(right))
+            self._compare_demand(left, right)
+            result = result and self._compare_pair(op, left, right, node)
+            left = right
+        joined = mix(*syms)
+        return Value(result, MixExpr(None) if joined is not None else None)
+
+    def _compare_demand(self, left: object, right: object) -> None:
+        """Tainted-vs-constant comparisons reveal the constant's width."""
+        for tainted, other in ((left, right), (right, left)):
+            sym = self._sym_of(tainted)
+            if sym is None or self._sym_of(other) is not None:
+                continue
+            if isinstance(other, Value) and isinstance(other.concrete, int):
+                self._demand(sym, max(1, int(other.concrete).bit_length()))
+            elif isinstance(other, Value) and isinstance(other.concrete, (tuple, list)):
+                widths = [
+                    int(item).bit_length()
+                    for item in other.concrete
+                    if isinstance(item, int)
+                ]
+                self._demand(sym, max(1, max(widths, default=1)))
+            else:
+                self._demand(sym)
+
+    def _compare_pair(self, op: ast.cmpop, left: object, right: object, node: ast.AST) -> bool:
+        lval = self._plain(left)
+        rval = self._plain(right)
+        try:
+            return _COMPARE[type(op)](lval, rval)
+        except KeyError as error:
+            raise ExtractError(
+                f"unsupported comparison {type(op).__name__} at line {node.lineno}"
+            ) from error
+        except TypeError as error:
+            raise ExtractError(
+                f"untypeable comparison at line {node.lineno}: {error}"
+            ) from error
+
+    def _plain(self, value: object) -> object:
+        if isinstance(value, Value):
+            if isinstance(value.concrete, (tuple, list)):
+                return type(value.concrete)(self._plain(v) for v in value.concrete)
+            return value.concrete
+        if isinstance(value, Opaque):
+            return 1
+        return value
+
+    def _ifexp(self, node: ast.IfExp, env: dict[str, object]) -> object:
+        cond = self._eval(node.test, env)
+        sym = self._sym_of(cond)
+        if sym is not None:
+            self._demand(sym)
+        if self.mode == "oblivious" and sym is not None:
+            chosen_node = node.body if self._truth(cond) else node.orelse
+            other_node = node.orelse if self._truth(cond) else node.body
+            chosen = self._eval(chosen_node, env)
+            self._eval(other_node, env)  # both branches run for their loads
+        else:
+            chosen = self._eval(node.body if self._truth(cond) else node.orelse, env)
+        if sym is not None and isinstance(chosen, Value):
+            return Value(chosen.concrete, mix(chosen.sym, MixExpr(None)))
+        return chosen
+
+    # -- memory accesses ------------------------------------------------ #
+
+    def _subscript_load(self, node: ast.Subscript, env: dict[str, object]) -> object:
+        base = self._eval(node.value, env)
+        key = self._eval(node.slice, env)
+        if isinstance(base, Opaque):
+            if base.kind == "data":
+                return self._data_subscript(node, base, key)
+            concrete = self._concrete_key(key, node)
+            store = self._state.stores.get(base.path, {})
+            stored = store.get(self._store_key(key, node))
+            if stored is not None:
+                return stored
+            return Opaque(f"{base.path}[{concrete!r}]", "config")
+        if isinstance(base, Value) and isinstance(
+            base.concrete, (list, tuple, str, bytes, dict, range)
+        ):
+            key_sym = self._sym_of(key)
+            concrete_key = self._concrete_key(key, node)
+            if key_sym is not None and not isinstance(base.concrete, dict):
+                try:
+                    length = len(base.concrete)  # type: ignore[arg-type]
+                except TypeError:
+                    length = 0
+                if length:
+                    self._demand(key_sym, max(1, (length - 1).bit_length()))
+            try:
+                element = base.concrete[concrete_key]  # type: ignore[index]
+            except (KeyError, IndexError, TypeError) as error:
+                raise ExtractError(
+                    f"subscript failed at line {node.lineno}: {error}"
+                ) from error
+            joined = mix(base.sym, MixExpr(None) if key_sym is not None else None)
+            return self._wrap(element, joined)
+        raise ExtractError(f"unsupported subscript base at line {node.lineno}")
+
+    def _data_subscript(self, node: ast.Subscript, base: Opaque, key: object) -> object:
+        region = region_name(base.path)
+        concrete = self._concrete_key(key, node)
+        key_sym = self._sym_of(key)
+        if isinstance(concrete, bool):
+            concrete = int(concrete)
+        if isinstance(concrete, int):
+            offset = concrete * CACHE_LINE_SIZE
+        else:
+            offset = self.slots.offset(region, ("key", concrete))
+        prov = f"{base.path}[]"
+        self._record(node, prov, region, offset, key_sym)
+        stored = self._state.stores.get(base.path, {}).get(self._store_key(key, node))
+        return stored if stored is not None else Value(1)
+
+    def _attribute_load(self, node: ast.Attribute, env: dict[str, object]) -> object:
+        base = self._eval(node.value, env)
+        if isinstance(base, Opaque):
+            path = f"{base.path}.{node.attr}"
+            stored = self._state.stores.get(base.path, {}).get(("attr", node.attr))
+            if base.kind == "config":
+                return stored if stored is not None else Opaque(path, "config")
+            region = region_name(base.path)
+            offset = self.slots.offset(region, ("attr", node.attr))
+            self._record(node, path, region, offset, None)
+            return stored if stored is not None else Value(1)
+        if isinstance(base, Value):
+            return _BoundMethod(base, node.attr)
+        raise ExtractError(
+            f"unsupported attribute access `{node.attr}` at line {node.lineno}"
+        )
+
+    # -- calls ----------------------------------------------------------- #
+
+    def _call(self, node: ast.Call, env: dict[str, object]) -> object:
+        args = [self._eval(arg, env) for arg in node.args]
+        kwargs = {
+            keyword.arg: self._eval(keyword.value, env)
+            for keyword in node.keywords
+            if keyword.arg is not None
+        }
+        if any(keyword.arg is None for keyword in node.keywords):
+            raise ExtractError(f"**kwargs call at line {node.lineno}")
+        if isinstance(node.func, ast.Name):
+            return self._call_name(node, node.func.id, args, kwargs)
+        if isinstance(node.func, ast.Attribute):
+            base = self._eval(node.func.value, env)
+            return self._call_attr(node, base, node.func.attr, args, kwargs)
+        raise ExtractError(f"unsupported call target at line {node.lineno}")
+
+    def _call_name(
+        self,
+        node: ast.Call,
+        name: str,
+        args: list[object],
+        kwargs: dict[str, object],
+    ) -> object:
+        if name == "super":
+            raise ExtractError(
+                f"super() at line {node.lineno}: dynamic dispatch cannot be "
+                "resolved statically"
+            )
+        builtin = _BUILTINS.get(name)
+        if builtin is not None:
+            return builtin(self, node, args)
+        candidates = self.module.defs.get(name, [])
+        if len(candidates) == 1:
+            return self._inline(node, candidates[0], args, kwargs)
+        if len(candidates) > 1:
+            raise ExtractError(
+                f"call to `{name}` at line {node.lineno} is dynamic dispatch "
+                f"({len(candidates)} definitions share the name)"
+            )
+        raise ExtractError(f"call to unknown function `{name}` at line {node.lineno}")
+
+    def _call_attr(
+        self,
+        node: ast.Call,
+        base: object,
+        name: str,
+        args: list[object],
+        kwargs: dict[str, object],
+    ) -> object:
+        if isinstance(base, Opaque):
+            candidates = self.module.defs.get(name, [])
+            if len(candidates) == 1:
+                return self._inline(node, candidates[0], [base, *args], kwargs)
+            if len(candidates) > 1:
+                raise ExtractError(
+                    f"method call `.{name}` at line {node.lineno} is dynamic "
+                    f"dispatch ({len(candidates)} definitions share the name)"
+                )
+            if name == "load":
+                return self._machine_load(node, args)
+            if name == "line_addr":
+                k = self._as_number(args[0], node) if args else 0
+                return Addr(
+                    region_name(base.path),
+                    int(k) * CACHE_LINE_SIZE,
+                    self._sym_of(args[0]) if args else None,
+                )
+            if name == "addr":
+                off = self._as_number(args[0], node) if args else 0
+                return Addr(
+                    region_name(base.path),
+                    int(off),
+                    self._sym_of(args[0]) if args else None,
+                )
+            if name in NOOP_METHODS:
+                return Value(None)
+            # Permissive fallback: unknown plumbing returns fresh opacity.
+            # Loads hidden behind unmodeled methods are a documented blind
+            # spot (docs/LEAKCHECK.md, "static extraction").
+            return Opaque(f"{base.path}.{name}()", base.kind)
+        if isinstance(base, _BoundMethod):
+            raise ExtractError(f"chained method call at line {node.lineno}")
+        if isinstance(base, Value):
+            return self._concrete_method(node, base, name, args)
+        raise ExtractError(f"unsupported method call at line {node.lineno}")
+
+    def _machine_load(self, node: ast.Call, args: list[object]) -> Value:
+        vaddr = args[-1] if args else None
+        ip = args[-2] if len(args) >= 2 else None
+        prov = f"load({describe(ip)})"
+        if isinstance(vaddr, Addr):
+            self._record(node, prov, vaddr.region, vaddr.offset, vaddr.sym)
+        elif isinstance(vaddr, Opaque):
+            self._record(node, prov, region_name(vaddr.path), 0, None)
+        elif isinstance(vaddr, Value) and isinstance(vaddr.concrete, int):
+            self._record(node, prov, "mem", vaddr.concrete % PAGE_SIZE, vaddr.sym)
+        else:
+            raise ExtractError(f"unintelligible load address at line {node.lineno}")
+        return Value(1)
+
+    def _concrete_method(
+        self, node: ast.Call, base: Value, name: str, args: list[object]
+    ) -> Value:
+        if name == "bit_length" and isinstance(base.concrete, int):
+            return Value(
+                base.concrete.bit_length(),
+                MixExpr(None) if base.sym is not None else None,
+            )
+        if name == "index" and isinstance(base.concrete, (tuple, list)):
+            target = self._plain(args[0]) if args else None
+            plain = self._plain(base)
+            try:
+                found = plain.index(target)  # type: ignore[union-attr]
+            except ValueError as error:
+                raise ExtractError(
+                    f".index() missed at line {node.lineno}: {error}"
+                ) from error
+            arg_sym = self._sym_of(args[0]) if args else None
+            if arg_sym is not None:
+                self._demand(arg_sym, max(1, (len(plain) - 1).bit_length()))  # type: ignore[arg-type]
+            return Value(found, MixExpr(None) if arg_sym is not None else None)
+        raise ExtractError(
+            f"unsupported method `.{name}` on concrete value at line {node.lineno}"
+        )
+
+    def _inline(
+        self,
+        node: ast.Call,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        args: list[object],
+        kwargs: dict[str, object],
+    ) -> object:
+        if self._depth >= _MAX_CALL_DEPTH:
+            raise ExtractError(
+                f"call depth exceeds {_MAX_CALL_DEPTH} at line {node.lineno} "
+                "(recursive victim?)"
+            )
+        spec = func.args
+        if spec.vararg or spec.kwarg:
+            raise ExtractError(
+                f"callee `{func.name}` uses *args/**kwargs (line {node.lineno})"
+            )
+        params = [arg.arg for arg in spec.posonlyargs + spec.args]
+        env: dict[str, object] = {}
+        defaults = spec.defaults
+        for name, default in zip(params[len(params) - len(defaults):], defaults):
+            try:
+                env[name] = Value(ast.literal_eval(default))
+            except ValueError:
+                env[name] = Value(None)
+        for name, value in zip(params, args):
+            env[name] = value
+        if len(args) > len(params):
+            raise ExtractError(
+                f"too many arguments for `{func.name}` at line {node.lineno}"
+            )
+        for name, value in kwargs.items():
+            if name not in params and name not in {a.arg for a in spec.kwonlyargs}:
+                raise ExtractError(
+                    f"unknown keyword `{name}` for `{func.name}` at line {node.lineno}"
+                )
+            env[name] = value
+        missing = [name for name in params if name not in env]
+        if missing:
+            raise ExtractError(
+                f"missing argument(s) {missing} for `{func.name}` at line {node.lineno}"
+            )
+        self._depth += 1
+        try:
+            self._exec_block(func.body, env)
+        except _Return as signal:
+            return signal.value
+        finally:
+            self._depth -= 1
+        return Value(None)
+
+
+@dataclass(frozen=True, slots=True)
+class _BoundMethod:
+    """Transient ``value.method`` reference, consumed only by _call_attr."""
+
+    base: Value
+    name: str
+
+
+# -- builtin table ------------------------------------------------------- #
+
+
+def _builtin_range(interp: Interpreter, node: ast.Call, args: list[object]) -> Value:
+    numbers = [int(interp._as_number(arg, node)) for arg in args]
+    sym = mix(*(interp._sym_of(arg) for arg in args))
+    if sym is not None:
+        interp._demand(sym)
+    try:
+        return Value(range(*numbers), sym)
+    except (TypeError, ValueError) as error:
+        raise ExtractError(f"range() failed at line {node.lineno}: {error}") from error
+
+
+def _builtin_len(interp: Interpreter, node: ast.Call, args: list[object]) -> Value:
+    if not args:
+        raise ExtractError(f"len() without argument at line {node.lineno}")
+    target = args[0]
+    if isinstance(target, Value):
+        try:
+            return Value(len(target.concrete), target.sym)  # type: ignore[arg-type]
+        except TypeError as error:
+            raise ExtractError(
+                f"len() of a secret-derived scalar at line {node.lineno} "
+                f"(bytes/str secrets are not modeled): {error}"
+            ) from error
+    raise ExtractError(f"len() of opaque object at line {node.lineno}")
+
+
+def _builtin_numeric(fn):
+    def call(interp: Interpreter, node: ast.Call, args: list[object]) -> Value:
+        plain = [interp._plain(arg) for arg in args]
+        sym = mix(*(interp._sym_of(arg) for arg in args))
+        try:
+            return Value(fn(*plain), MixExpr(None) if sym is not None else None)
+        except (TypeError, ValueError) as error:
+            raise ExtractError(
+                f"builtin failed at line {node.lineno}: {error}"
+            ) from error
+
+    return call
+
+
+def _builtin_enumerate(interp: Interpreter, node: ast.Call, args: list[object]) -> Value:
+    if not args or not isinstance(args[0], Value):
+        raise ExtractError(f"enumerate() of opaque object at line {node.lineno}")
+    source = args[0]
+    start = int(interp._as_number(args[1], node)) if len(args) > 1 else 0
+    try:
+        pairs = [
+            (Value(i), interp._wrap(item, source.sym))
+            for i, item in enumerate(source.concrete, start)  # type: ignore[arg-type]
+        ]
+    except TypeError as error:
+        raise ExtractError(
+            f"enumerate() of uniterable at line {node.lineno}: {error}"
+        ) from error
+    return Value(pairs, source.sym)
+
+
+def _builtin_zip(interp: Interpreter, node: ast.Call, args: list[object]) -> Value:
+    columns = []
+    syms = []
+    for arg in args:
+        if not isinstance(arg, Value):
+            raise ExtractError(f"zip() of opaque object at line {node.lineno}")
+        syms.append(arg.sym)
+        try:
+            columns.append([interp._wrap(item, arg.sym) for item in arg.concrete])  # type: ignore[arg-type]
+        except TypeError as error:
+            raise ExtractError(
+                f"zip() of uniterable at line {node.lineno}: {error}"
+            ) from error
+    return Value(list(zip(*columns)), mix(*syms))
+
+
+_BUILTINS = {
+    "range": _builtin_range,
+    "len": _builtin_len,
+    "enumerate": _builtin_enumerate,
+    "zip": _builtin_zip,
+    "min": _builtin_numeric(min),
+    "max": _builtin_numeric(max),
+    "abs": _builtin_numeric(abs),
+    "sum": _builtin_numeric(sum),
+    "int": _builtin_numeric(int),
+    "bool": _builtin_numeric(bool),
+}
+
+_APPLY = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitXor: lambda a, b: a ^ b,
+    ast.Div: lambda a, b: a / b,
+}
+
+_COMPARE = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+    ast.Is: lambda a, b: a is b,
+    ast.IsNot: lambda a, b: a is not b,
+}

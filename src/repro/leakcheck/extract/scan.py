@@ -1,0 +1,235 @@
+"""Whole-repo gadget discovery: compile candidates, analyze, report.
+
+``afterimage leakcheck --scan src/`` walks a tree, compiles every
+candidate function (:mod:`repro.leakcheck.extract.builder`) and pushes
+each compiled :class:`VictimSpec` through the witness-pair analyzer
+across all four static defenses.  Findings are lint-shaped — a code, a
+``path:line`` anchor, a message — so CI consumes the two static passes
+identically:
+
+* ``EX001`` — the extracted victim is *leaky* under ``defense=none``:
+  an attacker gadget aliasing the history table can read secret bits.
+  The only code that affects the exit status.
+* ``EX002`` — informational: history-table divergence persists under a
+  blocking defense (``tagged``), but readback is blocked.  The gadget is
+  one defense-bypass away from EX001.
+* ``EX003`` — informational: a candidate function could not be compiled
+  (dynamic dispatch, ``try``/``except``, byte-string secrets, …).  The
+  scan is *not* claiming these are safe.
+
+Functions that compile to *zero* load sites are pure computations the
+prefetcher cannot see; they are counted as skipped, not reported.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from collections.abc import Iterable
+from time import perf_counter  # repro: noqa[RL003] — scan timing, not model code
+
+from repro.leakcheck.analyzer import DEFENSES, analyze
+from repro.leakcheck.extract.builder import Extraction, compile_path
+from repro.leakcheck.report import SCHEMA_VERSION
+from repro.lint.engine import iter_python_files
+
+#: Finding codes emitted by the static extraction scan, with the one-line
+#: meanings ``docs/LEAKCHECK.md`` documents (the docs-sync test keys off
+#: this table).
+EXTRACT_CODES: dict[str, str] = {
+    "EX001": "extracted victim leaks secret bits via the prefetcher under defense=none",
+    "EX002": "residual history-table divergence under a blocking defense (informational)",
+    "EX003": "candidate function could not be compiled into a load trace (informational)",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ScanFinding:
+    """One lint-shaped scan result, anchored at the candidate's def."""
+
+    code: str
+    path: str
+    line: int
+    qualname: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.qualname}: {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class VictimRow:
+    """Per-compiled-victim summary for the JSON payload."""
+
+    name: str
+    path: str
+    line: int
+    qualname: str
+    secret_bits: int
+    sites: int
+    verdicts: dict[str, str]
+
+
+@dataclass
+class ScanResult:
+    """Everything one scan run produced."""
+
+    findings: list[ScanFinding] = field(default_factory=list)
+    victims: list[VictimRow] = field(default_factory=list)
+    files: int = 0
+    candidates: int = 0
+    compiled: int = 0
+    pure: int = 0
+    failed: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def leaky(self) -> int:
+        return sum(finding.code == "EX001" for finding in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.leaky else 0
+
+
+def scan_paths(paths: Iterable[str]) -> ScanResult:
+    """Compile and analyze every candidate under ``paths``."""
+    result = ScanResult()
+    for path in iter_python_files(paths):
+        result.files += 1
+        try:
+            extractions = compile_path(str(path))
+        except SyntaxError:
+            continue  # unparseable files are the lint pass's problem
+        for extraction in extractions:
+            _fold_extraction(result, extraction)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return result
+
+
+def _fold_extraction(result: ScanResult, extraction: Extraction) -> None:
+    result.candidates += 1
+    started = perf_counter()
+    try:
+        if extraction.error is not None:
+            result.failed += 1
+            result.findings.append(
+                ScanFinding(
+                    code="EX003",
+                    path=extraction.path,
+                    line=extraction.line,
+                    qualname=extraction.qualname,
+                    message=extraction.error,
+                )
+            )
+            return
+        if extraction.pure or extraction.spec is None:
+            result.pure += 1
+            return
+        result.compiled += 1
+        _analyze_spec(result, extraction)
+    finally:
+        key = f"{extraction.path}::{extraction.qualname}"
+        result.timings[key] = perf_counter() - started
+
+
+def _analyze_spec(result: ScanResult, extraction: Extraction) -> None:
+    spec = extraction.spec
+    verdicts: dict[str, str] = {}
+    reports = {}
+    for defense in DEFENSES:
+        if defense == "oblivious" and spec.oblivious_fn is None:
+            verdicts[defense] = "unavailable"
+            continue
+        report = analyze(spec, defense=defense)
+        verdicts[defense] = report.verdict
+        reports[defense] = report
+    result.victims.append(
+        VictimRow(
+            name=spec.name,
+            path=extraction.path,
+            line=extraction.line,
+            qualname=extraction.qualname,
+            secret_bits=spec.secret_bits,
+            sites=len(spec.labels),
+            verdicts=verdicts,
+        )
+    )
+    none_report = reports.get("none")
+    if none_report is not None and none_report.leaky:
+        bits = ",".join(str(bit) for bit in none_report.leaky_bits)
+        result.findings.append(
+            ScanFinding(
+                code="EX001",
+                path=extraction.path,
+                line=extraction.line,
+                qualname=extraction.qualname,
+                message=(
+                    f"secret bits [{bits}] of {spec.secret_bits} leak through "
+                    f"the prefetcher history table (severity {none_report.severity}; "
+                    f"secret parameter `{extraction.secret_param}`)"
+                ),
+            )
+        )
+    tagged = reports.get("tagged")
+    if tagged is not None and not tagged.leaky and tagged.leaky_bits:
+        result.findings.append(
+            ScanFinding(
+                code="EX002",
+                path=extraction.path,
+                line=extraction.line,
+                qualname=extraction.qualname,
+                message=(
+                    "secret-dependent history-table divergence persists under "
+                    "defense=tagged; only the blocked readback prevents a leak"
+                ),
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# Renderers                                                              #
+# --------------------------------------------------------------------- #
+
+
+def render_scan_text(result: ScanResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    noun = "file" if result.files == 1 else "files"
+    lines.append(
+        f"scanned {result.files} {noun}: {result.candidates} candidates, "
+        f"{result.compiled} compiled, {result.pure} pure (skipped), "
+        f"{result.failed} not extractable; {result.leaky} leaky"
+    )
+    if result.timings:
+        slowest = max(result.timings, key=result.timings.get)  # type: ignore[arg-type]
+        lines.append(
+            f"slowest victim: {slowest} ({result.timings[slowest]:.3f}s)"
+        )
+    return "\n".join(lines)
+
+
+def render_scan_json(result: ScanResult) -> str:
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "extract-scan",
+        "files_checked": result.files,
+        "summary": {
+            "candidates": result.candidates,
+            "compiled": result.compiled,
+            "pure": result.pure,
+            "failed": result.failed,
+            "leaky": result.leaky,
+        },
+        "findings": [asdict(finding) for finding in result.findings],
+        "victims": [asdict(row) for row in result.victims],
+        "codes": EXTRACT_CODES,
+        "timings": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(result.timings.items())
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_scan(result: ScanResult, fmt: str) -> str:
+    return render_scan_json(result) if fmt == "json" else render_scan_text(result)

@@ -1,0 +1,151 @@
+"""The eight registered victims, re-expressed as ordinary Python.
+
+These classes are *never executed*.  They exist to be read by the static
+extractor: each method below is a natural-Python rendering of one victim
+in :mod:`repro.leakcheck.victims`, and the differential test
+(``tests/test_leakcheck_extract_differential.py``) asserts that compiling
+them with :func:`repro.leakcheck.extract.builder.compile_path` reproduces
+the registered victim's verdict matrix across all four static defenses.
+
+They intentionally use nothing but the modeled-machine vocabulary the
+interpreter understands (``self.machine.load``, ``*.line_addr``,
+``*.addr``, ``warm_tlb``) plus plain arithmetic and control flow — the
+same shapes the real simulator victims in ``src/repro/crypto`` and
+``src/repro/kernel`` use.
+"""
+
+from __future__ import annotations
+
+#: Exponent window width shared by the three RSA sources (paper Figs. 3-4).
+RSA_EXPONENT_BITS = 8
+
+#: The attacker-chosen known plaintext of the AES source (one first round).
+AES_PLAINTEXT = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+
+#: T-table entry width in bytes.
+TTABLE_ENTRY_BYTES = 4
+
+#: Switch fan-outs of the two kernel sources (Figures 1-2).
+BLUETOOTH_PACKET_SLOTS = 3
+BATTERY_PROPERTY_SLOTS = 4
+
+#: Extractor qualname → registered victim name, for the differential test.
+REGISTRY_EQUIVALENTS = {
+    "BranchLoadSource.run": "branch-load",
+    "ObliviousBranchSource.run": "oblivious-branch",
+    "SquareMultiplySource.modexp": "rsa-square-multiply",
+    "MontgomeryLadderSource.ladder": "rsa-montgomery-ladder",
+    "TimingConstantSource.ladder": "rsa-timing-constant",
+    "TTableSource.first_round": "aes-ttable",
+    "BluetoothTxSource.send": "kernel-bluetooth",
+    "BatteryPropertySource.read": "kernel-battery",
+}
+
+
+class BranchLoadSource:
+    """Listing 1: one load instruction in each branch direction."""
+
+    def run(self, secret_bit):
+        vaddr = self.data.line_addr(0)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        if secret_bit:
+            self.machine.load(self.ctx, self.if_ip, vaddr)
+        else:
+            self.machine.load(self.ctx, self.else_ip, vaddr)
+
+
+class ObliviousBranchSource:
+    """Listing 1 rewritten: both loads always run, a mask selects."""
+
+    def run(self, secret_bit):
+        vaddr = self.data.line_addr(0)
+        taken = self.machine.load(self.ctx, self.if_ip, vaddr)
+        spurned = self.machine.load(self.ctx, self.else_ip, vaddr)
+        keep = -secret_bit
+        return (taken & keep) | (spurned & ~keep)
+
+
+class SquareMultiplySource:
+    """Square-and-multiply modexp: the multiply runs only for 1-bits."""
+
+    def modexp(self, exponent):
+        acc = 1
+        for step in range(RSA_EXPONENT_BITS):
+            position = RSA_EXPONENT_BITS - 1 - step
+            bit = (exponent >> position) & 1
+            acc = acc * acc % self.modulus
+            if bit:
+                vaddr = self.operands.line_addr(step)
+                self.machine.warm_tlb(self.ctx, vaddr)
+                self.machine.load(self.ctx, self.multiply_ip, vaddr)
+                acc = acc * self.base % self.modulus
+        return acc
+
+
+class MontgomeryLadderSource:
+    """Figure 3: both ladder directions multiply, behind distinct IPs."""
+
+    def ladder(self, exponent):
+        for step in range(RSA_EXPONENT_BITS):
+            position = RSA_EXPONENT_BITS - 1 - step
+            bit = (exponent >> position) & 1
+            if bit:
+                self._ladder_multiply(step, self.if_ip)
+            else:
+                self._ladder_multiply(step, self.else_ip)
+
+    def _ladder_multiply(self, step, ip):
+        vaddr = self.operands.line_addr(step)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        self.machine.load(self.ctx, ip, vaddr)
+
+
+class TimingConstantSource:
+    """Figure 4: the ladder plus a per-bit sign fix-up load."""
+
+    def ladder(self, exponent):
+        for step in range(RSA_EXPONENT_BITS):
+            position = RSA_EXPONENT_BITS - 1 - step
+            bit = (exponent >> position) & 1
+            if bit:
+                self._tc_multiply(step, self.if_ip)
+                self._tc_multiply(step, self.sign_if_ip)
+            else:
+                self._tc_multiply(step, self.else_ip)
+                self._tc_multiply(step, self.sign_else_ip)
+
+    def _tc_multiply(self, step, ip):
+        vaddr = self.operands.line_addr(step)
+        self.machine.warm_tlb(self.ctx, vaddr)
+        self.machine.load(self.ctx, ip, vaddr)
+
+
+class TTableSource:
+    """Table AES first round: 16 lookups at ``(pt[i] ^ k) * 4``, one IP."""
+
+    def first_round(self, key):
+        for plain in AES_PLAINTEXT:
+            index = (plain ^ key) & 0xFF
+            vaddr = self.table.addr(index * TTABLE_ENTRY_BYTES)
+            self.machine.warm_tlb(self.ctx, vaddr)
+            self.machine.load(self.ctx, self.lookup_ip, vaddr)
+
+
+class BluetoothTxSource:
+    """Figure 1: hci_send_frame switch, one stat-counter load per type."""
+
+    def send(self, secret):
+        slot = secret % BLUETOOTH_PACKET_SLOTS
+        vaddr = self.stats.line_addr(slot)
+        self.machine.warm_tlb(self.kctx, vaddr)
+        self.machine.load(self.kctx, self.case_ips[slot], vaddr)
+
+
+class BatteryPropertySource:
+    """Figure 2: power-supply property getter, one val-field load each."""
+
+    def read(self, secret):
+        slot = secret % BATTERY_PROPERTY_SLOTS
+        vaddr = self.values.line_addr(slot)
+        self.machine.warm_tlb(self.kctx, vaddr)
+        self.machine.load(self.kctx, self.case_ips[slot], vaddr)

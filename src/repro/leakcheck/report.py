@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+
+#: Version of the leakcheck JSON payloads.  Bumped to 2 when the payload
+#: gained ``schema_version`` itself plus per-victim ``timings``; consumers
+#: should treat payloads without the field as version 1.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,7 +58,9 @@ class LeakReport:
         return self.verdict == "leaky"
 
 
-def render_text(reports: Sequence[LeakReport]) -> str:
+def render_text(
+    reports: Sequence[LeakReport], timings: Mapping[str, float] | None = None
+) -> str:
     lines: list[str] = []
     for report in reports:
         lines.append(
@@ -82,13 +89,23 @@ def render_text(reports: Sequence[LeakReport]) -> str:
     n_leaky = sum(report.leaky for report in reports)
     noun = "victim" if len(reports) == 1 else "victims"
     lines.append(f"{n_leaky} leaky / {len(reports)} {noun}")
+    if timings:
+        slowest = max(timings, key=timings.get)  # type: ignore[arg-type]
+        lines.append(f"slowest victim: {slowest} ({timings[slowest]:.3f}s)")
     return "\n".join(lines)
 
 
-def render_json(reports: Sequence[LeakReport]) -> str:
+def render_json(
+    reports: Sequence[LeakReport], timings: Mapping[str, float] | None = None
+) -> str:
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "victims_checked": len(reports),
         "leaky": sum(report.leaky for report in reports),
         "reports": [asdict(report) for report in reports],
     }
+    if timings is not None:
+        payload["timings"] = {
+            name: round(seconds, 6) for name, seconds in sorted(timings.items())
+        }
     return json.dumps(payload, indent=2)

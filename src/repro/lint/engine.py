@@ -27,7 +27,13 @@ SYNTAX_RULE_ID = "RL000"
 
 @dataclass(frozen=True, slots=True)
 class Finding:
-    """One lint finding, stable across text and JSON renderings."""
+    """One lint finding, stable across text and JSON renderings.
+
+    ``via_flow`` marks findings produced by a flow-aware extension of a
+    syntactic rule (alias tracking); when a flow finding and its
+    line-based counterpart land on the same ``(path, line, rule)``,
+    :func:`lint_source` keeps only the flow one.
+    """
 
     rule: str
     path: str
@@ -35,6 +41,7 @@ class Finding:
     col: int
     message: str
     hint: str
+    via_flow: bool = False
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message} [hint: {self.hint}]"
@@ -68,7 +75,9 @@ class FileContext:
             yield current
             current = self._parents.get(current)
 
-    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self, rule: Rule, node: ast.AST, message: str, *, via_flow: bool = False
+    ) -> Finding:
         return Finding(
             rule=rule.rule_id,
             path=self.path,
@@ -76,6 +85,7 @@ class FileContext:
             col=getattr(node, "col_offset", 0),
             message=message,
             hint=rule.hint,
+            via_flow=via_flow,
         )
 
     def suppressed(self, finding: Finding) -> bool:
@@ -170,8 +180,27 @@ def lint_source(
             ):
                 continue  # the flagged call sits in a CFG-dead branch
             findings.append(finding)
+    findings = _dedup_flow_overlaps(findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def _dedup_flow_overlaps(findings: list[Finding]) -> list[Finding]:
+    """Collapse a flow-aware finding and its syntactic counterpart.
+
+    When an alias-upgraded rule (``via_flow``) and the line-based check of
+    the *same* rule both fire on one ``(path, line, rule)`` — e.g.
+    ``hash = hash`` followed by ``hash(x)`` on the flagged line — only the
+    flow finding survives: it carries the alias provenance in its message.
+    """
+    flow_keys = {
+        (f.path, f.line, f.rule) for f in findings if f.via_flow
+    }
+    return [
+        f
+        for f in findings
+        if f.via_flow or (f.path, f.line, f.rule) not in flow_keys
+    ]
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:

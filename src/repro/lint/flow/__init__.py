@@ -14,6 +14,9 @@ flow layer adds the machinery to reason about *values in motion*:
   by the flow-aware alias upgrades of RL001/RL003/RL008;
 * :mod:`repro.lint.flow.context` — :class:`FlowContext`, the per-file
   cache of scopes, CFGs and taint fixpoints every flow rule shares;
+* :mod:`repro.lint.flow.callgraph` — module-local name-based call graphs,
+  shared between RL016's worker closure and the ``leakcheck.extract``
+  interprocedural inliner;
 * :mod:`repro.lint.flow.rules` — the flow rules RL014–RL017.
 
 See ``docs/LINT.md`` ("Flow-aware analysis") for the architecture.
@@ -21,6 +24,12 @@ See ``docs/LINT.md`` ("Flow-aware analysis") for the architecture.
 
 from __future__ import annotations
 
+from repro.lint.flow.callgraph import (
+    closure_defs,
+    function_defs,
+    module_functions,
+    reachable_from,
+)
 from repro.lint.flow.cfg import CFG, BasicBlock, build_cfg, unreachable_lines
 from repro.lint.flow.context import FlowContext, Scope
 from repro.lint.flow.solver import ReachingDefinitions, solve_forward
@@ -64,6 +73,10 @@ __all__ = [
     "Scope",
     "TaintAnalysis",
     "build_cfg",
+    "closure_defs",
+    "function_defs",
+    "module_functions",
+    "reachable_from",
     "solve_forward",
     "taint_of",
     "unreachable_lines",

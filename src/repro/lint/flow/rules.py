@@ -28,6 +28,7 @@ import ast
 from collections.abc import Iterator
 from typing import TYPE_CHECKING, ClassVar
 
+from repro.lint.flow.callgraph import module_functions, reachable_from
 from repro.lint.flow.context import FlowContext, Scope, iter_calls_with_env
 from repro.lint.flow.solver import assigned_names
 from repro.lint.flow.taint import (
@@ -390,11 +391,7 @@ class WorkerSharedGlobalRule(FlowRule):
                     mutable_globals[target.id] = stmt.lineno
         if not mutable_globals:
             return
-        module_funcs = {
-            stmt.name: stmt
-            for stmt in tree.body
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
+        module_funcs = module_functions(tree)
         dispatched: dict[str, int] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Call):
@@ -416,19 +413,9 @@ class WorkerSharedGlobalRule(FlowRule):
                         mutated_somewhere.update(
                             n for n in sub.names if n in mutable_globals
                         )
-        # Worker-reachable closure over the module-local call graph.
-        reached: dict[str, tuple[str, int]] = {}  # func -> (dispatch root, line)
-        frontier = [(name, name, line) for name, line in dispatched.items()]
-        while frontier:
-            name, root, line = frontier.pop()
-            if name in reached:
-                continue
-            reached[name] = (root, line)
-            for node in ast.walk(module_funcs[name]):
-                if isinstance(node, ast.Call):
-                    chain = dotted(node.func)
-                    if chain and len(chain) == 1 and chain[0] in module_funcs:
-                        frontier.append((chain[0], root, line))
+        # Worker-reachable closure over the module-local call graph
+        # (shared with leakcheck.extract via repro.lint.flow.callgraph).
+        reached = reachable_from(module_funcs, dispatched)
         for name, (root, line) in sorted(reached.items(), key=lambda kv: kv[1][1]):
             func = module_funcs[name]
             locals_ = _local_names(func)

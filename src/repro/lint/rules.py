@@ -65,7 +65,10 @@ class StdlibRandomRule(Rule):
             for kind, call in flow.alias_calls():
                 if kind == "random-import":
                     yield ctx.finding(
-                        self, call, "dynamic import of the process-global `random` module"
+                        self,
+                        call,
+                        "dynamic import of the process-global `random` module",
+                        via_flow=True,
                     )
 
 
@@ -135,7 +138,10 @@ class WallClockRule(Rule):
             for kind, call in flow.alias_calls():
                 if kind == "wall-clock":
                     yield ctx.finding(
-                        self, call, "call through an alias of a wall-clock function"
+                        self,
+                        call,
+                        "call through an alias of a wall-clock function",
+                        via_flow=True,
                     )
 
 
@@ -365,7 +371,10 @@ class UnstableHashRule(Rule):
             for kind, call in flow.alias_calls():
                 if kind == "hash":
                     yield ctx.finding(
-                        self, call, "call through an alias of builtin hash()"
+                        self,
+                        call,
+                        "call through an alias of builtin hash()",
+                        via_flow=True,
                     )
 
 

@@ -1,0 +1,91 @@
+"""Differential check: extracted specs == hand-written registry specs.
+
+Each class in :mod:`repro.leakcheck.extract.victim_sources` is a
+natural-Python rendering of one registered victim.  Compiling those
+sources through the static extractor and running the resulting
+:class:`VictimSpec` objects through :func:`analyze` must reproduce the
+hand-written victim's verdict matrix *exactly*, for every defense — the
+front-end earns its keep only if it agrees with the ground truth on
+every victim the repo already understands.
+"""
+
+import pytest
+
+from repro.leakcheck.analyzer import DEFENSES, analyze
+from repro.leakcheck.extract import victim_sources
+from repro.leakcheck.extract.builder import compile_path
+from repro.leakcheck.victims import get_victim
+
+SOURCES_PATH = victim_sources.__file__
+
+
+def verdict_matrix(spec):
+    """Defense → verdict, with oblivious omitted when the spec lacks it."""
+    matrix = {}
+    for defense in DEFENSES:
+        if defense == "oblivious" and spec.oblivious_fn is None:
+            matrix[defense] = "unavailable"
+            continue
+        matrix[defense] = analyze(spec, defense=defense).verdict
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def extracted():
+    """qualname → Extraction, compiled once for the whole module."""
+    results = {e.qualname: e for e in compile_path(SOURCES_PATH)}
+    return results
+
+
+def test_every_equivalent_compiles(extracted):
+    for qualname in victim_sources.REGISTRY_EQUIVALENTS:
+        extraction = extracted.get(qualname)
+        assert extraction is not None, f"{qualname} not discovered as a candidate"
+        assert extraction.error is None, f"{qualname}: {extraction.error}"
+        assert extraction.spec is not None
+
+
+def test_no_unexpected_candidates(extracted):
+    unexpected = set(extracted) - set(victim_sources.REGISTRY_EQUIVALENTS)
+    assert not unexpected, (
+        f"victim_sources grew candidates without registry equivalents: "
+        f"{sorted(unexpected)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "qualname,registered_name",
+    sorted(victim_sources.REGISTRY_EQUIVALENTS.items()),
+)
+def test_verdict_matrices_match(extracted, qualname, registered_name):
+    extraction = extracted[qualname]
+    registered = get_victim(registered_name).spec
+    expected = verdict_matrix(registered)
+    actual = verdict_matrix(extraction.spec)
+    assert actual == expected, (
+        f"{qualname} vs {registered_name}: extracted {actual}, "
+        f"hand-written {expected}"
+    )
+
+
+@pytest.mark.parametrize(
+    "qualname,registered_name",
+    sorted(victim_sources.REGISTRY_EQUIVALENTS.items()),
+)
+def test_secret_widths_match(extracted, qualname, registered_name):
+    extraction = extracted[qualname]
+    registered = get_victim(registered_name).spec
+    assert extraction.spec.secret_bits == registered.secret_bits
+
+
+@pytest.mark.parametrize(
+    "qualname,registered_name",
+    sorted(victim_sources.REGISTRY_EQUIVALENTS.items()),
+)
+def test_leaky_bits_match_under_none(extracted, qualname, registered_name):
+    """Beyond the verdict: the *set of leaking bits* must agree too."""
+    extraction = extracted[qualname]
+    registered = get_victim(registered_name).spec
+    ours = analyze(extraction.spec, defense="none")
+    theirs = analyze(registered, defense="none")
+    assert set(ours.leaky_bits) == set(theirs.leaky_bits)

@@ -1,22 +1,29 @@
-"""Guard: docs/LINT.md's rule catalogue and ALL_RULES stay in sync.
+"""Guard: the static passes' docs and their registries stay in sync.
 
-Every registered rule must have a row in the catalogue table (plus
-RL000, the engine-level syntax-error pseudo-rule), and the table must
-not document rules that no longer exist — stale docs about a lint pass
-are worse than no docs.
+Every registered lint rule must have a row in docs/LINT.md's catalogue
+table (plus RL000, the engine-level syntax-error pseudo-rule), the table
+must not document rules that no longer exist, and every ``EX``-prefixed
+finding code the extraction scan can emit must have a documented row in
+docs/LEAKCHECK.md — stale docs about a static pass are worse than no
+docs.
 """
 
 import re
 from pathlib import Path
 
+from repro.leakcheck.extract.scan import EXTRACT_CODES
 from repro.lint.engine import SYNTAX_RULE_ID
 from repro.lint.rules import ALL_RULES
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 LINT_DOC = REPO_ROOT / "docs" / "LINT.md"
+LEAKCHECK_DOC = REPO_ROOT / "docs" / "LEAKCHECK.md"
 
 #: A catalogue row: a table line whose first cell is a rule id.
 _ROW_RE = re.compile(r"^\|\s*(RL\d{3})\s*\|", re.MULTILINE)
+
+#: An extractor finding-code row in docs/LEAKCHECK.md.
+_EX_ROW_RE = re.compile(r"^\|\s*(EX\d{3})\s*\|", re.MULTILINE)
 
 
 def documented_rule_ids() -> set[str]:
@@ -50,3 +57,21 @@ def test_no_stale_documented_rules():
 def test_rule_ids_are_unique():
     ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
     assert len(ids) == len(set(ids)), "duplicate rule id in ALL_RULES"
+
+
+def documented_extract_codes() -> set[str]:
+    return set(_EX_ROW_RE.findall(LEAKCHECK_DOC.read_text()))
+
+
+def test_every_extract_code_is_documented():
+    missing = set(EXTRACT_CODES) - documented_extract_codes()
+    assert not missing, (
+        f"extractor codes missing a docs/LEAKCHECK.md table row: {sorted(missing)}"
+    )
+
+
+def test_no_stale_documented_extract_codes():
+    stale = documented_extract_codes() - set(EXTRACT_CODES)
+    assert not stale, (
+        f"docs/LEAKCHECK.md documents unknown extractor codes: {sorted(stale)}"
+    )

@@ -569,3 +569,47 @@ def test_timings_cover_every_selected_rule():
     }
     assert applicable <= set(timings)
     assert "flow-build" in timings
+
+
+# --------------------------------------------------------------------- #
+# Dedup: flow-aware finding vs its syntactic counterpart                 #
+# --------------------------------------------------------------------- #
+
+
+class TestFlowSyntacticDedup:
+    #: ``hash`` rebound to the builtin then called: the line-based RL008
+    #: check and the alias upgrade both land on (path, line 3, RL008).
+    SHADOWED_HASH = "def f(x):\n    hash = hash\n    return hash(x)\n"
+
+    def test_overlap_keeps_only_the_flow_finding(self):
+        findings = lint(self.SHADOWED_HASH, path=CORE_PATH)
+        rl008 = [f for f in findings if f.rule == "RL008"]
+        assert len(rl008) == 1
+        assert rl008[0].via_flow
+        assert rl008[0].line == 3
+        assert "alias" in rl008[0].message
+
+    def test_syntactic_finding_survives_without_flow(self):
+        findings = lint(self.SHADOWED_HASH, path=CORE_PATH, flow=False)
+        rl008 = [f for f in findings if f.rule == "RL008"]
+        assert len(rl008) == 1
+        assert not rl008[0].via_flow
+
+    def test_distinct_lines_are_not_collapsed(self):
+        source = (
+            "def f(x):\n"
+            "    h = hash\n"
+            "    y = h(x)\n"
+            "    return hash(x)\n"
+        )
+        findings = [f for f in lint(source, path=CORE_PATH) if f.rule == "RL008"]
+        assert sorted((f.line, f.via_flow) for f in findings) == [
+            (3, True),
+            (4, False),
+        ]
+
+    def test_via_flow_round_trips_through_json(self):
+        findings = lint(self.SHADOWED_HASH, path=CORE_PATH)
+        payload = json.loads(render_json(findings, 1))
+        flags = [entry["via_flow"] for entry in payload["findings"]]
+        assert True in flags
