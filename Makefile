@@ -30,11 +30,13 @@ leakcheck:
 	$(PYTHON) -m repro.leakcheck --suite
 
 # Whole-tree gadget discovery (exit 1 = gadgets found is expected: the
-# simulator sources *are* AfterImage gadgets), then the planted-fixture
-# positive control, which must flag EX001 (exit 1) or the scan is blind.
+# simulator sources *are* AfterImage gadgets; exit 3 = the scan itself
+# crashed and must fail the gate), then the planted-fixture positive
+# control, which must flag EX001 (exit 1) or the scan is blind.
 leakcheck-scan:
 	$(PYTHON) -m repro.leakcheck --scan src/repro/crypto src/repro/kernel src/repro/core; \
-		rc=$$?; [ $$rc -le 1 ] || exit $$rc
+		rc=$$?; if [ $$rc -ne 0 ] && [ $$rc -ne 1 ]; then \
+			echo "leakcheck --scan crashed (exit $$rc)"; exit $$rc; fi
 	@$(PYTHON) -m repro.leakcheck --extract src/repro/leakcheck/extract/fixtures.py > /dev/null; \
 		rc=$$?; if [ $$rc -ne 1 ]; then \
 			echo "positive control failed: fixture scan exited $$rc, want 1"; exit 1; \

@@ -1,7 +1,9 @@
 """CLI driver: ``python -m repro.leakcheck`` / ``afterimage leakcheck``.
 
 Exit codes mirror :mod:`repro.lint`: 0 when every analyzed victim is safe,
-1 when any is leaky (a "finding"), 2 on usage errors.  ``--suite`` runs
+1 when any is leaky (a "finding"), 2 on usage errors, 3 when the scan
+itself crashes — distinct from 1 so CI gates that tolerate "gadgets
+found" cannot mistake a crashed run for findings.  ``--suite`` runs
 the registered victims against the full defense matrix and instead returns
 0 only when every verdict matches its expectation — the CI mode wired
 into ``make check``.
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from collections.abc import Sequence
 from time import perf_counter  # repro: noqa[RL003] — CLI timing, not model code
 
@@ -97,7 +100,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = scan_paths([*(args.extract or []), *(args.scan or [])])
+        try:
+            result = scan_paths([*(args.extract or []), *(args.scan or [])])
+        except Exception:  # noqa: BLE001 — crash must not alias exit code 1
+            traceback.print_exc()
+            print(
+                "repro.leakcheck: internal error during extraction scan (exit 3)",
+                file=sys.stderr,
+            )
+            return 3
         print(render_scan(result, args.format))
         return result.exit_code
 

@@ -243,8 +243,20 @@ def _compile(
             )
             result = interp.run(secret)
             _fold_loads(result.loads, sites, max_offsets)
-            if secret == 0:
+            if canonical is None:
                 canonical = result.loads
+            elif _site_sequences(result.loads) != _site_sequences(canonical):
+                # The canonical trace is only a sound stand-in for every
+                # secret if the synthesized rewrite really is secret-
+                # independent.  Any residual divergence means a secret
+                # dependency escaped the taint tracking (e.g. element
+                # shadows dropped by an aggregating builtin), so claiming
+                # "safe under oblivious" would be a false verdict.
+                raise ExtractError(
+                    f"synthesized rewrite still diverges for secret "
+                    f"{secret:#x} (a secret dependency escaped the taint "
+                    "tracking)"
+                )
     except ExtractError as error:
         oblivious_note = str(error)
         canonical = None
@@ -308,6 +320,23 @@ def _compile(
         oblivious_fn=oblivious_fn,
     )
     return spec, False, oblivious_note
+
+
+def _site_sequences(
+    loads: list[RecordedLoad],
+) -> dict[SiteKey, list[tuple[str, int]]]:
+    """Per-site address sequences, the prefetcher's view of a trace.
+
+    Each site owns one history-table entry (the builder keeps low-8-bit
+    IPs distinct), so comparing per-site sequences catches every
+    divergence that entry could observe while ignoring cross-site
+    interleaving — which the oblivious walker perturbs by executing the
+    concretely-taken arm before the sandboxed one.
+    """
+    sequences: dict[SiteKey, list[tuple[str, int]]] = {}
+    for load in loads:
+        sequences.setdefault(load.site, []).append((load.region, load.offset))
+    return sequences
 
 
 def _fold_loads(

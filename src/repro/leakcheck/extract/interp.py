@@ -38,6 +38,7 @@ rules in :mod:`repro.leakcheck.extract.domain`.
 from __future__ import annotations
 
 import ast
+import copy
 from dataclasses import dataclass, field
 
 from repro.leakcheck.extract.domain import (
@@ -69,6 +70,11 @@ SECRET_PARAM_STEMS = ("secret", "key", "exponent", "exp", "bit", "bits")
 
 _MAX_CALL_DEPTH = 16
 _MAX_LOOP_ITERATIONS = 65_536
+
+#: Module-constant values that can be handed out by reference; anything
+#: else (lists, dicts, tuples holding them, …) is deep-copied per run so
+#: in-place stores never reach the shared :class:`ModuleInfo` object.
+_IMMUTABLE_CONSTANTS = (int, float, complex, bool, str, bytes, type(None))
 
 
 class ExtractError(Exception):
@@ -212,6 +218,7 @@ class Interpreter:
         self.demands: set[int] = set()
         self.tainted_loop = False
         self._state = _State()
+        self._const_copies: dict[str, object] = {}
         self._ops = 0
         self._depth = 0
 
@@ -225,6 +232,7 @@ class Interpreter:
         self.demands = set()
         self.tainted_loop = False
         self._state = _State()
+        self._const_copies = {}
         self._ops = 0
         self._depth = 0
         env = self._bind_root(secret)
@@ -258,6 +266,23 @@ class Interpreter:
             else:
                 env[name] = Opaque(name, "data")
         return env
+
+    def _module_constant(self, name: str) -> object:
+        """The run-local view of one module-level constant.
+
+        Mutable constants (``STATE = [0]`` counters and friends) are
+        deep-copied once per :meth:`run` so subscript/attribute stores
+        land in the copy: the shared :class:`ModuleInfo` value is never
+        mutated, which is what keeps a compiled ``trace_fn`` pure across
+        probe and replay runs.  Within one run every mention aliases the
+        same copy, preserving ordinary read-after-write semantics.
+        """
+        raw = self.module.constants[name]
+        if isinstance(raw, _IMMUTABLE_CONSTANTS):
+            return raw
+        if name not in self._const_copies:
+            self._const_copies[name] = copy.deepcopy(raw)
+        return self._const_copies[name]
 
     # ------------------------------------------------------------------ #
     # bookkeeping                                                        #
@@ -370,17 +395,33 @@ class Interpreter:
             self._exec_block(taken, env)
             return
         self._demand(sym)
-        self._exec_block(taken, env)
-        if self.mode == "oblivious":
-            untaken = stmt.orelse if taken is stmt.body else stmt.body
+        if self.mode != "oblivious":
+            self._exec_block(taken, env)
+            return
+        untaken = stmt.orelse if taken is stmt.body else stmt.body
+        # The untaken arm must record its loads even when the taken arm
+        # returns/breaks early — the §8.2 rewrite executes both arms
+        # unconditionally, so the control-flow signal is re-raised only
+        # after the sandboxed arm has run.
+        try:
+            self._exec_block(taken, env)
+        except (_Return, _Break, _Continue, _Abort):
             self._exec_sandboxed(untaken, env)
+            raise
+        self._exec_sandboxed(untaken, env)
 
     def _exec_sandboxed(self, stmts: list[ast.stmt], env: dict[str, object]) -> None:
-        """Run an untaken arm for its loads; discard every other effect."""
-        saved_env = dict(env)
-        saved_stores = {
-            path: dict(store) for path, store in self._state.stores.items()
-        }
+        """Run an untaken arm for its loads; discard every other effect.
+
+        The snapshot is deep (one shared memo, so aliasing between the
+        environment, opaque stores and constant copies survives the
+        restore): the arm may mutate concrete lists/dicts in place, and a
+        shallow copy would let those writes leak past the restore.
+        """
+        memo: dict[int, object] = {}
+        saved_env = _snapshot(env, memo)
+        saved_stores = _snapshot(self._state.stores, memo)
+        saved_consts = _snapshot(self._const_copies, memo)
         try:
             self._exec_block(stmts, env)
         except (_Return, _Break, _Continue, _Abort):
@@ -389,6 +430,7 @@ class Interpreter:
             env.clear()
             env.update(saved_env)
             self._state.stores = saved_stores
+            self._const_copies = saved_consts
 
     def _exec_while(self, stmt: ast.While, env: dict[str, object]) -> None:
         iterations = 0
@@ -523,7 +565,7 @@ class Interpreter:
             if node.id in env:
                 return env[node.id]
             if node.id in self.module.constants:
-                return Value(self.module.constants[node.id])
+                return Value(self._module_constant(node.id))
             raise ExtractError(f"unknown name `{node.id}` at line {node.lineno}")
         if isinstance(node, (ast.Tuple, ast.List)):
             items = [self._eval(element, env) for element in node.elts]
@@ -790,6 +832,15 @@ class Interpreter:
         if isinstance(base, Opaque):
             if base.kind == "data":
                 return self._data_subscript(node, base, key)
+            key_sym = self._sym_of(key)
+            if self.mode == "oblivious" and key_sym is not None:
+                # Site-selection analogue of the §8.2 address sweep: a
+                # secret-chosen config entry (e.g. the per-case IP of a
+                # kernel switch) collapses to one canonical placeholder,
+                # modeling a rewrite whose instruction choice no longer
+                # depends on the secret.
+                self._demand(key_sym)
+                return Opaque(f"{base.path}[<swept>]", "config")
             concrete = self._concrete_key(key, node)
             store = self._state.stores.get(base.path, {})
             stored = store.get(self._store_key(key, node))
@@ -1035,6 +1086,49 @@ class _BoundMethod:
 
     base: Value
     name: str
+
+
+def _snapshot(obj: object, memo: dict[int, object]) -> object:
+    """Deep-copy the mutable parts of an interpreter value graph.
+
+    Hand-rolled instead of :func:`copy.deepcopy` because the frozen
+    slotted dataclasses (:class:`~.domain.Value` etc.) don't deep-copy on
+    Python 3.10; the wrappers are rebuilt around snapshotted payloads.
+    The shared ``memo`` keeps aliases aliased across the whole snapshot.
+    """
+    key = id(obj)
+    if key in memo:
+        return memo[key]
+    if isinstance(obj, Value):
+        copied = Value(_snapshot(obj.concrete, memo), obj.sym)
+        memo[key] = copied
+        return copied
+    if isinstance(obj, _BoundMethod):
+        copied = _BoundMethod(_snapshot(obj.base, memo), obj.name)  # type: ignore[arg-type]
+        memo[key] = copied
+        return copied
+    if isinstance(obj, list):
+        out_list: list[object] = []
+        memo[key] = out_list
+        out_list.extend(_snapshot(item, memo) for item in obj)
+        return out_list
+    if isinstance(obj, dict):
+        out_dict: dict[object, object] = {}
+        memo[key] = out_dict
+        for k, v in obj.items():
+            out_dict[k] = _snapshot(v, memo)
+        return out_dict
+    if isinstance(obj, tuple):
+        copied = tuple(_snapshot(item, memo) for item in obj)
+        memo[key] = copied
+        return copied
+    if isinstance(obj, set):
+        copied = {_snapshot(item, memo) for item in obj}
+        memo[key] = copied
+        return copied
+    # Opaque/Addr/SymExpr are immutable all the way down; scalars, ranges
+    # and AST nodes are never mutated by the interpreter.
+    return obj
 
 
 # -- builtin table ------------------------------------------------------- #

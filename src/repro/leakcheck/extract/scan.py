@@ -30,6 +30,7 @@ from time import perf_counter  # repro: noqa[RL003] — scan timing, not model c
 
 from repro.leakcheck.analyzer import DEFENSES, analyze
 from repro.leakcheck.extract.builder import Extraction, compile_path
+from repro.leakcheck.extract.interp import ExtractError
 from repro.leakcheck.report import SCHEMA_VERSION
 from repro.lint.engine import iter_python_files
 
@@ -126,8 +127,26 @@ def _fold_extraction(result: ScanResult, extraction: Extraction) -> None:
         if extraction.pure or extraction.spec is None:
             result.pure += 1
             return
+        try:
+            _analyze_spec(result, extraction)
+        except (ValueError, ExtractError) as error:
+            # A spec that compiled but cannot be analyzed (replay escaped
+            # the probed closure, spec validation rejected a trace, …) is
+            # a per-candidate extraction failure, not a scan abort: fold
+            # it into EX003 so one bad candidate cannot take down — or
+            # silently pass — a whole-tree run.
+            result.failed += 1
+            result.findings.append(
+                ScanFinding(
+                    code="EX003",
+                    path=extraction.path,
+                    line=extraction.line,
+                    qualname=extraction.qualname,
+                    message=f"analysis of the extracted spec failed: {error}",
+                )
+            )
+            return
         result.compiled += 1
-        _analyze_spec(result, extraction)
     finally:
         key = f"{extraction.path}::{extraction.qualname}"
         result.timings[key] = perf_counter() - started

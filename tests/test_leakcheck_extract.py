@@ -33,7 +33,7 @@ from repro.leakcheck.extract.domain import (
     shift_right,
     taint_labels,
 )
-from repro.leakcheck.extract.interp import is_secret_param
+from repro.leakcheck.extract.interp import Interpreter, is_secret_param
 from repro.leakcheck.extract.scan import (
     EXTRACT_CODES,
     render_scan_json,
@@ -271,6 +271,37 @@ class TestBuilder:
         assert len(spec.trace(0)) == 2
         assert len(spec.trace(301)) == 1
 
+    def test_mutable_module_constant_keeps_trace_fn_pure(self):
+        # STATE used to be handed out by shared reference, so probe-run
+        # stores leaked into replays and trace_fn(0) drifted between calls.
+        extraction = compile_one(
+            "STATE = [0]\n"
+            "\n"
+            "class V:\n"
+            "    def step(self, secret):\n"
+            "        STATE[0] = STATE[0] + 1\n"
+            "        vaddr = self.t.line_addr(STATE[0] + (secret & 1))\n"
+            "        return self.machine.load(self.ctx, self.ip, vaddr)\n"
+        )
+        assert extraction.error is None
+        assert extraction.spec.trace(0) == extraction.spec.trace(0)
+        assert analyze(extraction.spec, defense="none").verdict == "leaky"
+
+    def test_module_constant_counter_without_secret_dep_is_safe(self):
+        # The impure-constant bug made this secret-independent counter
+        # look leaky (every replay touched a new offset).
+        extraction = compile_one(
+            "STATE = [0]\n"
+            "\n"
+            "class V:\n"
+            "    def step(self, secret):\n"
+            "        STATE[0] = STATE[0] + 1\n"
+            "        vaddr = self.t.line_addr(STATE[0])\n"
+            "        return self.machine.load(self.ctx, self.ip, vaddr)\n"
+        )
+        assert extraction.error is None
+        assert analyze(extraction.spec, defense="none").verdict == "safe"
+
 
 class TestRejections:
     def test_super_is_dynamic_dispatch(self):
@@ -377,6 +408,81 @@ class TestObliviousSynthesis:
         assert offsets == list(range(0, 4096, 64))
         assert analyze(extraction.spec, defense="oblivious").verdict == "safe"
 
+    def test_early_returning_arms_are_both_traced(self):
+        # A _Return from the taken arm used to skip the sandboxed arm,
+        # breaking the "execute both arms" guarantee.
+        extraction = compile_one(
+            "class V:\n"
+            "    def run(self, secret_bit):\n"
+            "        if secret_bit:\n"
+            "            self.machine.load(self.ctx, self.if_ip, self.t.line_addr(0))\n"
+            "            return 1\n"
+            "        else:\n"
+            "            self.machine.load(self.ctx, self.else_ip, self.t.line_addr(1))\n"
+            "            return 0\n"
+        )
+        rewrite = extraction.spec.oblivious()
+        assert rewrite is not None, extraction.oblivious_note
+        assert len(rewrite.trace(0)) == 2
+        assert analyze(extraction.spec, defense="oblivious").verdict == "safe"
+
+    def test_untaken_arm_in_place_mutation_is_discarded(self):
+        # The sandbox snapshot used to be shallow: the untaken arm's
+        # subscript store on a concrete list survived the restore and
+        # contaminated the rest of the oblivious trace.
+        module = module_info(
+            "class V:\n"
+            "    def run(self, secret_bit):\n"
+            "        acc = [1]\n"
+            "        if secret_bit:\n"
+            "            acc[0] = 5\n"
+            "        self.machine.load(self.ctx, self.ip, self.t.line_addr(acc[0]))\n",
+            "victim.py",
+        )
+        candidate = candidates(module)[0]
+        interp = Interpreter(
+            module,
+            candidate.func,
+            secret_param=candidate.secret_param,
+            mode="oblivious",
+        )
+        offsets = [load.offset for load in interp.run(0).loads]
+        assert offsets == [64]  # acc[0] is still 1 after the sandboxed arm
+
+    def test_lost_taint_downgrades_the_rewrite(self):
+        # sum() drops element shadows, so the swept-address synthesis
+        # misses this load; the closure diff must refuse to claim "safe
+        # under oblivious" instead of shipping a false verdict.
+        extraction = compile_one(
+            "class V:\n"
+            "    def pick(self, secret):\n"
+            "        parts = [secret & 1, (secret >> 1) & 1]\n"
+            "        idx = sum(parts)\n"
+            "        vaddr = self.t.line_addr(idx)\n"
+            "        return self.machine.load(self.ctx, self.ip, vaddr)\n"
+        )
+        assert extraction.error is None
+        assert extraction.spec.oblivious_fn is None
+        assert "diverges" in extraction.oblivious_note
+        assert analyze(extraction.spec, defense="none").verdict == "leaky"
+
+    def test_secret_chosen_config_ip_collapses_to_one_site(self):
+        # The kernel-switch pattern: the IP itself is picked by the
+        # secret.  The rewrite models a secret-independent instruction
+        # choice (one canonical site), mirroring the hand-written
+        # all-arms oblivious specs.
+        extraction = compile_one(
+            "class V:\n"
+            "    def read(self, secret):\n"
+            "        slot = secret % 4\n"
+            "        vaddr = self.values.line_addr(slot)\n"
+            "        self.machine.load(self.ctx, self.case_ips[slot], vaddr)\n"
+        )
+        rewrite = extraction.spec.oblivious()
+        assert rewrite is not None, extraction.oblivious_note
+        assert rewrite.trace(0) == rewrite.trace(3)
+        assert analyze(extraction.spec, defense="oblivious").verdict == "safe"
+
 
 # --------------------------------------------------------------------- #
 # scan + CLI                                                             #
@@ -418,6 +524,26 @@ class TestScan:
         assert "slowest victim:" in text
         assert "EX001" in text
 
+    def test_analysis_errors_fold_into_ex003(self, monkeypatch):
+        # A spec that compiles but blows up inside analyze() must become
+        # a per-candidate EX003 finding, not abort (or silently pass) the
+        # whole scan run.
+        import repro.leakcheck.extract.scan as scan_module
+
+        def explode(spec, defense="none"):
+            raise ValueError("offset 0x1000 outside region 'table'")
+
+        monkeypatch.setattr(scan_module, "analyze", explode)
+        result = scan_paths([FIXTURE_PATH])
+        assert result.exit_code == 0  # no verified EX001, no crash
+        assert result.compiled == 0
+        assert result.failed == 1
+        assert any(
+            finding.code == "EX003"
+            and "analysis of the extracted spec failed" in finding.message
+            for finding in result.findings
+        )
+
     def test_scan_finds_repo_gadgets(self):
         result = scan_paths(["src/repro/core/variant1.py", "src/repro/crypto/rsa.py"])
         leaky = {f.qualname for f in result.findings if f.code == "EX001"}
@@ -444,6 +570,21 @@ class TestCli:
     def test_victims_and_scan_are_exclusive(self, capsys):
         rc = leakcheck_main(["branch-load", "--scan", FIXTURE_PATH])
         assert rc == 2
+
+    def test_internal_scan_crash_exits_3(self, capsys, monkeypatch):
+        # Exit 3, not 1: the Makefile/CI gates tolerate 1 ("gadgets
+        # found"), so a crashed scan must not alias that code.
+        import repro.leakcheck.cli as cli_module
+
+        def explode(paths):
+            raise RuntimeError("synthetic scan crash")
+
+        monkeypatch.setattr(cli_module, "scan_paths", explode)
+        rc = leakcheck_main(["--scan", FIXTURE_PATH])
+        err = capsys.readouterr().err
+        assert rc == 3
+        assert "internal error" in err
+        assert "synthetic scan crash" in err
 
     def test_registry_mode_reports_timings(self, capsys):
         rc = leakcheck_main(["branch-load", "--format", "json"])
