@@ -43,11 +43,24 @@ leakcheck-scan:
 		else echo "positive control: planted fixture flagged (exit 1)"; fi
 
 # Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json, plus
-# the serial-vs-parallel executor comparison -> BENCH_attacks.json and the
-# cold-vs-warm campaign store comparison -> BENCH_campaign.json.
+# the serial-vs-parallel executor comparison -> BENCH_attacks.json, the
+# cold-vs-warm campaign store comparison -> BENCH_campaign.json and the
+# cross-process telemetry contract -> BENCH_telemetry.json.  Pre-existing
+# artifacts are snapshotted to *.baseline and diffed with the regression
+# gate (generous tolerance: same-machine wall clocks still wobble under
+# load; the determinism fields are compared exactly regardless).
+BENCH_ARTIFACTS := BENCH_obs.json BENCH_attacks.json BENCH_campaign.json BENCH_telemetry.json
+
 bench:
+	@for f in $(BENCH_ARTIFACTS); do \
+		if [ -f $$f ]; then cp $$f $$f.baseline; fi; done
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json --attacks-out BENCH_attacks.json --jobs 2
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --jobs 2
+	$(PYTHON) benchmarks/bench_telemetry.py --out BENCH_telemetry.json --jobs 2
+	@for f in $(BENCH_ARTIFACTS); do \
+		if [ -f $$f.baseline ]; then \
+			$(PYTHON) -m repro bench compare $$f.baseline $$f --tolerance 0.5 || exit 1; \
+		fi; done
 
 # The three paper-evaluation grids, cached and resumable in .campaign-store
 # (re-run `make campaign` after an interrupt: finished cells are not redone).

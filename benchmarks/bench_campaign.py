@@ -23,10 +23,12 @@ import sys
 import tempfile
 from collections.abc import Sequence
 
+from repro.bench import provenance
 from repro.campaign import CampaignRunner, TrialStore, builtin_campaign
 
 #: Bump when the JSON layout changes so downstream diffing can gate on it.
-SCHEMA_VERSION = 1
+#: v2: provenance stamp + kind tag (`afterimage bench compare` gates on both).
+SCHEMA_VERSION = 2
 
 
 def canonical(aggregates: dict) -> str:
@@ -52,6 +54,8 @@ def bench_campaign(
     warm = runner.run(spec)
     return {
         "schema": SCHEMA_VERSION,
+        "kind": "campaign",
+        "provenance": provenance(),
         "campaign": spec.name,
         "n_cells": spec.n_cells,
         "rounds": spec.rounds,

@@ -27,11 +27,13 @@ import sys
 from collections.abc import Sequence
 
 from repro.attacks import TrialExecutor, attack_names, build_matrix, get_attack
+from repro.bench import provenance
 from repro.obs.runner import run_attack
 from repro.params import preset
 
 #: Bump when the JSON layout changes so downstream diffing can gate on it.
-SCHEMA_VERSION = 2
+#: v3: provenance stamp + kind tag (`afterimage bench compare` gates on both).
+SCHEMA_VERSION = 3
 
 
 def bench(
@@ -62,6 +64,8 @@ def bench(
         )
     return {
         "schema": SCHEMA_VERSION,
+        "kind": "obs",
+        "provenance": provenance(),
         "machine": machine_name,
         "seed": seed,
         "rounds_scale": rounds_scale,
@@ -101,6 +105,8 @@ def bench_executor(
     )
     return {
         "schema": SCHEMA_VERSION,
+        "kind": "attacks",
+        "provenance": provenance(),
         "machine": machine_name,
         "seed": seed,
         "rounds_scale": rounds_scale,

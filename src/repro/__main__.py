@@ -1,0 +1,12 @@
+"""``python -m repro``: the ``afterimage`` CLI without the console script.
+
+Useful from a bare checkout (``PYTHONPATH=src python -m repro ...``) and
+in CI jobs that never ``pip install`` the package.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

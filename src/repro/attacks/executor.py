@@ -38,6 +38,12 @@ from typing import Any, Iterable, Sequence
 
 from repro.attacks.registry import run_trials
 from repro.attacks.trial import TrialBatch
+from repro.obs.telemetry import (
+    TelemetryCollector,
+    TelemetryEnvelope,
+    Timeline,
+    capture_worker,
+)
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.utils.rng import stable_seed
 
@@ -144,6 +150,14 @@ def run_task_safe(task: TrialTask) -> TrialBatch | TaskError:
         return TaskError(task=task, error=traceback.format_exc())
 
 
+def run_task_telemetry(task: TrialTask) -> TelemetryEnvelope:
+    """The instrumented worker entry point: :func:`run_task_safe` plus a
+    :class:`~repro.obs.telemetry.WorkerTelemetry` record, piggy-backed on
+    the result.  The outcome inside the envelope is exactly what the
+    uninstrumented path returns, so aggregates cannot change."""
+    return capture_worker(run_task_safe, task)
+
+
 @dataclass
 class ExecutionResult:
     """Everything a sweep produced: raw cells plus per-attack merges.
@@ -158,9 +172,10 @@ class ExecutionResult:
     jobs: int
     wall_seconds: float
     errors: list[TaskError] = field(default_factory=list)
+    telemetry: Timeline | None = None
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
             "n_batches": len(self.batches),
@@ -169,6 +184,9 @@ class ExecutionResult:
                 name: batch.as_dict() for name, batch in self.merged.items()
             },
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.as_dict()
+        return data
 
 
 def _merge_by_attack(batches: Sequence[TrialBatch]) -> dict[str, TrialBatch]:
@@ -179,16 +197,28 @@ def _merge_by_attack(batches: Sequence[TrialBatch]) -> dict[str, TrialBatch]:
 
 
 class TrialExecutor:
-    """Run a task list serially or across a ``multiprocessing`` pool."""
+    """Run a task list serially or across a ``multiprocessing`` pool.
 
-    def __init__(self, jobs: int = 1) -> None:
+    With ``telemetry=True`` every worker pickles back a
+    :class:`~repro.obs.telemetry.WorkerTelemetry` record and the parent
+    tracks dispatch/queue/serialize/merge timing; the resulting
+    :class:`~repro.obs.telemetry.Timeline` lands on
+    :attr:`ExecutionResult.telemetry`.  The default (off) path is
+    byte-for-byte the pre-telemetry code: workers map the plain
+    :func:`run_task_safe` and nothing extra crosses the pool.
+    """
+
+    def __init__(self, jobs: int = 1, telemetry: bool = False) -> None:
         if jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
         self.jobs = jobs
+        self.telemetry = telemetry
 
     def run(self, tasks: Sequence[TrialTask]) -> ExecutionResult:
         if not tasks:
             raise ValueError("no tasks to run")
+        if self.telemetry:
+            return self._run_telemetry(tasks)
         start = perf_counter()
         if self.jobs == 1 or len(tasks) == 1:
             outcomes = [run_task_safe(task) for task in tasks]
@@ -213,3 +243,52 @@ class TrialExecutor:
         n_workers = min(self.jobs, len(tasks))
         with context.Pool(processes=n_workers) as pool:
             return pool.map(run_task_safe, tasks)
+
+    # -- instrumented path ---------------------------------------------- #
+
+    def _run_telemetry(self, tasks: Sequence[TrialTask]) -> ExecutionResult:
+        start = perf_counter()
+        collector = TelemetryCollector(jobs=self.jobs)
+        for index, task in enumerate(tasks):
+            collector.add_request(index, task.attack, task)
+        outcomes: list[TrialBatch | TaskError] = []
+        if self.jobs == 1 or len(tasks) == 1:
+            collector.window_begin()
+            for index, task in enumerate(tasks):
+                outcomes.append(collector.receive(index, run_task_telemetry(task)))
+            collector.window_end()
+        else:
+            outcomes = self._run_pool_telemetry(tasks, collector)
+        collector.measure_results(outcomes)
+        batches = [item for item in outcomes if isinstance(item, TrialBatch)]
+        errors = [item for item in outcomes if isinstance(item, TaskError)]
+        with collector.merge_phase():
+            merged = _merge_by_attack(batches)
+        wall = perf_counter() - start
+        return ExecutionResult(
+            batches=batches,
+            merged=merged,
+            jobs=self.jobs,
+            wall_seconds=wall,
+            errors=errors,
+            telemetry=collector.finish(wall_seconds=wall),
+        )
+
+    def _run_pool_telemetry(
+        self, tasks: Sequence[TrialTask], collector: TelemetryCollector
+    ) -> list[TrialBatch | TaskError]:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork (e.g. Windows)
+            context = multiprocessing.get_context("spawn")
+        n_workers = min(self.jobs, len(tasks))
+        outcomes: list[TrialBatch | TaskError] = []
+        with context.Pool(processes=n_workers) as pool:
+            collector.window_begin()
+            # ``imap`` (order-preserving, yields as results land) gives a
+            # true per-task receive timestamp; ``map`` would only give one
+            # timestamp for the whole batch.
+            for index, envelope in enumerate(pool.imap(run_task_telemetry, tasks)):
+                outcomes.append(collector.receive(index, envelope))
+            collector.window_end()
+        return outcomes

@@ -127,6 +127,22 @@ class TrialBatch:
             "trials": [trial.as_dict() for trial in self.trials],
         }
 
+    def wall_clock_free_dict(self) -> dict[str, Any]:
+        """:meth:`as_dict` with host wall-clock stripped from the spans.
+
+        This is the canonical determinism view: every field left is
+        derived from the seed, so two same-seed runs — serial, pooled,
+        cached, retried, telemetry on or off — must serialize to
+        byte-identical JSON.  Both the campaign aggregates and the
+        telemetry benches compare exactly this.
+        """
+        data = self.as_dict()
+        data["spans"] = {
+            name: {k: v for k, v in stats.items() if k != "wall_seconds"}
+            for name, stats in data["spans"].items()
+        }
+        return data
+
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TrialBatch":
         """Rebuild a batch from :meth:`as_dict` output (the store read path).

@@ -1,0 +1,63 @@
+"""Provenance stamps for benchmark artifacts.
+
+A wall-clock number is only comparable to another wall-clock number from
+the *same* machine; a ``BENCH_*.json`` without provenance invites exactly
+that silent cross-machine diff.  :func:`provenance` captures where and
+when an artifact was produced so :mod:`repro.bench.compare` can refuse
+incomparable pairs, and leaves an audit trail (git revision, timestamp)
+for the ones it accepts.
+
+This module is deliberately host-facing: wall-clock reads are the point
+(the lint exemptions say so inline), and none of these values may ever
+flow into simulator state.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+from datetime import datetime, timezone
+from typing import Any
+
+#: The fields two artifacts must agree on to be wall-clock comparable.
+MACHINE_IDENTITY_FIELDS = ("hostname", "platform", "python", "cpu_count")
+
+
+def git_revision(cwd: str | None = None) -> str:
+    """The current ``HEAD`` hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def provenance() -> dict[str, Any]:
+    """The stamp every ``BENCH_*.json`` emitter embeds under ``"provenance"``."""
+    return {
+        "git_rev": git_revision(),
+        "timestamp": datetime.now(timezone.utc).isoformat(  # repro: noqa[RL003] — artifact stamp, not model state
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def identity(stamp: dict[str, Any] | None) -> dict[str, Any] | None:
+    """The machine-identity slice of a provenance stamp (None if absent)."""
+    if not isinstance(stamp, dict):
+        return None
+    return {field: stamp.get(field) for field in MACHINE_IDENTITY_FIELDS}

@@ -57,7 +57,41 @@ def render_result(result: CampaignResult) -> str:
     lines = [table, summary]
     for outcome in result.failed:
         lines.append(f"FAILED {outcome.cell.label}: {outcome.error_summary}")
+    if result.telemetry is not None:
+        lines += ["", "where the time went:", result.telemetry.render_text()]
     return "\n".join(lines)
+
+
+def render_time_went(result: CampaignResult) -> list[str]:
+    """The "where the time went" markdown block (empty without telemetry)."""
+    timeline = result.telemetry
+    if timeline is None:
+        return []
+    attribution = timeline.attribution()
+    lines = [
+        "",
+        "### Where the time went",
+        "",
+        f"{len(timeline.records)} dispatches over jobs={timeline.jobs}, wall "
+        f"{timeline.wall_seconds:.2f}s, worker utilization "
+        f"{timeline.utilization() * 100:.0f}%, attribution coverage "
+        f"{attribution['coverage'] * 100:.1f}%.",
+        "",
+        "| bucket | seconds | share |",
+        "| --- | ---: | ---: |",
+    ]
+    for name, entry in attribution["buckets"].items():
+        lines.append(
+            f"| {name} | {entry['seconds']:.3f} | {entry['share'] * 100:.1f}% |"
+        )
+    totals = timeline.totals()
+    lines += [
+        "",
+        f"Payloads: {totals['request_bytes'] / 1024:.1f} KiB dispatched, "
+        f"{totals['result_bytes'] / 1024:.1f} KiB returned; dominant overhead "
+        f"bucket (non-compute): `{timeline.dominant_overhead()}`.",
+    ]
+    return lines
 
 
 def _expectation(cell, batch) -> tuple[str, bool]:
@@ -105,4 +139,4 @@ def render_markdown(result: CampaignResult) -> str:
         f"- FAILED `{outcome.cell.label}`: {outcome.error_summary}"
         for outcome in result.failed
     ]
-    return "\n".join(header + [body] + failed)
+    return "\n".join(header + [body] + failed + render_time_went(result))

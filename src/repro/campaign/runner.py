@@ -40,6 +40,7 @@ from repro.attacks.trial import TrialBatch
 from repro.campaign.experiments import experiment_names, run_cell
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import TrialStore
+from repro.obs.telemetry import TelemetryCollector, TelemetryEnvelope, Timeline, capture_worker
 
 RunCellFn = Callable[[CampaignCell], TrialBatch]
 
@@ -84,6 +85,7 @@ class CampaignResult:
     outcomes: list[CellOutcome]
     wall_seconds: float
     jobs: int
+    telemetry: Timeline | None = None
 
     @property
     def cached_count(self) -> int:
@@ -136,23 +138,19 @@ class CampaignResult:
         """The wall-clock-free view two runs of one campaign must agree on.
 
         Everything in a batch is derived from the cell's seed except the
-        host ``wall_seconds`` in its span profile, so that one field is
-        stripped: cached, re-executed, retried-after-a-crash and pooled
-        runs of the same spec all serialize to byte-identical aggregates
-        (the CI smoke job asserts exactly this).
+        host ``wall_seconds`` in its span profile, so that field is
+        stripped (via :meth:`TrialBatch.wall_clock_free_dict`): cached,
+        re-executed, retried-after-a-crash and pooled runs of the same
+        spec all serialize to byte-identical aggregates (the CI smoke job
+        asserts exactly this).
         """
-        out: dict[str, dict[str, Any]] = {}
-        for label, batch in self.merged().items():
-            data = batch.as_dict()
-            data["spans"] = {
-                name: {k: v for k, v in stats.items() if k != "wall_seconds"}
-                for name, stats in data["spans"].items()
-            }
-            out[label] = data
-        return out
+        return {
+            label: batch.wall_clock_free_dict()
+            for label, batch in self.merged().items()
+        }
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "campaign": self.spec.name,
             "n_cells": len(self.outcomes),
             "cached": self.cached_count,
@@ -164,6 +162,9 @@ class CampaignResult:
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
             "aggregates": self.aggregates(),
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.as_dict()
+        return data
 
 
 @dataclass
@@ -211,6 +212,15 @@ def _call_safely(
         return cell.key, None, traceback.format_exc()
 
 
+def _call_safely_telemetry(fn: RunCellFn, cell: CampaignCell) -> TelemetryEnvelope:
+    """:func:`_call_safely` with worker-side telemetry piggy-backed on it.
+
+    Module-level (and built from picklable pieces) so it crosses the pool
+    boundary like the plain wrapper does.
+    """
+    return capture_worker(partial(_call_safely, fn), cell)
+
+
 class CampaignRunner:
     """Drive a :class:`CampaignSpec` to completion against a store.
 
@@ -227,6 +237,7 @@ class CampaignRunner:
         backoff_seconds: float = 0.1,
         backoff_cap_seconds: float = 2.0,
         run_cell_fn: RunCellFn | None = None,
+        telemetry: bool = False,
     ) -> None:
         if jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
@@ -240,6 +251,7 @@ class CampaignRunner:
         self.backoff_seconds = backoff_seconds
         self.backoff_cap_seconds = backoff_cap_seconds
         self.run_cell_fn: RunCellFn = run_cell_fn or run_cell
+        self.telemetry = telemetry
 
     def run(self, spec: CampaignSpec) -> CampaignResult:
         start = perf_counter()
@@ -251,6 +263,7 @@ class CampaignRunner:
                 f"{', '.join(unknown)}; known: {', '.join(sorted(known))}"
             )
         cells = spec.cells()
+        collector = TelemetryCollector(jobs=self.jobs) if self.telemetry else None
         outcomes: dict[str, CellOutcome] = {}
         pending: list[CampaignCell] = []
         for cell in cells:
@@ -268,7 +281,7 @@ class CampaignRunner:
             if round_number > 1:
                 self._backoff(round_number - 1)
             still_failing: list[CampaignCell] = []
-            for cell, batch, error in self._execute(pending):
+            for cell, batch, error in self._execute(pending, collector):
                 attempts[cell.key] = attempts.get(cell.key, 0) + 1
                 if batch is not None:
                     self.store.put(cell.key, batch)
@@ -292,11 +305,15 @@ class CampaignRunner:
                 attempts=attempts.get(cell.key, 0),
                 error=errors.get(cell.key),
             )
+        wall = perf_counter() - start
         return CampaignResult(
             spec=spec,
             outcomes=[outcomes[cell.key] for cell in cells],
-            wall_seconds=perf_counter() - start,
+            wall_seconds=wall,
             jobs=self.jobs,
+            telemetry=(
+                collector.finish(wall_seconds=wall) if collector is not None else None
+            ),
         )
 
     def status(self, spec: CampaignSpec) -> CampaignStatus:
@@ -315,10 +332,14 @@ class CampaignRunner:
             time.sleep(delay)
 
     def _execute(
-        self, cells: Sequence[CampaignCell]
+        self,
+        cells: Sequence[CampaignCell],
+        collector: TelemetryCollector | None = None,
     ) -> list[tuple[CampaignCell, TrialBatch | None, str | None]]:
         by_key = {cell.key: cell for cell in cells}
-        if self.jobs == 1 or len(cells) == 1:
+        if collector is not None:
+            raw = self._execute_telemetry(cells, collector)
+        elif self.jobs == 1 or len(cells) == 1:
             raw = [_call_safely(self.run_cell_fn, cell) for cell in cells]
         else:
             raw = self._run_pool(cells)
@@ -336,3 +357,40 @@ class CampaignRunner:
         n_workers = min(self.jobs, len(cells))
         with context.Pool(processes=n_workers) as pool:
             return pool.map(partial(_call_safely, self.run_cell_fn), cells)
+
+    def _execute_telemetry(
+        self, cells: Sequence[CampaignCell], collector: TelemetryCollector
+    ) -> list[tuple[str, TrialBatch | None, str | None]]:
+        """One execution round with parent+worker bookkeeping.
+
+        Indices continue across retry rounds, so a healed campaign's
+        timeline shows every attempt as its own record.
+        """
+        base = len(collector.records)
+        for offset, cell in enumerate(cells):
+            collector.add_request(base + offset, cell.label, cell)
+        raw: list[tuple[str, TrialBatch | None, str | None]] = []
+        if self.jobs == 1 or len(cells) == 1:
+            collector.window_begin()
+            for offset, cell in enumerate(cells):
+                envelope = _call_safely_telemetry(self.run_cell_fn, cell)
+                raw.append(collector.receive(base + offset, envelope))
+            collector.window_end()
+        else:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork (e.g. Windows)
+                context = multiprocessing.get_context("spawn")
+            n_workers = min(self.jobs, len(cells))
+            with context.Pool(processes=n_workers) as pool:
+                collector.window_begin()
+                results = pool.imap(
+                    partial(_call_safely_telemetry, self.run_cell_fn), cells
+                )
+                for offset, envelope in enumerate(results):
+                    raw.append(collector.receive(base + offset, envelope))
+                collector.window_end()
+        collector.measure_results(raw, start=base)
+        return raw

@@ -19,6 +19,8 @@ Installed as the ``afterimage`` console script::
     afterimage campaign run attacks-vs-noise --jobs 4
     afterimage campaign status defense-matrix
     afterimage campaign report revng-table1 -o campaign.md
+    afterimage perf --suite --jobs 2 --format json
+    afterimage bench compare BENCH_attacks.json BENCH_new.json
 
 Each subcommand prints the corresponding figure/table series, like the
 benchmark suite, but without pytest in the loop.  The attack subcommands
@@ -295,6 +297,90 @@ def cmd_run(params: MachineParams, args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def cmd_perf(params: MachineParams, args: argparse.Namespace) -> None:
+    """Run the suite through the instrumented executor; print the timeline."""
+    from repro.attacks import TrialExecutor, build_matrix, get_attack
+
+    if args.suite:
+        names: tuple[str, ...] = attack_names()
+    elif args.attack is not None:
+        names = (args.attack,)
+    else:
+        print("specify an attack name or --suite", file=sys.stderr)
+        sys.exit(2)
+    tasks = build_matrix(
+        names,
+        base_seed=args.seed,
+        repeats=args.repeats,
+        params=(params,),
+        rounds=args.rounds,
+    )
+    if args.rounds is None and args.rounds_scale is not None:
+        import dataclasses
+
+        tasks = [
+            dataclasses.replace(
+                task,
+                rounds=max(
+                    1, int(get_attack(task.attack).default_rounds * args.rounds_scale)
+                ),
+            )
+            for task in tasks
+        ]
+    result = TrialExecutor(jobs=args.jobs, telemetry=True).run(tasks)
+    timeline = result.telemetry
+    assert timeline is not None
+    if args.format == "json":
+        document = {
+            "jobs": result.jobs,
+            "wall_seconds": result.wall_seconds,
+            "n_tasks": len(tasks),
+            "attacks": {
+                name: {"quality": batch.quality, "n_trials": batch.n_trials}
+                for name, batch in result.merged.items()
+            },
+            **timeline.as_dict(),
+        }
+        print(json.dumps(document, indent=2))
+    elif args.format == "trace":
+        timeline.write_chrome(args.out)
+        print(
+            f"wrote {args.out}: {len(timeline.records)} tasks across "
+            f"{len(timeline.lanes())} lanes, wall {timeline.wall_seconds:.2f}s"
+        )
+    else:
+        print(timeline.render_text())
+    for error in result.errors:
+        print(
+            f"FAILED {error.task.attack} (seed {error.task.seed}): {error.summary}",
+            file=sys.stderr,
+        )
+    if result.errors:
+        sys.exit(1)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """`afterimage bench compare`: the artifact regression gate
+    (early dispatch: artifacts carry their own machine identity)."""
+    from repro.bench import EXIT_INTERNAL, compare_files
+
+    try:
+        report = compare_files(
+            args.baseline,
+            args.current,
+            tolerance=args.tolerance,
+            allow_cross_machine=args.allow_cross_machine,
+        )
+    except Exception as exc:  # the gate must never crash the caller silently
+        print(f"bench compare: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _resolve_campaign_spec(name: str, args: argparse.Namespace):
     """A builtin campaign by name, or a ``.toml``/``.json`` spec file,
     shrunk by any ``--rounds``/``--repeats``/``--attacks`` overrides."""
@@ -354,8 +440,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         else:
             print(render_status(status))
         return 0
-    runner = CampaignRunner(store, jobs=args.jobs, max_attempts=args.max_attempts)
+    runner = CampaignRunner(
+        store,
+        jobs=args.jobs,
+        max_attempts=args.max_attempts,
+        telemetry=args.telemetry,
+    )
     result = runner.run(spec)
+    if args.telemetry and args.action == "run" and result.telemetry is not None:
+        import os
+
+        timeline_path = os.path.join(args.store, "telemetry.json")
+        trace_path = os.path.join(args.store, "telemetry.trace.json")
+        with open(timeline_path, "w") as handle:
+            json.dump(result.telemetry.as_dict(), handle, indent=2)
+            handle.write("\n")
+        result.telemetry.write_chrome(trace_path)
+        print(f"wrote {timeline_path} and {trace_path}")
     if args.action == "report":
         markdown = render_markdown(result)
         if args.output:
@@ -421,6 +522,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "trace": (cmd_trace, "Run an attack with tracing, write a Chrome trace_event file"),
     "metrics": (cmd_metrics, "Run an attack, dump the machine's metrics registry"),
     "run": (cmd_run, "Run any registered attack (or --suite) across --jobs workers"),
+    "perf": (cmd_perf, "Executor telemetry: worker timeline + overhead attribution"),
 }
 
 
@@ -492,6 +594,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--base-seed", type=int, default=None)
     campaign.add_argument("--format", choices=("text", "json"), default="text")
     campaign.add_argument("-o", "--output", default=None, help="report output file")
+    campaign.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect cross-process telemetry; `run` writes a timeline next to the store",
+    )
+    bench = sub.add_parser(
+        "bench", help="benchmark artifact tools (repro.bench): compare"
+    )
+    bench.add_argument("action", choices=("compare",))
+    bench.add_argument("baseline", help="baseline BENCH_*.json artifact")
+    bench.add_argument("current", help="current BENCH_*.json artifact")
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative tolerance for wall-clock-derived numbers (default 0.25)",
+    )
+    bench.add_argument(
+        "--allow-cross-machine",
+        action="store_true",
+        help="diff artifacts from different machines instead of refusing",
+    )
+    bench.add_argument("--format", choices=("text", "json"), default="text")
     for name, (_fn, help_text) in _COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         if name in ("variant1", "variant2", "covert"):
@@ -524,6 +649,26 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--jobs", type=int, default=1)
             cmd.add_argument("--repeats", type=int, default=1)
             cmd.add_argument("--format", choices=("text", "json"), default="text")
+        if name == "perf":
+            cmd.add_argument("attack", nargs="?", default=None, choices=attack_names())
+            cmd.add_argument("--suite", action="store_true")
+            cmd.add_argument("--rounds", type=int, default=None)
+            cmd.add_argument(
+                "--rounds-scale",
+                type=float,
+                default=None,
+                help="scale each attack's default rounds (ignored with --rounds)",
+            )
+            cmd.add_argument("--jobs", type=int, default=2)
+            cmd.add_argument("--repeats", type=int, default=1)
+            cmd.add_argument(
+                "--format", choices=("text", "json", "trace"), default="text"
+            )
+            cmd.add_argument(
+                "--out",
+                default="perf.trace.json",
+                help="Chrome trace output path for --format trace",
+            )
     return parser
 
 
@@ -550,6 +695,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "campaign":
             # Campaign specs declare their own machines; early dispatch.
             return cmd_campaign(args)
+        if args.command == "bench":
+            # Artifacts carry their own machine identity; early dispatch.
+            return cmd_bench(args)
         if args.command == "leakcheck":
             # Pure static analysis, no machine model; same early dispatch.
             from repro.leakcheck.cli import main as leakcheck_main

@@ -84,6 +84,10 @@ class Machine:
         #: Structured tracing (repro.obs); NULL_TRACER when off, so every
         #: hook site pays a single ``enabled`` attribute check.
         self.tracer = resolve_tracer(trace)
+        #: Lane-aware sinks (ChromeTraceSink) label a per-machine lane; a
+        #: shared tracer therefore no longer collapses multiple machines
+        #: into one unlabeled Chrome-trace process.
+        self.tracer.register_machine(self)
         #: Cycle-attribution profiler aggregate (``with machine.span(...)``);
         #: always collected — spans are rare compared to loads.
         self.profile = SpanProfile()

@@ -1,4 +1,4 @@
-"""Flow rules RL014–RL017: determinism taint and fork safety.
+"""Flow rules RL014–RL018: determinism taint, fork safety, span/sink pairing.
 
 These rules consume the per-file :class:`~repro.lint.flow.context.FlowContext`
 the engine attaches when the flow pass is enabled.  They are registered in
@@ -20,6 +20,12 @@ skipped when the flow pass is off.
   diverges silently; a future persistent worker shares it for real),
   and dispatch sites must not smuggle open file handles/locks across
   the pool boundary or mutate objects already submitted (RL017).
+* **RL018 (span/sink pairing)** — an explicit ``emit(SpanBegin(...))``
+  must reach a matching ``SpanEnd`` emit, and a constructed
+  ``JsonlSink``/``ChromeTraceSink``/``Tracer`` must reach ``close()``
+  (or be handed off / returned / ``with``-managed), on **every** CFG
+  path out of the scope — an unbalanced span corrupts nesting-aware
+  trace consumers, an unclosed sink drops buffered events.
 """
 
 from __future__ import annotations
@@ -623,9 +629,255 @@ class ForkCaptureRule(FlowRule):
         return frozenset(updated)
 
 
+# ---------------------------------------------------------------------- #
+# RL018 — spans and sinks must close on every path                         #
+# ---------------------------------------------------------------------- #
+
+#: Sink/tracer constructors whose instances own an OS resource (a file
+#: handle) or buffer events that only land on ``close()``.  RingBufferSink
+#: is deliberately absent: it holds no resource and close() is a no-op.
+_CLOSEABLE_CTORS = frozenset({"JsonlSink", "ChromeTraceSink", "Tracer"})
+
+#: Fact element: (kind, key, open line, AST node to anchor the finding).
+_PairFact = tuple[str, str, int, ast.AST]
+
+
+def _emitted_event(call: ast.Call) -> tuple[str, ast.Call] | None:
+    """(``"SpanBegin"``/``"SpanEnd"``, event ctor call) for ``*.emit(...)``."""
+    if not (isinstance(call.func, ast.Attribute) and call.func.attr == "emit"):
+        return None
+    if not call.args or not isinstance(call.args[0], ast.Call):
+        return None
+    event = call.args[0]
+    chain = dotted(event.func)
+    name = chain[-1] if chain else None
+    if name in ("SpanBegin", "SpanEnd"):
+        return name, event
+    return None
+
+
+def _span_name(event: ast.Call) -> str | None:
+    """The constant ``name=`` of a SpanBegin/SpanEnd ctor, else None."""
+    for keyword in event.keywords:
+        if keyword.arg == "name":
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                return keyword.value.value
+            return None
+    # TraceEvent puts ``cycle`` first, so a positional name is arg 2.
+    if len(event.args) >= 2 and isinstance(event.args[1], ast.Constant):
+        value = event.args[1].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+class SpanSinkPairingRule(FlowRule):
+    """RL018 — an explicit SpanBegin emit or sink construction can reach
+    scope exit without its SpanEnd / ``close()``.
+
+    An unbalanced ``SpanBegin`` corrupts every nesting-aware trace
+    consumer (the Chrome-trace ``B``/``E`` stack, the span profiler), and
+    an unclosed ``JsonlSink``/``ChromeTraceSink``/``Tracer`` silently
+    drops buffered events — the trace looks truncated, not broken.  Both
+    have a zero-cost fix that this rule never flags: the context manager
+    (``with machine.span(...):``, ``with JsonlSink(...) as sink:``),
+    which pairs begin/end on the exception path too.  Ownership
+    transfers (passing the sink to a call, returning it, storing it on
+    an object) move the close obligation to the receiver and discharge
+    the fact here.
+    """
+
+    rule_id = "RL018"
+    title = "span emit or sink left open on some path to scope exit"
+    hint = "use `with machine.span(...)`/`with Sink(...) as s:`, or close in a `finally:`"
+
+    def applies_to(self, path: str) -> bool:
+        return not _is_test_path(path)
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        flow = self.flow(ctx)
+        if flow is None:
+            return
+        for scope in flow.function_scopes():
+            # The profiler's Span halves emit one unpaired event each by
+            # design; a ``close()`` forwarding closes discharges its own.
+            if scope.name in ("__enter__", "__exit__", "close"):
+                continue
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: "FileContext", scope: Scope) -> Iterator["Finding"]:
+        rule = self
+
+        class _OpenFacts:
+            def bottom(self) -> frozenset[_PairFact]:
+                return frozenset()
+
+            def initial(self) -> frozenset[_PairFact]:
+                return frozenset()
+
+            def join(self, left, right):
+                return left | right
+
+            def transfer_block(self, block, fact):
+                for item in block.items:
+                    fact = rule._transfer(item, fact)
+                return fact
+
+        from repro.lint.flow.solver import solve_forward
+
+        in_facts, _out = solve_forward(scope.cfg, _OpenFacts())
+        leaked = in_facts[scope.cfg.exit]
+        if not leaked:
+            return
+        excused = self._finally_closed(scope)
+        for kind, key, _line, node in sorted(leaked, key=lambda f: f[2]):
+            if (kind, key) in excused:
+                continue
+            if kind == "span":
+                yield ctx.finding(
+                    self, node,
+                    f"emit(SpanBegin(name={key!r})) has no matching SpanEnd on "
+                    f"some path to the end of `{scope.name}`",
+                )
+            else:
+                ctor = dotted(node.func) if isinstance(node, ast.Call) else None
+                what = ctor[-1] if ctor else "sink"
+                yield ctx.finding(
+                    self, node,
+                    f"`{key}` ({what}) is not closed, handed off, or returned "
+                    f"on some path to the end of `{scope.name}`",
+                )
+
+    # -- transfer ------------------------------------------------------- #
+
+    def _transfer(
+        self, item: ast.AST, fact: frozenset[_PairFact]
+    ) -> frozenset[_PairFact]:
+        updated = set(fact)
+        # Rebinding a tracked sink variable loses the only reference.
+        rebound = set(
+            assigned_names(item) if isinstance(item, (ast.stmt, ast.expr)) else ()
+        )
+        if rebound:
+            updated = {
+                f for f in updated if not (f[0] == "sink" and f[1] in rebound)
+            }
+        # ``with sink:`` / ``with sink as s:`` closes on every path.
+        if isinstance(item, (ast.With, ast.AsyncWith)):
+            for with_item in item.items:
+                expr = with_item.context_expr
+                if isinstance(expr, ast.Name):
+                    updated = {
+                        f
+                        for f in updated
+                        if not (f[0] == "sink" and f[1] == expr.id)
+                    }
+        # Escapes: ``return sink`` and ``self.attr = sink`` transfer the
+        # close obligation to the caller / the owning object.
+        escaping: list[ast.expr] = []
+        if isinstance(item, ast.Return) and item.value is not None:
+            escaping.append(item.value)
+        if isinstance(item, (ast.Assign, ast.AnnAssign)):
+            targets = item.targets if isinstance(item, ast.Assign) else [item.target]
+            if any(isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets):
+                if item.value is not None:
+                    escaping.append(item.value)
+        for root in escaping:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Name):
+                    updated = {
+                        f
+                        for f in updated
+                        if not (f[0] == "sink" and f[1] == node.id)
+                    }
+        for call, _env in iter_calls_with_env(item, {}):
+            updated = self._transfer_call(call, updated)
+        # Gen last: ``v = JsonlSink(...)`` opens after its own call runs.
+        if isinstance(item, ast.Assign) and isinstance(item.value, ast.Call):
+            chain = dotted(item.value.func)
+            if chain and chain[-1] in _CLOSEABLE_CTORS:
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        updated.add(("sink", target.id, item.lineno, item.value))
+        return frozenset(updated)
+
+    def _transfer_call(
+        self, call: ast.Call, fact: set[_PairFact]
+    ) -> set[_PairFact]:
+        emitted = _emitted_event(call)
+        if emitted is not None:
+            which, event = emitted
+            name = _span_name(event)
+            if which == "SpanBegin":
+                if name is not None:
+                    fact.add(("span", name, call.lineno, call))
+                return fact
+            if name is None:
+                return {f for f in fact if f[0] != "span"}
+            return {f for f in fact if not (f[0] == "span" and f[1] == name)}
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "close"
+            and isinstance(call.func.value, ast.Name)
+        ):
+            closed = call.func.value.id
+            return {f for f in fact if not (f[0] == "sink" and f[1] == closed)}
+        # A sink passed as an argument is handed off (e.g. Machine(trace=t),
+        # Tracer(sinks=[s])): the receiver owns the close from here on.
+        handed: set[str] = set()
+        for position_arg in call.args:
+            node = (
+                position_arg.value
+                if isinstance(position_arg, ast.Starred)
+                else position_arg
+            )
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name):
+                    handed.add(sub.id)
+        for keyword in call.keywords:
+            for sub in ast.walk(keyword.value):
+                if isinstance(sub, ast.Name):
+                    handed.add(sub.id)
+        if handed:
+            return {f for f in fact if not (f[0] == "sink" and f[1] in handed)}
+        return fact
+
+    # -- finally discharge ---------------------------------------------- #
+
+    def _finally_closed(self, scope: Scope) -> set[tuple[str, str]]:
+        """(kind, key) pairs closed inside a ``finally:`` anywhere in the
+        scope.  The CFG routes a mid-``try`` ``raise`` straight to exit,
+        bypassing ``finalbody`` — but Python runs it, so a close there
+        covers every path through its ``try``."""
+        closed: set[tuple[str, str]] = set()
+        for node in ast.walk(scope.node):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    emitted = _emitted_event(sub)
+                    if emitted is not None and emitted[0] == "SpanEnd":
+                        name = _span_name(emitted[1])
+                        if name is not None:
+                            closed.add(("span", name))
+                        continue
+                    if (
+                        isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "close"
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        closed.add(("sink", sub.func.value.id))
+        return closed
+
+
 FLOW_RULES: tuple[type[Rule], ...] = (
     DeterminismTrialTaintRule,
     SeedTaintRule,
     WorkerSharedGlobalRule,
     ForkCaptureRule,
+    SpanSinkPairingRule,
 )

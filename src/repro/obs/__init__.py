@@ -10,6 +10,10 @@ Three layers over the simulated machine:
   measured-latency histogram straddling the LLC-hit threshold.
 * **Profiling** (`profiler`) — ``with machine.span("train"): ...`` scopes
   attributing simulated cycles and wall-clock to attack phases; always on.
+* **Cross-process telemetry** (`telemetry`) — per-worker wall windows
+  captured inside pool workers, merged by the parent into a
+  :class:`Timeline` that partitions the run's wall-clock into
+  serialize/queue/compute/merge/serial buckets (``afterimage perf``).
 
 Enable tracing per machine with ``Machine(trace=True)`` (or a configured
 :class:`Tracer`), or globally with ``REPRO_TRACE=1`` — the same convention
@@ -34,7 +38,23 @@ from repro.obs.events import (
 from repro.obs.metrics import Histogram, MetricsRegistry, latency_bounds, snapshot
 from repro.obs.profiler import Span, SpanProfile, SpanStats
 from repro.obs.runner import AttackRun, run_attack
-from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink, Sink, event_json
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    ChromeTraceWriter,
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+    event_json,
+)
+from repro.obs.telemetry import (
+    BUCKETS,
+    TaskRecord,
+    TelemetryCollector,
+    TelemetryEnvelope,
+    Timeline,
+    WorkerTelemetry,
+    capture_worker,
+)
 from repro.obs.tracer import (
     ENV_VAR,
     NULL_TRACER,
@@ -46,7 +66,9 @@ from repro.obs.tracer import (
 
 __all__ = [
     "AttackRun",
+    "BUCKETS",
     "ChromeTraceSink",
+    "ChromeTraceWriter",
     "Clflush",
     "ContextSwitch",
     "ENV_VAR",
@@ -69,10 +91,16 @@ __all__ = [
     "SpanProfile",
     "SpanStats",
     "TableTransition",
+    "TaskRecord",
+    "TelemetryCollector",
+    "TelemetryEnvelope",
+    "Timeline",
     "TlbMiss",
     "TraceEvent",
     "Tracer",
+    "WorkerTelemetry",
     "event_json",
+    "capture_worker",
     "latency_bounds",
     "resolve_tracer",
     "run_attack",

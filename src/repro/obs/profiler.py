@@ -97,13 +97,19 @@ class Span:
         self.machine = machine
         self._start_cycles = 0
         self._start_wall = 0.0
+        self._emitted_begin = False
 
     def __enter__(self) -> "Span":
         self._start_wall = perf_counter()
         if self.machine is not None:
             self._start_cycles = self.machine.cycles
             tracer = self.machine.tracer
-            if tracer.enabled:
+            # Remember whether SpanBegin actually went out: __exit__ must
+            # emit the matching SpanEnd even if ``tracer.enabled`` was
+            # toggled off mid-span (or the body raised), so sinks never
+            # see an unbalanced begin.
+            self._emitted_begin = tracer.enabled
+            if self._emitted_begin:
                 from repro.obs.events import SpanBegin
 
                 tracer.emit(SpanBegin(cycle=self.machine.cycles, name=self.name))
@@ -114,9 +120,10 @@ class Span:
         cycles = 0
         if self.machine is not None:
             cycles = self.machine.cycles - self._start_cycles
-            tracer = self.machine.tracer
-            if tracer.enabled:
+            if self._emitted_begin:
                 from repro.obs.events import SpanEnd
 
-                tracer.emit(SpanEnd(cycle=self.machine.cycles, name=self.name, cycles=cycles))
+                self.machine.tracer.emit(
+                    SpanEnd(cycle=self.machine.cycles, name=self.name, cycles=cycles)
+                )
         self.profile.add(self.name, cycles, wall)

@@ -87,6 +87,59 @@ class JsonlSink(Sink):
             self._fh = None
 
 
+class ChromeTraceWriter:
+    """Builds Chrome ``trace_event`` records with labeled process lanes.
+
+    Shared by :class:`ChromeTraceSink` (simulated-cycle timelines) and
+    :class:`repro.obs.telemetry.Timeline` (wall-clock worker timelines).
+    Each :meth:`lane` call allocates the next pid (allocation order is
+    deterministic) and emits the ``process_name``/``thread_name``
+    metadata events the trace viewers use to label lanes.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self._next_pid = 0
+
+    def lane(self, process_name: str, thread_name: str = "main") -> int:
+        """Allocate a labeled lane; returns its stable pid."""
+        self._next_pid += 1
+        pid = self._next_pid
+        for meta, label in (("process_name", process_name), ("thread_name", thread_name)):
+            self.records.append(
+                {"name": meta, "ph": "M", "pid": pid, "tid": 1, "args": {"name": label}}
+            )
+        return pid
+
+    def slice(
+        self,
+        pid: int,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        cat: str = "span",
+        args: dict | None = None,
+    ) -> None:
+        """One complete (``ph=X``) slice on lane ``pid``."""
+        record = {
+            "pid": pid,
+            "tid": 1,
+            "name": name,
+            "ph": "X",
+            "ts": ts_us,
+            "dur": max(0.0, dur_us),
+            "cat": cat,
+        }
+        if args:
+            record["args"] = args
+        self.records.append(record)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": self.records}, fh, sort_keys=True)
+            fh.write("\n")
+
+
 class ChromeTraceSink(Sink):
     """Export a Chrome ``trace_event`` JSON file (Perfetto-compatible).
 
@@ -95,26 +148,48 @@ class ChromeTraceSink(Sink):
     ``args`` carry the full event payload.  Timestamps are simulated
     cycles converted to microseconds via ``cycles_per_us`` so the viewer
     timeline reads in simulated time, not wall-clock.
-    """
 
-    PID = 1
-    TID = 1
+    Each machine built against the owning tracer registers itself via
+    :meth:`register_machine`, which allocates a fresh labeled lane
+    (stable pid in registration order) and routes subsequent events
+    there — so a multi-machine trace shows one named lane per machine
+    instead of collapsing into a single unlabeled one.  Events emitted
+    before any registration land on a default "machine" lane.
+    """
 
     def __init__(self, path: str, cycles_per_us: float = 1.0) -> None:
         if cycles_per_us <= 0:
             raise ValueError("cycles_per_us must be positive")
         self.path = path
         self.cycles_per_us = cycles_per_us
-        self._records: list[dict] = [
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": self.PID,
-                "tid": self.TID,
-                "args": {"name": "afterimage simulated machine"},
-            }
-        ]
+        self._writer = ChromeTraceWriter()
+        self._machines = 0
+        self._pid: int | None = None
         self._closed = False
+
+    @property
+    def _records(self) -> list[dict]:
+        return self._writer.records
+
+    def register_machine(self, machine: object) -> int:
+        """Open a new labeled lane for ``machine``; returns its pid.
+
+        Machines in this codebase run to completion sequentially within a
+        process, so routing by "most recently registered" is exact; the
+        label carries the machine preset name and a registration ordinal.
+        """
+        self._machines += 1
+        params = getattr(machine, "params", None)
+        preset = getattr(params, "name", None) or "machine"
+        self._pid = self._writer.lane(
+            f"{preset} #{self._machines}", "simulated core"
+        )
+        return self._pid
+
+    def _current_pid(self) -> int:
+        if self._pid is None:
+            self._pid = self._writer.lane("afterimage simulated machine", "simulated core")
+        return self._pid
 
     def _ts(self, cycle: int) -> float:
         return cycle / self.cycles_per_us
@@ -122,7 +197,7 @@ class ChromeTraceSink(Sink):
     def emit(self, event: TraceEvent) -> None:
         if self._closed:
             raise ValueError(f"ChromeTraceSink({self.path!r}) is closed")
-        base = {"pid": self.PID, "tid": self.TID, "ts": self._ts(event.cycle)}
+        base = {"pid": self._current_pid(), "tid": 1, "ts": self._ts(event.cycle)}
         if isinstance(event, SpanBegin):
             self._records.append({**base, "name": event.name, "ph": "B", "cat": "span"})
         elif isinstance(event, SpanEnd):
@@ -151,6 +226,4 @@ class ChromeTraceSink(Sink):
         if self._closed:
             return
         self._closed = True
-        with open(self.path, "w", encoding="utf-8") as fh:
-            json.dump({"traceEvents": self._records}, fh, sort_keys=True)
-            fh.write("\n")
+        self._writer.write(self.path)

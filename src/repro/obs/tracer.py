@@ -51,6 +51,17 @@ class Tracer:
     def add_sink(self, sink: Sink) -> None:
         self.sinks.append(sink)
 
+    def register_machine(self, machine: object) -> None:
+        """Tell lane-aware sinks a new machine will emit through us.
+
+        Sinks that label per-machine lanes (:class:`ChromeTraceSink`)
+        expose ``register_machine``; everything else ignores the call.
+        """
+        for sink in self.sinks:
+            register = getattr(sink, "register_machine", None)
+            if register is not None:
+                register(machine)
+
     def events(self, kind: str | None = None) -> list[TraceEvent]:
         """Events from the first ring-buffer sink (convenience for tests)."""
         for sink in self.sinks:
@@ -79,6 +90,9 @@ class NullTracer(Tracer):
 
     def add_sink(self, sink: Sink) -> None:
         raise ValueError("NullTracer cannot accept sinks; construct a Tracer instead")
+
+    def register_machine(self, machine: object) -> None:
+        pass
 
 
 #: Shared disabled tracer; safe to share because it holds no state.

@@ -56,6 +56,15 @@ class TestExamples:
         assert "TableTransition" in stdout
         assert out.exists()
 
+    def test_perf_timeline(self, tmp_path):
+        out = tmp_path / "perf.trace.json"
+        stdout = run_example(
+            "perf_timeline.py", "--rounds-scale", "0.05", "--out", str(out)
+        )
+        assert "where the time went" in stdout
+        assert "dominant overhead bucket" in stdout
+        assert out.exists()
+
     def test_static_leakcheck(self):
         out = run_example("static_leakcheck.py")
         assert "verdict: leaky" in out

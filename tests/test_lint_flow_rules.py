@@ -1,4 +1,4 @@
-"""Tests for the flow rules RL014–RL017 and the flow-aware upgrades.
+"""Tests for the flow rules RL014–RL018 and the flow-aware upgrades.
 
 Each fixture is a small program with a *known* dataflow fact — a taint
 that must reach a sink, a worker that must reach a global — plus the
@@ -354,6 +354,146 @@ class TestForkCapture:
 
 
 # --------------------------------------------------------------------- #
+# RL018 — spans and sinks must close on every path                       #
+# --------------------------------------------------------------------- #
+
+
+class TestSpanSinkPairing:
+    def test_span_open_on_early_return_path_is_flagged(self):
+        source = (
+            "def run(tracer, fast):\n"
+            "    tracer.emit(SpanBegin(cycle=0, name='train'))\n"
+            "    if fast:\n"
+            "        return 1\n"
+            "    tracer.emit(SpanEnd(cycle=9, name='train', cycles=9))\n"
+            "    return 0\n"
+        )
+        assert "RL018" in rule_ids(lint(source))
+
+    def test_span_closed_on_every_path_is_clean(self):
+        source = (
+            "def run(tracer, fast):\n"
+            "    tracer.emit(SpanBegin(cycle=0, name='train'))\n"
+            "    if fast:\n"
+            "        tracer.emit(SpanEnd(cycle=1, name='train', cycles=1))\n"
+            "        return 1\n"
+            "    tracer.emit(SpanEnd(cycle=9, name='train', cycles=9))\n"
+            "    return 0\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_span_end_in_finally_discharges(self):
+        source = (
+            "def run(tracer, body):\n"
+            "    tracer.emit(SpanBegin(cycle=0, name='train'))\n"
+            "    try:\n"
+            "        body()\n"
+            "    finally:\n"
+            "        tracer.emit(SpanEnd(cycle=9, name='train', cycles=9))\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_dynamic_span_end_name_closes_everything(self):
+        source = (
+            "def run(tracer, name):\n"
+            "    tracer.emit(SpanBegin(cycle=0, name='train'))\n"
+            "    tracer.emit(SpanEnd(cycle=1, name=name, cycles=1))\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_unclosed_sink_is_flagged(self):
+        source = (
+            "def dump(events, path):\n"
+            "    sink = JsonlSink(path)\n"
+            "    for event in events:\n"
+            "        sink.emit(event)\n"
+        )
+        assert "RL018" in rule_ids(lint(source))
+
+    def test_close_on_one_branch_only_is_flagged(self):
+        source = (
+            "def dump(path, ok):\n"
+            "    sink = ChromeTraceSink(path)\n"
+            "    if ok:\n"
+            "        sink.close()\n"
+        )
+        assert "RL018" in rule_ids(lint(source))
+
+    def test_with_managed_sink_is_clean(self):
+        source = (
+            "def dump(events, path):\n"
+            "    sink = JsonlSink(path)\n"
+            "    with sink:\n"
+            "        for event in events:\n"
+            "            sink.emit(event)\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_close_in_finally_discharges(self):
+        source = (
+            "def dump(events, path):\n"
+            "    sink = JsonlSink(path)\n"
+            "    try:\n"
+            "        for event in events:\n"
+            "            sink.emit(event)\n"
+            "    finally:\n"
+            "        sink.close()\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_returned_sink_transfers_the_obligation(self):
+        source = (
+            "def make_sink(path):\n"
+            "    sink = JsonlSink(path)\n"
+            "    return sink\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_handing_the_sink_to_a_call_transfers_ownership(self):
+        source = (
+            "def trace_machine(path, params):\n"
+            "    sink = ChromeTraceSink(path)\n"
+            "    tracer = Tracer(sinks=[sink])\n"
+            "    return Machine(params, trace=tracer)\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_storing_the_sink_on_self_transfers_ownership(self):
+        source = (
+            "class Owner:\n"
+            "    def open(self, path):\n"
+            "        sink = JsonlSink(path)\n"
+            "        self._sink = sink\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_enter_exit_scopes_are_exempt(self):
+        source = (
+            "class Span:\n"
+            "    def __enter__(self):\n"
+            "        self.tracer.emit(SpanBegin(cycle=0, name='train'))\n"
+            "        return self\n"
+            "    def __exit__(self, *exc):\n"
+            "        self.tracer.emit(SpanEnd(cycle=1, name='train', cycles=1))\n"
+        )
+        assert "RL018" not in rule_ids(lint(source))
+
+    def test_test_paths_are_exempt(self):
+        source = (
+            "def dump(path):\n"
+            "    sink = JsonlSink(path)\n"
+        )
+        assert "RL018" not in rule_ids(lint(source, path=TEST_PATH))
+
+    def test_flow_off_disables_the_rule(self):
+        source = (
+            "def dump(path):\n"
+            "    sink = JsonlSink(path)\n"
+        )
+        assert "RL018" not in rule_ids(lint(source, flow=False))
+
+
+# --------------------------------------------------------------------- #
 # Flow-aware upgrades of the syntactic rules                             #
 # --------------------------------------------------------------------- #
 
@@ -444,6 +584,16 @@ FLOW_FIXTURES = [
         "    tasks.append('late')\n"
         "    return handle\n",
         2,
+    ),
+    (
+        "RL018",
+        "def run(tracer, fast):\n"
+        "    tracer.emit(SpanBegin(cycle=0, name='train'))\n"
+        "    if fast:\n"
+        "        return 1\n"
+        "    tracer.emit(SpanEnd(cycle=9, name='train', cycles=9))\n"
+        "    return 0\n",
+        1,
     ),
 ]
 

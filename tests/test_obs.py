@@ -137,6 +137,91 @@ class TestChromeTraceSink:
         with pytest.raises(ValueError):
             sink.emit(PrefetchFill(cycle=0, paddr=0))
 
+    def test_two_machines_get_labeled_lanes(self, tmp_path):
+        """Two machines on one tracer land in two labeled process lanes."""
+        path = tmp_path / "two.trace.json"
+        sink = ChromeTraceSink(str(path))
+        tracer = Tracer([sink])
+        first = Machine(COFFEE_LAKE_I7_9700, seed=1, trace=tracer)
+        second = Machine(COFFEE_LAKE_I7_9700, seed=2, trace=tracer)
+        for machine in (first, second):
+            ctx = machine.new_thread("t")
+            machine.context_switch(ctx)
+            buffer = machine.new_buffer(ctx.space, PAGE_SIZE)
+            machine.load(ctx, 0x40_0000, buffer.base)
+        tracer.close()
+        records = json.loads(path.read_text())["traceEvents"]
+        names = {
+            r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert names == {"i7-9700 #1", "i7-9700 #2"}
+        # stable, distinct pids per lane, allocated from 1
+        pids = sorted(
+            {r["pid"] for r in records if r["ph"] == "M" and r["name"] == "process_name"}
+        )
+        assert pids == [1, 2]
+        thread_names = {
+            r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        assert "simulated core" in thread_names
+
+
+class TestSpanExceptionSafety:
+    """Regression: SpanEnd must go out even when the span body raises."""
+
+    def balance(self, tracer: Tracer) -> tuple[list[str], list[str]]:
+        begins = [e.name for e in tracer.events("SpanBegin")]
+        ends = [e.name for e in tracer.events("SpanEnd")]
+        return begins, ends
+
+    def test_span_end_emitted_on_raise(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=1, trace=True)
+        with pytest.raises(RuntimeError):
+            with machine.span("train"):
+                ctx = machine.new_thread("t")
+                machine.context_switch(ctx)
+                buffer = machine.new_buffer(ctx.space, PAGE_SIZE)
+                machine.load(ctx, 0x40_0000, buffer.base)
+                raise RuntimeError("attack body blew up")
+        begins, ends = self.balance(machine.tracer)
+        assert begins == ends == ["train"]
+        assert machine.profile.spans["train"].count == 1
+
+    def test_nested_spans_unwind_through_exception(self):
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=1, trace=True)
+        with pytest.raises(ValueError):
+            with machine.span("outer"):
+                with machine.span("inner"):
+                    raise ValueError("innermost failure")
+        begins, ends = self.balance(machine.tracer)
+        assert begins == ["outer", "inner"]
+        # LIFO unwinding: the inner span closes before the outer one
+        assert ends == ["inner", "outer"]
+        assert machine.profile.spans["inner"].count == 1
+        assert machine.profile.spans["outer"].count == 1
+
+    def test_span_end_emitted_after_midspan_disable(self):
+        """Toggling the tracer off mid-span must not strand a SpanBegin."""
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=1, trace=True)
+        with machine.span("probe"):
+            machine.tracer.enabled = False
+        begins, ends = self.balance(machine.tracer)
+        assert begins == ends == ["probe"]
+
+    def test_no_orphan_end_when_begin_was_suppressed(self):
+        """A span opened while disabled stays silent even if enabled later."""
+        machine = Machine(COFFEE_LAKE_I7_9700, seed=1, trace=True)
+        machine.tracer.enabled = False
+        with machine.span("probe"):
+            machine.tracer.enabled = True
+        begins, ends = self.balance(machine.tracer)
+        assert begins == ends == []
+        assert machine.profile.spans["probe"].count == 1
+
 
 class TestTracer:
     def test_default_sink_is_ring_buffer(self):
