@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck leakcheck-scan bench bench-figures campaign campaign-smoke check
+.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck leakcheck-scan bench bench-figures campaign campaign-smoke kernel-equivalence check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,7 +11,7 @@ test:
 test-sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
-# Full pass: syntactic rules + the CFG/dataflow rules (RL014-RL017).
+# Full pass: syntactic rules + the CFG/dataflow rules (RL014-RL019).
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
 
@@ -45,11 +45,13 @@ leakcheck-scan:
 # Per-attack wall-clock / simulated-cycle totals -> BENCH_obs.json, plus
 # the serial-vs-parallel executor comparison -> BENCH_attacks.json, the
 # cold-vs-warm campaign store comparison -> BENCH_campaign.json and the
-# cross-process telemetry contract -> BENCH_telemetry.json.  Pre-existing
-# artifacts are snapshotted to *.baseline and diffed with the regression
-# gate (generous tolerance: same-machine wall clocks still wobble under
-# load; the determinism fields are compared exactly regardless).
-BENCH_ARTIFACTS := BENCH_obs.json BENCH_attacks.json BENCH_campaign.json BENCH_telemetry.json
+# cross-process telemetry contract -> BENCH_telemetry.json and the
+# batched-kernel equivalence/overhead contract -> BENCH_kernel.json.
+# Pre-existing artifacts are snapshotted to *.baseline and diffed with the
+# regression gate (generous tolerance: same-machine wall clocks still
+# wobble under load; the determinism fields are compared exactly
+# regardless).
+BENCH_ARTIFACTS := BENCH_obs.json BENCH_attacks.json BENCH_campaign.json BENCH_telemetry.json BENCH_kernel.json
 
 bench:
 	@for f in $(BENCH_ARTIFACTS); do \
@@ -57,6 +59,7 @@ bench:
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json --attacks-out BENCH_attacks.json --jobs 2
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --jobs 2
 	$(PYTHON) benchmarks/bench_telemetry.py --out BENCH_telemetry.json --jobs 2
+	$(PYTHON) benchmarks/bench_kernel.py --out BENCH_kernel.json
 	@for f in $(BENCH_ARTIFACTS); do \
 		if [ -f $$f.baseline ]; then \
 			$(PYTHON) -m repro bench compare $$f.baseline $$f --tolerance 0.5 || exit 1; \
@@ -73,6 +76,15 @@ campaign:
 # hits with byte-identical aggregates (asserted inside the benchmark).
 campaign-smoke:
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --campaign attacks-vs-noise --attacks variant1,sgx --rounds 3 --store campaign-smoke-store
+
+# The kernel refactor gate: the differential suite (golden traces +
+# batch-vs-serial equality), then a scaled batched-covert bench whose
+# built-in contracts (identical aggregates, overhead bound) exit non-zero
+# on violation.  Mirrors the CI `kernel-equivalence` job.
+kernel-equivalence:
+	$(PYTHON) -m pytest -x -q tests/test_kernel_equivalence.py tests/test_machine_batch.py
+	$(PYTHON) benchmarks/bench_kernel.py --out BENCH_kernel.ci.json --lanes 32 --rounds 2 --pairs 1
+	@rm -f BENCH_kernel.ci.json
 
 # The paper-figure pytest benchmarks (the old `make bench`).
 bench-figures:

@@ -1,0 +1,200 @@
+"""Kernel batching benchmark: N covert trials through one shared kernel.
+
+Runs the same N-seed covert workload two ways — a serial
+:func:`~repro.attacks.registry.run_trials` loop (one ``Machine`` and one
+private kernel per seed) and a :class:`~repro.cpu.kernel.MachineBatch`
+stepping all N lanes through a single :class:`~repro.cpu.kernel.SimKernel`
+— and writes ``BENCH_kernel.json``:
+
+* ``aggregates_identical`` — the equivalence contract: wall-clock-free
+  ``TrialBatch`` aggregates from every batched run must be byte-identical
+  to the serial loop's, seed by seed.  Interleaving lanes through one
+  kernel must not change a single trial.
+* ``batch_overhead_ratio`` — the performance contract: the median
+  per-pair ``batched/serial - 1`` wall ratio over N *adjacent* pairs must
+  stay within ``batch_overhead_bound`` — per-trial cost inside the shared
+  kernel is no worse than the serial loop.  Pairs are adjacent in time
+  for the same reason ``bench_telemetry`` uses them: on a shared host the
+  slow load drift between distant runs swamps a ~10% bound, while two
+  back-to-back runs see the same host state.
+* ``lane_state`` totals from the array-shaped seam
+  (:meth:`MachineBatch.lane_state`) — the numbers a future vectorized
+  kernel must reproduce.
+
+The script exits non-zero when any asserted contract fails, so it can
+gate CI directly; ``afterimage bench compare`` re-checks the recorded
+numbers against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from time import perf_counter  # repro: noqa[RL003] — benchmark measures host wall-clock
+
+from repro.attacks.registry import run_trials
+from repro.bench import provenance
+from repro.cpu.kernel import MachineBatch
+from repro.params import preset
+
+#: Bump when the JSON layout changes so downstream diffing can gate on it.
+SCHEMA_VERSION = 1
+
+#: The performance contract: batching adds < 10% per-trial wall overhead.
+OVERHEAD_BOUND = 0.10
+
+
+def canonical(batches) -> str:
+    """Wall-clock-free canonical JSON of a list of TrialBatch results."""
+    return json.dumps(
+        [batch.wall_clock_free_dict() for batch in batches],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def bench_kernel(
+    machine_name: str,
+    base_seed: int,
+    lanes: int,
+    rounds: int,
+    pairs: int = 3,
+) -> dict:
+    params = preset(machine_name)
+    seeds = [base_seed + lane for lane in range(lanes)]
+
+    serial_walls: list[float] = []
+    batched_walls: list[float] = []
+    baseline_canonical: str | None = None
+    aggregates_identical = True
+    last_batch: MachineBatch | None = None
+    batched_results = []
+
+    for _ in range(max(1, pairs)):
+        start = perf_counter()
+        serial_results = [
+            run_trials("covert", params=params, seed=seed, rounds=rounds)
+            for seed in seeds
+        ]
+        serial_walls.append(perf_counter() - start)
+
+        start = perf_counter()
+        batch = MachineBatch.of(lanes, base_seed=base_seed, params=params)
+        batched_results = batch.run("covert", rounds=rounds)
+        batched_walls.append(perf_counter() - start)
+        last_batch = batch
+
+        serial_canonical = canonical(serial_results)
+        if baseline_canonical is None:
+            baseline_canonical = serial_canonical
+        if serial_canonical != baseline_canonical:
+            aggregates_identical = False
+        if canonical(batched_results) != baseline_canonical:
+            aggregates_identical = False
+
+    overhead = _median(
+        [
+            batched / serial - 1.0
+            for serial, batched in zip(serial_walls, batched_walls)
+            if serial > 0
+        ]
+    )
+    serial_wall = min(serial_walls)
+    batched_wall = min(batched_walls)
+
+    assert last_batch is not None
+    lane_state = last_batch.lane_state()
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "kernel",
+        "provenance": provenance(),
+        "machine": machine_name,
+        "seed": base_seed,
+        "lanes": lanes,
+        "rounds": rounds,
+        "pairs": len(serial_walls),
+        "serial_wall_seconds": round(serial_wall, 4),
+        "batched_wall_seconds": round(batched_wall, 4),
+        "per_trial_serial_ms": round(1000.0 * serial_wall / lanes, 3),
+        "per_trial_batched_ms": round(1000.0 * batched_wall / lanes, 3),
+        "batch_speedup": (
+            round(serial_wall / batched_wall, 3) if batched_wall > 0 else None
+        ),
+        "batch_overhead_ratio": round(overhead, 4),
+        "batch_overhead_bound": OVERHEAD_BOUND,
+        "batch_overhead_basis": "median per-pair batched/serial wall ratio "
+        f"over {len(serial_walls)} adjacent serial/batched pairs",
+        "wall_samples": {
+            "serial": [round(wall, 3) for wall in serial_walls],
+            "batched": [round(wall, 3) for wall in batched_walls],
+        },
+        "aggregates_identical": aggregates_identical,
+        "simulated_cycles_total": int(lane_state["cycles"].sum()),
+        "kernel_events_total": int(lane_state["events"].sum()),
+        "loads_retired_total": int(lane_state["retired"].sum()),
+        "mean_quality": round(
+            sum(batch.quality for batch in batched_results) / len(batched_results), 6
+        ),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument("--machine", default="i7-9700")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--lanes", type=int, default=32,
+        help="trials stepped through one kernel (the acceptance floor is 32)",
+    )
+    parser.add_argument("--rounds", type=int, default=8)
+    parser.add_argument(
+        "--pairs", type=int, default=3,
+        help="adjacent serial/batched pairs for the median overhead estimate",
+    )
+    args = parser.parse_args(argv)
+    if args.lanes <= 0 or args.rounds <= 0 or args.pairs <= 0:
+        parser.error("--lanes, --rounds and --pairs must be positive")
+
+    document = bench_kernel(
+        args.machine, args.seed, args.lanes, args.rounds, pairs=args.pairs
+    )
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"kernel bench: {args.lanes} lanes x {args.rounds} rounds, "
+        f"serial {document['serial_wall_seconds']:.2f}s, "
+        f"batched {document['batched_wall_seconds']:.2f}s "
+        f"(overhead {document['batch_overhead_ratio']:+.1%}, "
+        f"bound {document['batch_overhead_bound']:.0%})"
+    )
+    failed = False
+    if not document["aggregates_identical"]:
+        print("FAIL: batched aggregates differ from the serial loop", file=sys.stderr)
+        failed = True
+    if document["batch_overhead_ratio"] > document["batch_overhead_bound"]:
+        print(
+            f"FAIL: batch overhead {document['batch_overhead_ratio']:+.1%} exceeds "
+            f"the {document['batch_overhead_bound']:.0%} bound",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

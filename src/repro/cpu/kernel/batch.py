@@ -1,0 +1,205 @@
+"""``MachineBatch``: N same-topology trials through one kernel instance.
+
+This is the entry point the NumPy-vectorization roadmap item plugs into:
+instead of running N independent machines in a Python loop, a batch adds
+N *lanes* to a single :class:`~repro.cpu.kernel.core.SimKernel` and steps
+their attack scenarios interleaved — one rendezvous per lane per step.
+Per-trial state is exposed array-shaped (:meth:`cycles`,
+:meth:`lane_state`): a future vectorized kernel replaces the per-lane
+Python dispatch with array operations over exactly these lanes without
+touching the attack code above it.
+
+Trials stay *independent*: every lane owns its components and its clock,
+so interleaving cannot change any lane's RNG draw order — batch results
+are byte-identical to the serial loop (``benchmarks/bench_kernel.py``
+asserts this, and CI gates it via ``BENCH_kernel.json``).
+
+Scenarios opt into interleaved stepping with the ``begin(rounds)`` /
+``step(index)`` / ``finish()`` protocol (see ``_Scenario`` and
+``_CovertScenario`` in :mod:`repro.attacks.builtin`); scenarios without
+it fall back to running whole-trial-loop per lane, still inside the one
+kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.cpu.kernel.core import SimKernel
+from repro.cpu.kernel.topology import Topology
+from repro.params import DEFAULT_MACHINE, MachineParams
+
+if TYPE_CHECKING:
+    from repro.attacks.trial import TrialBatch
+    from repro.cpu.machine import Machine
+    from repro.obs.tracer import Tracer
+
+
+def _steppable(scenario: Any) -> bool:
+    return (
+        hasattr(scenario, "begin")
+        and hasattr(scenario, "step")
+        and hasattr(scenario, "finish")
+    )
+
+
+class MachineBatch:
+    """N machines (one per seed) sharing a single event kernel."""
+
+    def __init__(
+        self,
+        seeds: list[int],
+        params: MachineParams = DEFAULT_MACHINE,
+        sanitize: bool | None = None,
+        trace: "Tracer | bool | None" = None,
+        topology: Topology | None = None,
+    ) -> None:
+        import gc
+
+        from repro.cpu.machine import Machine
+
+        if not seeds:
+            raise ValueError("a batch needs at least one seed")
+        self.params = params
+        self.seeds = list(seeds)
+        self.kernel = SimKernel(topology)
+        # N machines allocate N * ~17k cache-set objects that all stay
+        # live; letting the cyclic GC run its gen-2 scans mid-construction
+        # re-walks the growing graph quadratically (a 32-lane batch spends
+        # ~3x longer building with collection enabled).  The machines form
+        # a stable, acyclic-by-design graph, so pause collection while
+        # assembling them.
+        pause = gc.isenabled() and len(self.seeds) > 1
+        if pause:
+            gc.disable()
+        try:
+            self.machines: list[Machine] = [
+                Machine(
+                    params, seed=seed, sanitize=sanitize, trace=trace, kernel=self.kernel
+                )
+                for seed in self.seeds
+            ]
+        finally:
+            if pause:
+                gc.enable()
+
+    @classmethod
+    def of(
+        cls,
+        n_lanes: int,
+        base_seed: int = 2023,
+        params: MachineParams = DEFAULT_MACHINE,
+        **kwargs: Any,
+    ) -> "MachineBatch":
+        """A batch of ``n_lanes`` trials seeded ``base_seed + lane``."""
+        if n_lanes <= 0:
+            raise ValueError(f"n_lanes must be positive, got {n_lanes}")
+        return cls([base_seed + lane for lane in range(n_lanes)], params=params, **kwargs)
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.machines)
+
+    # ------------------------------------------------------------------ #
+    # Array-shaped per-trial state (the vectorization seam)                #
+    # ------------------------------------------------------------------ #
+
+    def cycles(self):
+        """Per-lane simulated cycles as an ``int64`` array."""
+        return self.kernel.lane_cycles()
+
+    def lane_state(self) -> dict[str, Any]:
+        """Per-lane counters, one array per field.
+
+        Keys: ``cycles``, ``events`` (kernel events dispatched),
+        ``retired`` (loads retired), ``context_switches``,
+        ``timer_interrupts``.  All arrays are indexed by lane.
+        """
+        import numpy as np
+
+        return {
+            "cycles": self.kernel.lane_cycles(),
+            "events": self.kernel.lane_events(),
+            "retired": self.kernel.lane_retired(),
+            "context_switches": np.fromiter(
+                (m.context_switches for m in self.machines),
+                dtype=np.int64,
+                count=self.n_lanes,
+            ),
+            "timer_interrupts": np.fromiter(
+                (m.timer_interrupts for m in self.machines),
+                dtype=np.int64,
+                count=self.n_lanes,
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        name: str,
+        rounds: int | None = None,
+        options: dict[str, Any] | None = None,
+    ) -> "list[TrialBatch]":
+        """Run attack ``name`` on every lane; returns one batch per lane.
+
+        Each lane's scenario draws from its own RNG stream (seeded by the
+        lane's machine seed) and its own machine, so results match a
+        serial ``run_on_machine`` loop over the same seeds exactly.
+        """
+        from repro.attacks.registry import get_attack
+        from repro.attacks.trial import TrialBatch
+        from repro.utils.rng import make_rng
+
+        spec = get_attack(name)
+        if rounds is None:
+            rounds = spec.default_rounds
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+
+        spans = []
+        scenarios = []
+        try:
+            for machine, seed in zip(self.machines, self.seeds):
+                span = machine.span("total")
+                span.__enter__()
+                spans.append(span)
+                scenarios.append(spec.scenario(machine, make_rng(seed), **(options or {})))
+
+            if all(_steppable(scenario) for scenario in scenarios):
+                counts = [scenario.begin(rounds) for scenario in scenarios]
+                for step in range(max(counts)):
+                    for scenario, count in zip(scenarios, counts):
+                        if step < count:
+                            scenario.step(step)
+                trials_per_lane = [scenario.finish() for scenario in scenarios]
+            else:
+                trials_per_lane = [scenario.run_trials(rounds) for scenario in scenarios]
+        finally:
+            for span in reversed(spans):
+                span.__exit__(None, None, None)
+
+        batches = []
+        for machine, seed, scenario, trials in zip(
+            self.machines, self.seeds, scenarios, trials_per_lane
+        ):
+            notes = dict(getattr(scenario, "notes", None) or {})
+            quality, detail = spec.score(trials, notes)
+            batches.append(
+                TrialBatch(
+                    attack=name,
+                    seed=seed,
+                    machine=machine.params.name,
+                    rounds=rounds,
+                    trials=trials,
+                    quality=quality,
+                    detail=detail,
+                    simulated_cycles=machine.cycles,
+                    spans=machine.profile.as_dict(),
+                    metrics=machine.metrics().as_dict(),
+                    notes=notes,
+                )
+            )
+        return batches

@@ -1,0 +1,463 @@
+"""The pluggable components behind the ``Machine`` facade.
+
+Each component owns exactly one subsystem and claims one or two pipeline
+event types; everything a component needs from a sibling arrives either
+as a pipeline event or through an explicitly wired ``*_port`` callable
+(assigned by ``Machine._wire_kernel``).  The bodies are deliberate
+transplants of the pre-kernel ``Machine`` methods — operation order and
+RNG draw order are part of the equivalence contract pinned by
+``tests/test_kernel_equivalence.py``.
+
+Load pipeline::
+
+    LoadIssued ──mmu──> AccessReady ──memsys──> FillDone
+        ──prefetch──> ObserveDone ──retire──> LoadRetired (published)
+
+The two modelling rules the old ``Machine`` enforced inline live in the
+prefetch component now: a TLB-missing access does not update prefetcher
+state (paper §4.3), and every prefetch fill is announced *before* it is
+installed so the trace shows cause before effect.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cpu.context import ThreadContext
+from repro.cpu.kernel.core import Component
+from repro.cpu.kernel.events import (
+    AccessReady,
+    FillDone,
+    FlushIssued,
+    LineFlushed,
+    LoadIssued,
+    LoadRetired,
+    ObserveDone,
+    PrefetchDispatched,
+    SwitchCompleted,
+    SwitchIssued,
+    TimerFired,
+)
+from repro.cpu.timing import TimingModel
+from repro.memsys.hierarchy import CacheHierarchy, MemoryLevel
+from repro.mmu.address_space import AddressSpace
+from repro.mmu.buffer import Buffer
+from repro.mmu.tlb import TLB
+from repro.obs.metrics import Histogram
+from repro.params import NoiseParams
+from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest
+from repro.sanitize.sanitizer import Sanitizer
+
+#: Cycle cost of a clflush instruction (order of an LLC round trip).
+CLFLUSH_CYCLES = 40
+
+#: Fixed architectural cost of a context switch, before memory noise.
+CONTEXT_SWITCH_CYCLES = 1500
+
+#: Cost of the proposed clear-ip-prefetcher instruction: one cycle per
+#: history entry (paper §8.3 assumes C_clear = 24).
+CLEAR_PREFETCHER_CYCLES_PER_ENTRY = 1
+
+
+def _null_translate(_vaddr: int) -> int | None:
+    """Kernel noise loads never offer the prefetcher a usable translation."""
+    return None
+
+
+class MMUComponent(Component):
+    """Owns the TLB; first stage of the load pipeline.
+
+    Pokes the OS tick port before translating — the timer IRQ preempts
+    the load, exactly as the old ``Machine.load`` called
+    ``_maybe_timer_interrupt()`` before ``tlb.translate``.
+    """
+
+    name = "mmu"
+
+    #: Wired to ``OSComponent.maybe_tick``.
+    tick_port: Callable[[], None]
+
+    def __init__(self, tlb: TLB) -> None:
+        self.tlb = tlb
+
+    def handlers(self) -> dict[type, Callable[..., None]]:
+        return {LoadIssued: self.on_load}
+
+    def on_load(self, ev: LoadIssued) -> None:
+        self.tick_port()
+        translation = self.tlb.translate(ev.ctx.space, ev.vaddr)
+        self.kernel.post(
+            AccessReady(ev.lane, ev.ctx, ev.ip, ev.vaddr, ev.fenced, translation)
+        )
+
+    def flush(self, keep_global: bool = True) -> None:
+        """CR3-write TLB flush (port target for the OS component)."""
+        self.tlb.flush(keep_global=keep_global)
+
+    def warm(self, space: AddressSpace, vaddr: int) -> None:
+        """Install a translation without memory-system side effects."""
+        self.tlb.warm(space, vaddr)
+
+
+class MemoryComponent(Component):
+    """Owns the cache hierarchy; services demand accesses and flushes."""
+
+    name = "memsys"
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        self.hierarchy = hierarchy
+
+    def handlers(self) -> dict[type, Callable[..., None]]:
+        return {AccessReady: self.on_access, FlushIssued: self.on_flush}
+
+    def on_access(self, ev: AccessReady) -> None:
+        result = self.hierarchy.access(ev.translation.paddr)
+        self.kernel.post(
+            FillDone(ev.lane, ev.ctx, ev.ip, ev.vaddr, ev.fenced, ev.translation, result)
+        )
+
+    def on_flush(self, ev: FlushIssued) -> None:
+        paddr = ev.ctx.space.translate(ev.vaddr)
+        self.hierarchy.clflush(paddr)
+        self.kernel.clock_of(ev.lane).charge(ev.ctx, CLFLUSH_CYCLES)
+        self.kernel.publish(LineFlushed(ev.lane, ev.ctx, ev.vaddr, paddr))
+
+    def demand_access(self, paddr: int):
+        """Port target: a demand access outside the load pipeline (OS noise)."""
+        return self.hierarchy.access(paddr)
+
+    def insert_prefetch(self, paddr: int) -> None:
+        """Port target: install a prefetched line (L2 + LLC, not L1)."""
+        self.hierarchy.insert_prefetch(paddr)
+
+
+class PrefetchComponent(Component):
+    """Owns the IP-stride prefetcher and the noise prefetchers."""
+
+    name = "prefetch"
+
+    #: Wired to ``MemoryComponent.insert_prefetch``.
+    insert_port: Callable[[int], None]
+
+    def __init__(self, ip_stride: Prefetcher, noise_prefetchers: list[Prefetcher]) -> None:
+        self.ip_stride = ip_stride
+        self.noise_prefetchers = noise_prefetchers
+
+    def handlers(self) -> dict[type, Callable[..., None]]:
+        return {FillDone: self.on_fill}
+
+    def on_fill(self, ev: FillDone) -> None:
+        event: LoadEvent | None = None
+        issued: tuple[PrefetchRequest, ...] = ()
+        if not ev.fenced:
+            event = LoadEvent(
+                ip=ev.ip,
+                vaddr=ev.vaddr,
+                paddr=ev.translation.paddr,
+                hit_level=ev.result.level,
+                asid=ev.ctx.space.asid,
+            )
+            if ev.translation.tlb_hit:
+                issued = self._feed_demand(ev.ctx, event)
+            else:
+                # §4.3: a TLB-missing first touch creates the translation but
+                # leaves the prefetcher state untouched — only the next-page
+                # prefetcher may carry a pattern across.
+                issued = self._feed_tlb_miss(event)
+        self.kernel.post(
+            ObserveDone(
+                ev.lane, ev.ctx, ev.ip, ev.vaddr, ev.fenced,
+                ev.translation, ev.result, event, issued,
+            )
+        )
+
+    def _dispatch(self, request: PrefetchRequest, trigger_ip: int) -> None:
+        # Announce before installing: the trace shows the request leaving
+        # the prefetcher, then the fill landing in the hierarchy.
+        self.kernel.publish(PrefetchDispatched(self.lane, request, trigger_ip))
+        self.insert_port(request.paddr)
+
+    def _feed_demand(
+        self, ctx: ThreadContext, event: LoadEvent
+    ) -> tuple[PrefetchRequest, ...]:
+        def translate(vaddr: int) -> int | None:
+            try:
+                return ctx.space.translate(vaddr)
+            except KeyError:
+                return None
+
+        issued: list[PrefetchRequest] = []
+        for prefetcher in (self.ip_stride, *self.noise_prefetchers):
+            for request in prefetcher.observe(event, translate):
+                self._dispatch(request, event.ip)
+                issued.append(request)
+        return tuple(issued)
+
+    def _feed_tlb_miss(self, event: LoadEvent) -> tuple[PrefetchRequest, ...]:
+        issued: list[PrefetchRequest] = []
+        for request in self.ip_stride.observe_tlb_miss(event):
+            self._dispatch(request, event.ip)
+            issued.append(request)
+        return tuple(issued)
+
+    def feed_kernel(self, event: LoadEvent) -> None:
+        """Port target: kernel noise loads feed only the IP-stride table."""
+        for request in self.ip_stride.observe(event, _null_translate):
+            self._dispatch(request, event.ip)
+
+    def clear(self) -> None:
+        """Port target: the §8.3 clear-ip-prefetcher instruction."""
+        self.ip_stride.clear()
+
+
+class RetireComponent(Component):
+    """Prices the load, charges its context, and publishes retirement."""
+
+    name = "retire"
+
+    def __init__(self, timing: TimingModel, histogram: Histogram) -> None:
+        self.timing = timing
+        self.histogram = histogram
+
+    def handlers(self) -> dict[type, Callable[..., None]]:
+        return {ObserveDone: self.on_observe}
+
+    def on_observe(self, ev: ObserveDone) -> None:
+        latency = self.timing.measured(ev.translation.latency + ev.result.latency)
+        self.kernel.clock_of(ev.lane).charge(ev.ctx, latency)
+        self.histogram.observe(latency)
+        done = LoadRetired(
+            ev.lane, ev.ctx, ev.ip, ev.vaddr, ev.fenced,
+            ev.translation, ev.result, ev.event, ev.issued, latency,
+        )
+        self.kernel.publish(done)
+        self.kernel.complete(done)
+
+
+class OSComponent(Component):
+    """Timer interrupts, context switches, and their cache/prefetcher noise.
+
+    Owns the scheduling state the old ``Machine`` kept inline: the running
+    context, the switch/IRQ counters, the kernel's switch-noise working
+    set and the fixed switch-path IPs (chosen once per boot), plus the
+    §8.3 flush-on-switch mitigation flag.
+    """
+
+    name = "os"
+
+    #: Wired to ``MemoryComponent.demand_access``.
+    access_port: Callable[[int], object]
+    #: Wired to ``PrefetchComponent.feed_kernel``.
+    feed_port: Callable[[LoadEvent], None]
+    #: Wired to ``PrefetchComponent.clear``.
+    clear_port: Callable[[], None]
+    #: Wired to ``MMUComponent.flush``.
+    flush_tlb_port: Callable[..., None]
+
+    def __init__(
+        self,
+        noise: NoiseParams,
+        os_rng: np.random.Generator,
+        kernel_space: AddressSpace,
+        switch_noise: Buffer,
+        switch_path_ips: list[int],
+        clear_cost_cycles: int,
+    ) -> None:
+        self.noise = noise
+        self.os_rng = os_rng
+        self.kernel_space = kernel_space
+        self.switch_noise = switch_noise
+        self.switch_path_ips = switch_path_ips
+        self.clear_cost_cycles = clear_cost_cycles
+        self.current: ThreadContext | None = None
+        self.context_switches = 0
+        self.timer_interrupts = 0
+        #: §8.3 mitigation: execute clear-ip-prefetcher on every domain switch.
+        self.flush_prefetcher_on_switch = False
+
+    def handlers(self) -> dict[type, Callable[..., None]]:
+        return {SwitchIssued: self.on_switch}
+
+    def on_switch(self, ev: SwitchIssued) -> None:
+        """Switch the logical core to ``ev.to_ctx``.
+
+        Same-address-space switches (threads of one process) keep the TLB;
+        cross-space switches flush non-global entries.  Both kinds run the
+        kernel's switch path, whose loads pollute the caches and the
+        prefetcher table.
+        """
+        to_ctx = ev.to_ctx
+        from_ctx = self.current
+        if from_ctx is to_ctx:
+            return
+        self.context_switches += 1
+        self.kernel.clock_of(self.lane).advance(CONTEXT_SWITCH_CYCLES)
+        cross_space = from_ctx is not None and not from_ctx.same_address_space(to_ctx)
+        if cross_space:
+            self.flush_tlb_port(keep_global=True)
+        # Cross-process switches run the heavier mm-switch path with
+        # data-dependent kernel activity; same-space (thread) switches only
+        # replay the fixed switch code.
+        variable_ips = self.noise.switch_variable_ips if cross_space else 0
+        self._inject_switch_noise(variable_ips)
+        if self.flush_prefetcher_on_switch:
+            self.run_prefetcher_clear()
+        self.current = to_ctx
+        self.kernel.publish(
+            SwitchCompleted(
+                self.lane,
+                None if from_ctx is None else from_ctx.name,
+                to_ctx.name,
+                cross_space,
+            )
+        )
+
+    def maybe_tick(self) -> None:
+        """Run the kernel timer-IRQ path when the tick has elapsed.
+
+        The IRQ handler touches a few kernel lines and executes one load at
+        an effectively random kernel IP; with probability 1/256 that IP
+        aliases (and clobbers) a trained prefetcher entry.  A backlog of
+        elapsed ticks (e.g. after a long ``advance``) fires only once: the
+        table's disturbance saturates, and the entries the backlogged ticks
+        would have clobbered are retrained before the next observation
+        anyway.
+        """
+        clock = self.kernel.clock_of(self.lane)
+        if self.noise.switch_fixed_ips == 0:
+            # Quiet machines (reverse-engineering benches) take no IRQs.
+            clock.rearm_tick()
+            return
+        if not clock.tick_due():
+            return
+        self.timer_interrupts += 1
+        clock.rearm_tick()
+        n_lines = self.switch_noise.n_lines
+        for _ in range(8):
+            line = int(self.os_rng.integers(0, n_lines))
+            self.access_port(self.kernel_space.translate(self.switch_noise.line_addr(line)))
+        # Which IRQ handler ran is data-dependent: one variable-IP load.
+        self._kernel_prefetcher_noise([int(self.os_rng.integers(0, 1 << 30))])
+        self.kernel.publish(TimerFired(self.lane, clock.cycles))
+
+    def run_prefetcher_clear(self) -> None:
+        """Execute the proposed privileged clear-ip-prefetcher instruction."""
+        self.kernel.clock_of(self.lane).advance(self.clear_cost_cycles)
+        self.clear_port()
+
+    def _inject_switch_noise(self, variable_ips: int) -> None:
+        """Model the switch path's own memory traffic.
+
+        Cache pollution: random lines of kernel memory are touched.
+        Prefetcher pollution: the fixed switch-path IPs replay (occupying
+        their slots, learning nothing — their data addresses vary), plus
+        ``variable_ips`` loads at effectively random IPs, each with a 1/256
+        chance of aliasing a trained entry.
+        """
+        n_lines = self.switch_noise.n_lines
+        for _ in range(self.noise.switch_cache_lines):
+            line = int(self.os_rng.integers(0, n_lines))
+            self.access_port(self.kernel_space.translate(self.switch_noise.line_addr(line)))
+        # Switch-path code loops over task/mm state, so each fixed IP issues
+        # several loads per switch: a re-allocated fixed entry immediately
+        # reaches confidence 1 and is no longer a preferred eviction victim.
+        # (This is what makes a full-table covert channel lose ~6 of its 24
+        # trained entries per switch — the paper's >25 % error rate, §7.2.)
+        ips = [ip for ip in self.switch_path_ips for _ in range(2)] + [
+            int(self.os_rng.integers(0, 1 << 30)) for _ in range(variable_ips)
+        ]
+        self._kernel_prefetcher_noise(ips)
+
+    def _kernel_prefetcher_noise(self, ips: list[int]) -> None:
+        """Kernel loads (random data lines) at the given IPs."""
+        n_lines = self.switch_noise.n_lines
+        for ip in ips:
+            line = int(self.os_rng.integers(0, n_lines))
+            vaddr = self.switch_noise.line_addr(line)
+            event = LoadEvent(
+                ip=ip,
+                vaddr=vaddr,
+                paddr=self.kernel_space.translate(vaddr),
+                hit_level=MemoryLevel.LLC,
+                asid=self.kernel_space.asid,
+            )
+            self.feed_port(event)
+
+
+# --------------------------------------------------------------------- #
+# Taps: obs + sanitize ride the published event stream                    #
+# --------------------------------------------------------------------- #
+
+
+class TracerTap:
+    """Translates published kernel events into structured trace events.
+
+    Registered *before* the sanitizer tap, preserving the pre-kernel
+    emit-then-audit order on every load and switch.
+    """
+
+    __slots__ = ("tracer", "clock")
+
+    def __init__(self, tracer, clock) -> None:
+        self.tracer = tracer
+        self.clock = clock
+
+    def __call__(self, ev) -> None:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        from repro.obs.events import Clflush, ContextSwitch, LoadTraced, PrefetchIssued
+
+        kind = type(ev)
+        if kind is LoadRetired:
+            tracer.emit(
+                LoadTraced(
+                    cycle=self.clock.cycles,
+                    ip=ev.ip,
+                    vaddr=ev.vaddr,
+                    paddr=ev.translation.paddr,
+                    level=int(ev.result.level),
+                    latency=ev.latency,
+                    tlb_hit=ev.translation.tlb_hit,
+                    fenced=ev.fenced,
+                    asid=ev.ctx.space.asid,
+                )
+            )
+        elif kind is PrefetchDispatched:
+            tracer.emit(
+                PrefetchIssued(
+                    cycle=self.clock.cycles,
+                    source=ev.request.source,
+                    paddr=ev.request.paddr,
+                    trigger_ip=ev.trigger_ip,
+                )
+            )
+        elif kind is LineFlushed:
+            tracer.emit(Clflush(cycle=self.clock.cycles, vaddr=ev.vaddr, paddr=ev.paddr))
+        elif kind is SwitchCompleted:
+            tracer.emit(
+                ContextSwitch(
+                    cycle=self.clock.cycles,
+                    from_ctx=ev.from_name,
+                    to_ctx=ev.to_name,
+                    cross_space=ev.cross_space,
+                )
+            )
+
+
+class SanitizerTap:
+    """Feeds the runtime invariant auditor from the published stream."""
+
+    __slots__ = ("sanitizer",)
+
+    def __init__(self, sanitizer: Sanitizer) -> None:
+        self.sanitizer = sanitizer
+
+    def __call__(self, ev) -> None:
+        kind = type(ev)
+        if kind is LoadRetired:
+            self.sanitizer.after_load(ev.event, ev.translation, ev.issued)
+        elif kind is SwitchCompleted:
+            self.sanitizer.after_switch()

@@ -1,0 +1,50 @@
+"""Topology descriptors: what a kernel instance is simulating.
+
+Today every machine is one logical core in front of a private L1/L2 and
+a shared (but single-client) LLC.  The descriptor exists so the planned
+cross-core work (XPT-style channels, adversarial prefetch) is a
+component-*wiring* change — two ``CoreDescriptor``\\ s sharing one LLC
+component — rather than another ``Machine`` rewrite.  ``MachineBatch``
+lanes are *trials*, not cores: each lane instantiates this topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CoreDescriptor:
+    """One logical core: a name plus its private cache levels."""
+
+    name: str = "core0"
+    private_levels: tuple[str, ...] = ("l1d", "l2")
+
+
+@dataclass(frozen=True, slots=True)
+class Topology:
+    """Cores plus what they share.
+
+    ``shared_llc=True`` is the only modeled sharing today; a future
+    multi-core machine adds cores here and wires their memory components
+    at the same LLC.
+    """
+
+    cores: tuple[CoreDescriptor, ...] = field(default_factory=tuple)
+    shared_llc: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValueError("a topology needs at least one core")
+        names = [core.name for core in self.cores]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate core names in topology: {names}")
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+
+def single_core(name: str = "core0") -> Topology:
+    """The current default: one logical core, shared LLC."""
+    return Topology(cores=(CoreDescriptor(name=name),), shared_llc=True)

@@ -1,12 +1,18 @@
-"""The simulated machine: one logical core and its shared memory subsystem.
+"""The simulated machine: a facade over one event-kernel lane.
 
-The `Machine` owns the global cycle clock and the load path:
+The `Machine` keeps its seed-era public API — construction, ``load``,
+``clflush``, ``context_switch``, spans, metrics — but the work happens in
+:mod:`repro.cpu.kernel`: a load becomes a ``LoadIssued`` event dispatched
+through the kernel's FIFO queue to the MMU, memory, prefetch and retire
+components, and the tracer/sanitizer observe the published event stream
+as taps instead of being called inline.
 
-``load(ctx, ip, vaddr)`` → TLB translate → cache-hierarchy access →
-prefetcher observation → prefetch fills → noisy measured latency.
+``load(ctx, ip, vaddr)`` → ``LoadIssued`` → TLB translate →
+cache-hierarchy access → prefetcher observation → prefetch fills →
+``LoadRetired`` with the noisy measured latency.
 
-Two modelling rules from the paper are enforced here rather than in the
-prefetcher itself:
+Two modelling rules from the paper are enforced in the prefetch component
+rather than in the prefetcher itself:
 
 * a TLB-missing access does **not** update prefetcher state (§4.3);
 * a context switch flushes non-global TLB entries and injects the switch's
@@ -14,45 +20,66 @@ prefetcher itself:
   paper blames for cross-process Prime+Probe degradation, §5.1, and for the
   24-entry covert channel's >25 % error rate, §7.2) — but never flushes the
   IP-stride table, unless the §8.3 mitigation is enabled.
+
+Equivalence with the pre-kernel machine is pinned byte-for-byte by
+``tests/test_kernel_equivalence.py`` against committed golden traces.
 """
 
 from __future__ import annotations
 
 from repro.cpu.code import CodeRegion
 from repro.cpu.context import ThreadContext
+from repro.cpu.kernel.clock import KernelClock
+from repro.cpu.kernel.components import (
+    CLEAR_PREFETCHER_CYCLES_PER_ENTRY,
+    CLFLUSH_CYCLES,
+    CONTEXT_SWITCH_CYCLES,
+    MemoryComponent,
+    MMUComponent,
+    OSComponent,
+    PrefetchComponent,
+    RetireComponent,
+    SanitizerTap,
+    TracerTap,
+)
+from repro.cpu.kernel.core import SimKernel
+from repro.cpu.kernel.events import FlushIssued, LoadIssued, SwitchIssued
 from repro.cpu.timing import TimingModel
+from repro.memsys.addr import line_index
 from repro.memsys.hierarchy import CacheHierarchy, MemoryLevel
 from repro.mmu.address_space import AddressSpace
 from repro.mmu.aslr import Aslr
 from repro.mmu.buffer import Buffer
 from repro.mmu.page_table import PhysicalMemory
 from repro.mmu.tlb import TLB
-from repro.obs.events import Clflush, ContextSwitch, LoadTraced, PrefetchIssued
 from repro.obs.metrics import Histogram, MetricsRegistry, latency_bounds, snapshot
 from repro.obs.profiler import Span, SpanProfile
 from repro.obs.tracer import Tracer, resolve_tracer
-from repro.params import CACHE_LINE_SIZE, PAGE_SIZE, DEFAULT_MACHINE, MachineParams
+from repro.params import PAGE_SIZE, DEFAULT_MACHINE, MachineParams
 from repro.prefetch.adjacent import AdjacentPrefetcher
-from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest
+from repro.prefetch.base import Prefetcher
 from repro.prefetch.dcu import DCUPrefetcher
 from repro.prefetch.ip_stride import IPStridePrefetcher
 from repro.prefetch.streamer import StreamerPrefetcher
 from repro.sanitize.sanitizer import Sanitizer, sanitize_enabled
 from repro.utils.rng import derive_rng, make_rng
 
-#: Cycle cost of a clflush instruction (order of an LLC round trip).
-CLFLUSH_CYCLES = 40
-
-#: Fixed architectural cost of a context switch, before memory noise.
-CONTEXT_SWITCH_CYCLES = 1500
-
-#: Cost of the proposed clear-ip-prefetcher instruction: one cycle per
-#: history entry (paper §8.3 assumes C_clear = 24).
-CLEAR_PREFETCHER_CYCLES_PER_ENTRY = 1
+__all__ = [
+    "CLEAR_PREFETCHER_CYCLES_PER_ENTRY",
+    "CLFLUSH_CYCLES",
+    "CONTEXT_SWITCH_CYCLES",
+    "Machine",
+    "line_of",
+]
 
 
 class Machine:
-    """A simulated Intel machine (one logical core's view)."""
+    """A simulated Intel machine (one logical core's view).
+
+    Pass ``kernel=`` to join an existing :class:`SimKernel` as a new lane
+    (how :class:`~repro.cpu.kernel.batch.MachineBatch` steps many trials
+    through one kernel); by default each machine owns a private kernel.
+    """
 
     def __init__(
         self,
@@ -60,6 +87,7 @@ class Machine:
         seed: int | None = None,
         sanitize: bool | None = None,
         trace: Tracer | bool | None = None,
+        kernel: SimKernel | None = None,
     ) -> None:
         self.params = params
         self.rng = make_rng(seed)
@@ -70,7 +98,7 @@ class Machine:
         self.kaslr = Aslr(derive_rng(self.rng, "kaslr"), enabled=params.aslr_enabled)
         self.hierarchy = CacheHierarchy(params)
         self.tlb = TLB(params.tlb_entries, params.page_walk_latency)
-        self.ip_stride = IPStridePrefetcher(
+        ip_stride = IPStridePrefetcher(
             params.prefetcher, enable_next_page=params.enable_next_page_prefetcher
         )
         self.noise_prefetchers: list[Prefetcher] = []
@@ -80,6 +108,14 @@ class Machine:
             self.noise_prefetchers.append(AdjacentPrefetcher())
         if params.enable_streamer_prefetcher:
             self.noise_prefetchers.append(StreamerPrefetcher())
+
+        #: The event kernel and this machine's lane in it.  The lane's
+        #: clock is the single source of simulated time: ``cycles``,
+        #: ``seconds()``, the timer-interrupt deadline and span timestamps
+        #: all read through it.
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self.lane = self.kernel.add_lane(KernelClock())
+        self._kernel_clock = self.kernel.clock_of(self.lane)
 
         #: Structured tracing (repro.obs); NULL_TRACER when off, so every
         #: hook site pays a single ``enabled`` attribute check.
@@ -94,15 +130,9 @@ class Machine:
         #: Measured-latency histogram straddling the LLC-hit threshold;
         #: always populated — one bisect over ~5 bounds per load.
         self.latency_histogram = Histogram(latency_bounds(params))
-        for component in (self.hierarchy, self.tlb, self.ip_stride):
+        for component in (self.hierarchy, self.tlb, ip_stride):
             component.tracer = self.tracer
-            component.clock = self._clock
-
-        #: Runtime invariant auditing (repro.sanitize); ``None`` when off, so
-        #: the hot path pays a single identity test per load.
-        self.sanitizer: Sanitizer | None = (
-            Sanitizer(self) if sanitize_enabled(sanitize) else None
-        )
+            component.clock = self._kernel_clock.now
 
         #: Per-machine ASID sequence: kernel gets 1, user spaces 2, 3, ...
         #: (a process-global counter would make same-seed traces differ).
@@ -111,8 +141,6 @@ class Machine:
             "kernel", self.physical, aslr=self.kaslr, global_pages=True,
             asid=self._alloc_asid(),
         )
-        if self.sanitizer is not None:
-            self.sanitizer.register_space(self.kernel_space)
         # The kernel working set touched by switch/IRQ paths.  It must be
         # large: a tiny pool would revisit the same lines every switch, so a
         # single page that happens to be slice-hash-equivalent to a victim
@@ -127,18 +155,129 @@ class Machine:
             int(self._os_rng.integers(0, 1 << 30))
             for _ in range(params.noise.switch_fixed_ips)
         ]
-        self.cycles = 0
-        self.context_switches = 0
-        self.timer_interrupts = 0
-        self.current: ThreadContext | None = None
-        #: §8.3 mitigation: execute clear-ip-prefetcher on every domain switch.
-        self.flush_prefetcher_on_switch = False
-        #: Timer-interrupt period (~100 µs tick).  Each tick runs a short
-        #: kernel IRQ path whose loads add background cache/prefetcher noise;
-        #: long-running measurement phases therefore see more disturbance
-        #: than short ones, as on real hardware.
-        self.timer_period_cycles = 300_000
-        self._next_timer = self.timer_period_cycles
+        self._wire_kernel(ip_stride)
+
+        #: Runtime invariant auditing (repro.sanitize); ``None`` when off, so
+        #: the published-event tap is simply never registered.  Built after
+        #: the kernel is wired — the checkers read the components' state
+        #: through the facade properties — and tapped after the tracer,
+        #: preserving emit-then-audit order.
+        self.sanitizer: Sanitizer | None = (
+            Sanitizer(self) if sanitize_enabled(sanitize) else None
+        )
+        if self.sanitizer is not None:
+            self.sanitizer.register_space(self.kernel_space)
+            self.kernel.add_tap(self.lane, SanitizerTap(self.sanitizer))
+
+    # ------------------------------------------------------------------ #
+    # Kernel assembly                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _wire_kernel(self, ip_stride: IPStridePrefetcher) -> None:
+        """Register this lane's components and wire their ports and taps."""
+        kernel, lane = self.kernel, self.lane
+        self._mmu = kernel.register(lane, MMUComponent(self.tlb))
+        self._memsys = kernel.register(lane, MemoryComponent(self.hierarchy))
+        self._prefetch = kernel.register(
+            lane, PrefetchComponent(ip_stride, self.noise_prefetchers)
+        )
+        self._retire = kernel.register(
+            lane, RetireComponent(self._timing, self.latency_histogram)
+        )
+        self._os = kernel.register(
+            lane,
+            OSComponent(
+                noise=self.params.noise,
+                os_rng=self._os_rng,
+                kernel_space=self.kernel_space,
+                switch_noise=self._switch_noise,
+                switch_path_ips=self._switch_path_ips,
+                clear_cost_cycles=(
+                    CLEAR_PREFETCHER_CYCLES_PER_ENTRY * self.params.prefetcher.n_entries
+                ),
+            ),
+        )
+        # Ports: the narrow buses components are allowed to talk over
+        # (flow lint rule RL019 flags anything wider).
+        self._mmu.tick_port = self._os.maybe_tick
+        self._prefetch.insert_port = self._memsys.insert_prefetch
+        self._os.access_port = self._memsys.demand_access
+        self._os.feed_port = self._prefetch.feed_kernel
+        self._os.clear_port = self._prefetch.clear
+        self._os.flush_tlb_port = self._mmu.flush
+        # Taps: the tracer taps here; the sanitizer (built after wiring)
+        # taps second in ``__init__``, preserving emit-then-audit order.
+        kernel.add_tap(lane, TracerTap(self.tracer, self._kernel_clock))
+
+    @property
+    def ip_stride(self) -> IPStridePrefetcher:
+        """The IP-stride prefetcher, owned by the kernel's prefetch component.
+
+        Settable: the §8.2 defenses swap in a hardened variant
+        (``harden_machine``, ``disable_prefetcher``) after construction,
+        and the swap must reach the component actually observing loads.
+        """
+        return self._prefetch.ip_stride
+
+    @ip_stride.setter
+    def ip_stride(self, prefetcher: IPStridePrefetcher) -> None:
+        self._prefetch.ip_stride = prefetcher
+
+    # ------------------------------------------------------------------ #
+    # Clock and OS state (delegated to the kernel lane)                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cycles(self) -> int:
+        """Simulated cycle count (the lane clock is the source of truth)."""
+        return self._kernel_clock.cycles
+
+    @cycles.setter
+    def cycles(self, value: int) -> None:
+        self._kernel_clock.cycles = value
+
+    @property
+    def current(self) -> ThreadContext | None:
+        """The context the logical core is running."""
+        return self._os.current
+
+    @current.setter
+    def current(self, ctx: ThreadContext | None) -> None:
+        self._os.current = ctx
+
+    @property
+    def context_switches(self) -> int:
+        return self._os.context_switches
+
+    @context_switches.setter
+    def context_switches(self, value: int) -> None:
+        self._os.context_switches = value
+
+    @property
+    def timer_interrupts(self) -> int:
+        return self._os.timer_interrupts
+
+    @timer_interrupts.setter
+    def timer_interrupts(self, value: int) -> None:
+        self._os.timer_interrupts = value
+
+    @property
+    def flush_prefetcher_on_switch(self) -> bool:
+        """§8.3 mitigation: execute clear-ip-prefetcher on every switch."""
+        return self._os.flush_prefetcher_on_switch
+
+    @flush_prefetcher_on_switch.setter
+    def flush_prefetcher_on_switch(self, value: bool) -> None:
+        self._os.flush_prefetcher_on_switch = value
+
+    @property
+    def timer_period_cycles(self) -> int:
+        """Timer-interrupt period (~100 µs tick) on the lane clock."""
+        return self._kernel_clock.tick_period
+
+    @timer_period_cycles.setter
+    def timer_period_cycles(self, value: int) -> None:
+        self._kernel_clock.tick_period = value
 
     # ------------------------------------------------------------------ #
     # Construction helpers                                                #
@@ -203,88 +342,14 @@ class Machine:
         Prime+Probe implementations traverse eviction sets as linked lists
         for the same reason.
         """
-        self._maybe_timer_interrupt()
-        translation = self.tlb.translate(ctx.space, vaddr)
-        result = self.hierarchy.access(translation.paddr)
-        event: LoadEvent | None = None
-        issued: list[PrefetchRequest] = []
-        if not fenced:
-            event = LoadEvent(
-                ip=ip,
-                vaddr=vaddr,
-                paddr=translation.paddr,
-                hit_level=result.level,
-                asid=ctx.space.asid,
-            )
-            if translation.tlb_hit:
-                issued = self._feed_prefetchers(ctx, event)
-            else:
-                # §4.3: a TLB-missing first touch creates the translation but
-                # leaves the prefetcher state untouched — only the next-page
-                # prefetcher may carry a pattern across.
-                for request in self.ip_stride.observe_tlb_miss(event):
-                    if self.tracer.enabled:
-                        self.tracer.emit(
-                            PrefetchIssued(
-                                cycle=self.cycles,
-                                source=request.source,
-                                paddr=request.paddr,
-                                trigger_ip=ip,
-                            )
-                        )
-                    self.hierarchy.insert_prefetch(request.paddr)
-                    issued.append(request)
-        latency = self._timing.measured(translation.latency + result.latency)
-        self._charge(ctx, latency)
-        self.latency_histogram.observe(latency)
-        if self.tracer.enabled:
-            self.tracer.emit(
-                LoadTraced(
-                    cycle=self.cycles,
-                    ip=ip,
-                    vaddr=vaddr,
-                    paddr=translation.paddr,
-                    level=int(result.level),
-                    latency=latency,
-                    tlb_hit=translation.tlb_hit,
-                    fenced=fenced,
-                    asid=ctx.space.asid,
-                )
-            )
-        if self.sanitizer is not None:
-            self.sanitizer.after_load(event, translation, issued)
-        return latency
-
-    def _feed_prefetchers(self, ctx: ThreadContext, event: LoadEvent) -> list[PrefetchRequest]:
-        def translate(vaddr: int) -> int | None:
-            try:
-                return ctx.space.translate(vaddr)
-            except KeyError:
-                return None
-
-        issued: list[PrefetchRequest] = []
-        for prefetcher in (self.ip_stride, *self.noise_prefetchers):
-            for request in prefetcher.observe(event, translate):
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        PrefetchIssued(
-                            cycle=self.cycles,
-                            source=request.source,
-                            paddr=request.paddr,
-                            trigger_ip=event.ip,
-                        )
-                    )
-                self.hierarchy.insert_prefetch(request.paddr)
-                issued.append(request)
-        return issued
+        done = self.kernel.submit(LoadIssued(self.lane, ctx, ip, vaddr, fenced))
+        if done is None:
+            raise RuntimeError("load pipeline retired no event")
+        return done.latency
 
     def clflush(self, ctx: ThreadContext, vaddr: int) -> None:
         """Flush the line holding ``vaddr`` from the whole hierarchy."""
-        paddr = ctx.space.translate(vaddr)
-        self.hierarchy.clflush(paddr)
-        self._charge(ctx, CLFLUSH_CYCLES)
-        if self.tracer.enabled:
-            self.tracer.emit(Clflush(cycle=self.cycles, vaddr=vaddr, paddr=paddr))
+        self.kernel.submit(FlushIssued(self.lane, ctx, vaddr))
 
     def flush_buffer(self, ctx: ThreadContext, buffer: Buffer) -> None:
         """clflush every line of ``buffer`` (the Flush stage of F+R)."""
@@ -293,7 +358,7 @@ class Machine:
 
     def warm_tlb(self, ctx: ThreadContext, vaddr: int) -> None:
         """Install a translation without memory-system side effects."""
-        self.tlb.warm(ctx.space, vaddr)
+        self._mmu.warm(ctx.space, vaddr)
 
     def warm_buffer_tlb(self, ctx: ThreadContext, buffer: Buffer) -> None:
         """TLB-warm every page of ``buffer`` (the paper's threat-model state)."""
@@ -304,142 +369,27 @@ class Machine:
         """Account for non-memory compute time."""
         if cycles < 0:
             raise ValueError(f"cannot advance by negative cycles: {cycles}")
-        self.cycles += cycles
-        if self.current is not None:
-            self.current.cpu_cycles += cycles
-
-    def _charge(self, ctx: ThreadContext, cycles: int) -> None:
-        self.cycles += cycles
-        ctx.cpu_cycles += cycles
+        current = self._os.current
+        if current is not None:
+            self._kernel_clock.charge(current, cycles)
+        else:
+            self._kernel_clock.advance(cycles)
 
     # ------------------------------------------------------------------ #
     # Context switching                                                   #
     # ------------------------------------------------------------------ #
 
     def context_switch(self, to_ctx: ThreadContext) -> None:
-        """Switch the logical core to ``to_ctx``.
-
-        Same-address-space switches (threads of one process) keep the TLB;
-        cross-space switches flush non-global entries.  Both kinds run the
-        kernel's switch path, whose loads pollute the caches and the
-        prefetcher table.
-        """
-        from_ctx = self.current
-        if from_ctx is to_ctx:
-            return
-        self.context_switches += 1
-        self.cycles += CONTEXT_SWITCH_CYCLES
-        cross_space = from_ctx is not None and not from_ctx.same_address_space(to_ctx)
-        if cross_space:
-            self.tlb.flush(keep_global=True)
-        # Cross-process switches run the heavier mm-switch path with
-        # data-dependent kernel activity; same-space (thread) switches only
-        # replay the fixed switch code.
-        variable_ips = self.params.noise.switch_variable_ips if cross_space else 0
-        self._inject_switch_noise(variable_ips)
-        if self.flush_prefetcher_on_switch:
-            self.run_prefetcher_clear()
-        self.current = to_ctx
-        if self.tracer.enabled:
-            self.tracer.emit(
-                ContextSwitch(
-                    cycle=self.cycles,
-                    from_ctx=None if from_ctx is None else from_ctx.name,
-                    to_ctx=to_ctx.name,
-                    cross_space=cross_space,
-                )
-            )
-        if self.sanitizer is not None:
-            self.sanitizer.after_switch()
+        """Switch the logical core to ``to_ctx`` (see ``OSComponent``)."""
+        self.kernel.submit(SwitchIssued(self.lane, to_ctx))
 
     def run_prefetcher_clear(self) -> None:
         """Execute the proposed privileged clear-ip-prefetcher instruction."""
-        self.cycles += CLEAR_PREFETCHER_CYCLES_PER_ENTRY * self.params.prefetcher.n_entries
-        self.ip_stride.clear()
-
-    def _maybe_timer_interrupt(self) -> None:
-        """Run the kernel timer-IRQ path when the tick has elapsed.
-
-        The IRQ handler touches a few kernel lines and executes one load at
-        an effectively random kernel IP; with probability 1/256 that IP
-        aliases (and clobbers) a trained prefetcher entry.  A backlog of
-        elapsed ticks (e.g. after a long ``advance``) fires only once: the
-        table's disturbance saturates, and the entries the backlogged ticks
-        would have clobbered are retrained before the next observation
-        anyway.
-        """
-        if self.params.noise.switch_fixed_ips == 0:
-            # Quiet machines (reverse-engineering benches) take no IRQs.
-            self._next_timer = self.cycles + self.timer_period_cycles
-            return
-        if self.cycles < self._next_timer:
-            return
-        self.timer_interrupts += 1
-        self._next_timer = self.cycles + self.timer_period_cycles
-        n_lines = self._switch_noise.n_lines
-        for _ in range(8):
-            line = int(self._os_rng.integers(0, n_lines))
-            self.hierarchy.access(self.kernel_space.translate(self._switch_noise.line_addr(line)))
-        # Which IRQ handler ran is data-dependent: one variable-IP load.
-        self._kernel_prefetcher_noise([int(self._os_rng.integers(0, 1 << 30))])
-
-    def _inject_switch_noise(self, variable_ips: int) -> None:
-        """Model the switch path's own memory traffic.
-
-        Cache pollution: random lines of kernel memory are touched.
-        Prefetcher pollution: the fixed switch-path IPs replay (occupying
-        their slots, learning nothing — their data addresses vary), plus
-        ``variable_ips`` loads at effectively random IPs, each with a 1/256
-        chance of aliasing a trained entry.
-        """
-        noise = self.params.noise
-        n_lines = self._switch_noise.n_lines
-        for _ in range(noise.switch_cache_lines):
-            line = int(self._os_rng.integers(0, n_lines))
-            paddr = self.kernel_space.translate(self._switch_noise.line_addr(line))
-            self.hierarchy.access(paddr)
-        # Switch-path code loops over task/mm state, so each fixed IP issues
-        # several loads per switch: a re-allocated fixed entry immediately
-        # reaches confidence 1 and is no longer a preferred eviction victim.
-        # (This is what makes a full-table covert channel lose ~6 of its 24
-        # trained entries per switch — the paper's >25 % error rate, §7.2.)
-        ips = [ip for ip in self._switch_path_ips for _ in range(2)] + [
-            int(self._os_rng.integers(0, 1 << 30)) for _ in range(variable_ips)
-        ]
-        self._kernel_prefetcher_noise(ips)
-
-    def _kernel_prefetcher_noise(self, ips: list[int]) -> None:
-        """Kernel loads (random data lines) at the given IPs."""
-        n_lines = self._switch_noise.n_lines
-        for ip in ips:
-            line = int(self._os_rng.integers(0, n_lines))
-            vaddr = self._switch_noise.line_addr(line)
-            event = LoadEvent(
-                ip=ip,
-                vaddr=vaddr,
-                paddr=self.kernel_space.translate(vaddr),
-                hit_level=MemoryLevel.LLC,
-                asid=self.kernel_space.asid,
-            )
-            for request in self.ip_stride.observe(event, lambda _vaddr: None):
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        PrefetchIssued(
-                            cycle=self.cycles,
-                            source=request.source,
-                            paddr=request.paddr,
-                            trigger_ip=ip,
-                        )
-                    )
-                self.hierarchy.insert_prefetch(request.paddr)
+        self._os.run_prefetcher_clear()
 
     # ------------------------------------------------------------------ #
     # Observability                                                       #
     # ------------------------------------------------------------------ #
-
-    def _clock(self) -> int:
-        """Cycle source handed to instrumented components."""
-        return self.cycles
 
     def span(self, name: str) -> Span:
         """Open a cycle-attribution span: ``with machine.span("train"): ...``
@@ -494,7 +444,7 @@ class Machine:
 
     def seconds(self) -> float:
         """Wall-clock equivalent of the elapsed cycle count."""
-        return self.cycles / self.params.frequency_hz
+        return self._kernel_clock.seconds(self.params.frequency_hz)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Machine({self.params.name}, cycles={self.cycles})"
@@ -502,4 +452,4 @@ class Machine:
 
 def line_of(vaddr: int) -> int:
     """Cache-line number of a virtual address (convenience for experiments)."""
-    return vaddr // CACHE_LINE_SIZE
+    return line_index(vaddr)

@@ -10,11 +10,13 @@ cache/prefetcher noise — through :meth:`Machine.context_switch`.
 from __future__ import annotations
 
 from repro.cpu.context import ThreadContext
+from repro.cpu.kernel.clock import DEFAULT_TICK_CYCLES
 from repro.cpu.machine import Machine
 
-#: Default scheduling period: ~100 µs, the syscall/scheduling period the
-#: paper's §8.3 cost model assumes for a modern OS.
-DEFAULT_QUANTUM_CYCLES = 300_000
+#: Default scheduling period: the kernel clock's ~100 µs tick.  One
+#: constant serves both the timer-interrupt period and the scheduler
+#: quantum — they model the same OS tick (paper §8.3 cost model).
+DEFAULT_QUANTUM_CYCLES = DEFAULT_TICK_CYCLES
 
 
 class Scheduler:

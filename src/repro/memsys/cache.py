@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.memsys import addr
 from repro.memsys.replacement import ReplacementPolicy, make_policy
 from repro.params import CacheGeometry
 
@@ -99,14 +100,14 @@ class Cache:
 
     def set_index(self, paddr: int) -> int:
         """Set index of the line containing physical address ``paddr``."""
-        return (paddr // self.line_size) % self.n_sets
+        return addr.set_index(paddr, self.line_size, self.n_sets)
 
     def _tag(self, paddr: int) -> int:
-        return (paddr // self.line_size) // self.n_sets
+        return addr.cache_tag(paddr, self.line_size, self.n_sets)
 
     def line_address(self, paddr: int) -> int:
         """Byte address of the start of the line containing ``paddr``."""
-        return (paddr // self.line_size) * self.line_size
+        return addr.line_base(paddr, self.line_size)
 
     def lookup(self, paddr: int) -> bool:
         """Access the line holding ``paddr``; True on hit (updates LRU/stats)."""
@@ -127,7 +128,7 @@ class Cache:
         evicted_tag = self._sets[index].insert(self._tag(paddr))
         if evicted_tag is None:
             return None
-        return (evicted_tag * self.n_sets + index) * self.line_size
+        return addr.tag_to_line_base(evicted_tag, index, self.line_size, self.n_sets)
 
     def invalidate(self, paddr: int) -> bool:
         """Remove the line holding ``paddr``; True if it was resident."""
@@ -146,7 +147,7 @@ class Cache:
         """Iterate over the byte addresses of all resident lines."""
         for index, cache_set in enumerate(self._sets):
             for tag in cache_set.resident_tags():
-                yield (tag * self.n_sets + index) * self.line_size
+                yield addr.tag_to_line_base(tag, index, self.line_size, self.n_sets)
 
     def reset_stats(self) -> None:
         self.hits = 0

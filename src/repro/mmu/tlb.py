@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.memsys.addr import page_frame, page_split
 from repro.mmu.address_space import AddressSpace
 from repro.obs.tracer import NULL_TRACER, zero_clock
 from repro.params import PAGE_SIZE
@@ -27,7 +28,7 @@ class TranslationResult:
 
     @property
     def frame(self) -> int:
-        return self.paddr // PAGE_SIZE
+        return page_frame(self.paddr)
 
 
 class TLB:
@@ -56,7 +57,7 @@ class TLB:
 
     def translate(self, space: AddressSpace, vaddr: int) -> TranslationResult:
         """Translate ``vaddr`` in ``space``; walks the page table on a miss."""
-        vpage, offset = divmod(vaddr, PAGE_SIZE)
+        vpage, offset = page_split(vaddr)
         key = (space.asid, vpage)
         frame = self._entries.get(key)
         if frame is not None:
@@ -79,7 +80,7 @@ class TLB:
 
     def warm(self, space: AddressSpace, vaddr: int) -> None:
         """Pre-install the translation for ``vaddr`` without timing effects."""
-        vpage = vaddr // PAGE_SIZE
+        vpage = page_frame(vaddr)
         frame = space.page_table.frame_of(vpage)
         if frame is None:
             raise KeyError(f"page fault: {vaddr:#x} not mapped in {space.name!r}")
@@ -92,11 +93,11 @@ class TLB:
 
     def is_resident(self, space: AddressSpace, vaddr: int) -> bool:
         """Non-mutating residency check."""
-        return (space.asid, vaddr // PAGE_SIZE) in self._entries
+        return (space.asid, page_frame(vaddr)) in self._entries
 
     def invalidate_page(self, space: AddressSpace, vaddr: int) -> None:
         """INVLPG: drop one translation."""
-        key = (space.asid, vaddr // PAGE_SIZE)
+        key = (space.asid, page_frame(vaddr))
         if key in self._entries:
             del self._entries[key]
             self._order.remove(key)

@@ -6,6 +6,7 @@ of a block fetches its pair line.  Reach: one line — noise only.
 
 from __future__ import annotations
 
+from repro.memsys.addr import line_base, same_block
 from repro.memsys.hierarchy import MemoryLevel
 from repro.params import CACHE_LINE_SIZE
 from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
@@ -24,9 +25,9 @@ class AdjacentPrefetcher(Prefetcher):
     def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
         if event.hit_level is not MemoryLevel.DRAM:
             return []
-        line_addr = (event.paddr // CACHE_LINE_SIZE) * CACHE_LINE_SIZE
+        line_addr = line_base(event.paddr)
         pair = line_addr ^ CACHE_LINE_SIZE  # buddy within the 128 B block
-        if pair // _BLOCK_SIZE != line_addr // _BLOCK_SIZE:
+        if not same_block(pair, line_addr, _BLOCK_SIZE):
             return []
         self.prefetches_issued += 1
         return [PrefetchRequest(paddr=pair, source=self.name)]

@@ -7,7 +7,7 @@ line, which is why the attacks use strides greater than four lines.
 
 from __future__ import annotations
 
-from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.memsys.addr import line_addr, line_index, same_page
 from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
 
 
@@ -21,13 +21,13 @@ class DCUPrefetcher(Prefetcher):
         self.prefetches_issued = 0
 
     def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
-        line = event.paddr // CACHE_LINE_SIZE
+        line = line_index(event.paddr)
         previous = self._last_line
         self._last_line = line
         if previous is None or line != previous + 1:
             return []
-        target = (line + 1) * CACHE_LINE_SIZE
-        if target // PAGE_SIZE != event.paddr // PAGE_SIZE:
+        target = line_addr(line + 1)
+        if not same_page(target, event.paddr):
             return []
         self.prefetches_issued += 1
         return [PrefetchRequest(paddr=target, source=self.name)]

@@ -32,10 +32,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.memsys.addr import page_frame, same_page
 from repro.memsys.replacement import make_policy
 from repro.obs.events import EntrySnapshot, TableTransition
 from repro.obs.tracer import NULL_TRACER, zero_clock
-from repro.params import PAGE_SIZE, IPStrideParams
+from repro.params import IPStrideParams
 from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
 from repro.utils.bits import low_bits, sign_extend
 
@@ -52,7 +53,7 @@ class IPStrideEntry:
 
     @property
     def last_frame(self) -> int:
-        return self.last_paddr // PAGE_SIZE
+        return page_frame(self.last_paddr)
 
 
 class IPStridePrefetcher(Prefetcher):
@@ -162,7 +163,7 @@ class IPStridePrefetcher(Prefetcher):
         entry = self._slots[slot]
         assert entry is not None
         requests: list[PrefetchRequest] = []
-        on_next_virtual_page = event.vaddr // PAGE_SIZE == entry.last_vaddr // PAGE_SIZE + 1
+        on_next_virtual_page = page_frame(event.vaddr) == page_frame(entry.last_vaddr) + 1
         if (
             self.enable_next_page
             and on_next_virtual_page
@@ -179,7 +180,7 @@ class IPStridePrefetcher(Prefetcher):
             self.prefetches_dropped_stride_cap += 1
             return
         target = paddr + stride
-        if target // PAGE_SIZE != paddr // PAGE_SIZE:
+        if not same_page(target, paddr):
             self.prefetches_dropped_page_cross += 1
             return
         self.prefetches_issued += 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.params import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.memsys.addr import line_addr, line_index, page_frame
 from repro.prefetch.base import LoadEvent, Prefetcher, PrefetchRequest, TranslateFn
 
 _MAX_TRACKED_PAGES = 16
@@ -34,8 +34,8 @@ class StreamerPrefetcher(Prefetcher):
         self.prefetches_issued = 0
 
     def observe(self, event: LoadEvent, translate: TranslateFn) -> list[PrefetchRequest]:
-        frame = event.paddr // PAGE_SIZE
-        line = event.paddr // CACHE_LINE_SIZE
+        frame = page_frame(event.paddr)
+        line = line_index(event.paddr)
         stream = self._streams.get(frame)
         if stream is None:
             if len(self._streams) >= _MAX_TRACKED_PAGES:
@@ -59,8 +59,8 @@ class StreamerPrefetcher(Prefetcher):
 
         requests = []
         for ahead in range(1, _LINES_AHEAD + 1):
-            target = (line + ahead * stream.direction) * CACHE_LINE_SIZE
-            if target // PAGE_SIZE != frame or target < 0:
+            target = line_addr(line + ahead * stream.direction)
+            if page_frame(target) != frame or target < 0:
                 break
             self.prefetches_issued += 1
             requests.append(PrefetchRequest(paddr=target, source=self.name))

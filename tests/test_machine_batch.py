@@ -1,0 +1,158 @@
+"""MachineBatch: N same-topology trials stepped through one kernel.
+
+The batch is the NumPy-vectorization seam: these tests pin the three
+properties the seam depends on — many lanes share one
+:class:`~repro.cpu.kernel.core.SimKernel`, per-trial state is exposed
+array-shaped, and interleaved stepping is *observably identical* to the
+serial per-seed loop (same seeds → same aggregates, bit for bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.registry import run_trials
+from repro.cpu.kernel import KernelClock, MachineBatch, SimKernel, Topology, single_core
+from repro.cpu.kernel.topology import CoreDescriptor
+from repro.cpu.machine import Machine
+
+
+def _comparable(batch):
+    """Aggregate dict with host wall-clock stripped (it never reproduces)."""
+    return batch.wall_clock_free_dict()
+
+
+# --------------------------------------------------------------------- #
+# Shared-kernel construction                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_batch_of_32_covert_trials_shares_one_kernel() -> None:
+    batch = MachineBatch.of(32, base_seed=100)
+    assert batch.n_lanes == 32
+    assert batch.kernel.n_lanes == 32
+    assert all(machine.kernel is batch.kernel for machine in batch.machines)
+    # Lane indices are distinct and dense.
+    assert sorted(machine.lane for machine in batch.machines) == list(range(32))
+
+    results = batch.run("covert", rounds=2)
+    assert len(results) == 32
+    assert all(result.attack == "covert" for result in results)
+    assert [result.seed for result in results] == [100 + lane for lane in range(32)]
+    # Every lane actually simulated work through the shared kernel.
+    assert bool((batch.kernel.lane_retired() > 0).all())
+
+
+def test_machines_joining_a_shared_kernel_get_distinct_lanes() -> None:
+    kernel = SimKernel()
+    first = Machine(seed=1, kernel=kernel)
+    second = Machine(seed=2, kernel=kernel)
+    assert first.kernel is kernel and second.kernel is kernel
+    assert first.lane != second.lane
+    # Clocks are per-lane: advancing one machine never moves the other.
+    first.advance(1000)
+    assert first.cycles == 1000
+    assert second.cycles == 0
+
+
+def test_batch_rejects_empty_and_nonpositive_sizes() -> None:
+    with pytest.raises(ValueError, match="at least one seed"):
+        MachineBatch([])
+    with pytest.raises(ValueError, match="n_lanes must be positive"):
+        MachineBatch.of(0)
+
+
+# --------------------------------------------------------------------- #
+# Array-shaped lane state (the vectorization seam)                       #
+# --------------------------------------------------------------------- #
+
+
+def test_lane_state_is_array_shaped() -> None:
+    batch = MachineBatch.of(4, base_seed=11)
+    batch.run("covert", rounds=2)
+    state = batch.lane_state()
+    assert set(state) == {
+        "cycles",
+        "events",
+        "retired",
+        "context_switches",
+        "timer_interrupts",
+    }
+    for name, array in state.items():
+        assert isinstance(array, np.ndarray), name
+        assert array.dtype == np.int64, name
+        assert array.shape == (4,), name
+    assert bool((state["cycles"] > 0).all())
+    assert bool((state["events"] >= state["retired"]).all())
+    assert np.array_equal(batch.cycles(), state["cycles"])
+    # The arrays agree with the per-machine scalar facade.
+    assert state["cycles"].tolist() == [m.cycles for m in batch.machines]
+    assert state["context_switches"].tolist() == [
+        m.context_switches for m in batch.machines
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Batched == serial, bit for bit                                         #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "attack,rounds",
+    [
+        ("covert", 4),  # steppable: one rendezvous per step
+        ("variant1", 3),  # steppable: one round per step
+        ("rsa", 3),  # monolithic: exercises the sequential fallback
+    ],
+)
+def test_batch_matches_serial_loop(attack: str, rounds: int) -> None:
+    seeds = [41, 42, 43]
+    batch = MachineBatch(seeds)
+    batched = batch.run(attack, rounds=rounds)
+    serial = [run_trials(attack, seed=seed, rounds=rounds) for seed in seeds]
+    for got, want in zip(batched, serial):
+        assert _comparable(got) == _comparable(want)
+
+
+def test_batch_run_rejects_nonpositive_rounds() -> None:
+    batch = MachineBatch.of(2)
+    with pytest.raises(ValueError, match="rounds must be positive"):
+        batch.run("covert", rounds=0)
+
+
+# --------------------------------------------------------------------- #
+# Topology descriptor                                                    #
+# --------------------------------------------------------------------- #
+
+
+def test_single_core_topology_defaults() -> None:
+    topo = single_core()
+    assert topo.n_cores == 1
+    assert topo.shared_llc is True
+    assert topo.cores[0].name == "core0"
+    assert SimKernel().topology == topo
+
+
+def test_topology_validation() -> None:
+    with pytest.raises(ValueError, match="at least one core"):
+        Topology(cores=())
+    with pytest.raises(ValueError, match="duplicate core names"):
+        Topology(cores=(CoreDescriptor(name="a"), CoreDescriptor(name="a")))
+    topo = Topology(
+        cores=(CoreDescriptor(name="big"), CoreDescriptor(name="little")),
+        shared_llc=False,
+    )
+    assert topo.n_cores == 2
+    batch = MachineBatch.of(2, topology=topo)
+    assert batch.kernel.topology is topo
+
+
+def test_kernel_lane_clocks_are_independent() -> None:
+    kernel = SimKernel()
+    a = kernel.add_lane(KernelClock())
+    b = kernel.add_lane(KernelClock())
+    kernel.clock_of(a).advance(7)
+    assert kernel.clock_of(a).cycles == 7
+    assert kernel.clock_of(b).cycles == 0
+    assert kernel.lane_cycles().tolist() == [7, 0]

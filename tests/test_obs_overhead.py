@@ -16,7 +16,6 @@ from time import perf_counter  # repro: noqa[RL003] — measuring the host is th
 
 import pytest
 
-import repro.cpu.machine as machine_mod
 import repro.obs.events as events_mod
 import repro.prefetch.ip_stride as ip_stride_mod
 from repro.obs.runner import run_attack
@@ -40,14 +39,15 @@ class _Exploding:
 
 #: (module, attribute) of every event class a hook site instantiates.
 _HOOK_EVENT_SITES = [
-    (machine_mod, "LoadTraced"),
-    (machine_mod, "PrefetchIssued"),
-    (machine_mod, "Clflush"),
-    (machine_mod, "ContextSwitch"),
     (ip_stride_mod, "TableTransition"),
     (ip_stride_mod, "EntrySnapshot"),
-    # hierarchy/tlb/sanitizer import their events lazily per call, so
-    # patching the defining module covers them.
+    # The kernel's TracerTap, the hierarchy, the TLB and the sanitizer all
+    # import their events lazily per call (after the ``tracer.enabled``
+    # check), so patching the defining module covers them.
+    (events_mod, "LoadTraced"),
+    (events_mod, "PrefetchIssued"),
+    (events_mod, "Clflush"),
+    (events_mod, "ContextSwitch"),
     (events_mod, "PrefetchFill"),
     (events_mod, "TlbMiss"),
     (events_mod, "SanitizerViolation"),
