@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck leakcheck-scan bench bench-figures campaign campaign-smoke kernel-equivalence check
+.PHONY: test test-sanitize lint lint-fast lint-json lint-changed leakcheck leakcheck-scan bench bench-figures campaign campaign-smoke fleet-smoke kernel-equivalence check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,12 +46,13 @@ leakcheck-scan:
 # the serial-vs-parallel executor comparison -> BENCH_attacks.json, the
 # cold-vs-warm campaign store comparison -> BENCH_campaign.json and the
 # cross-process telemetry contract -> BENCH_telemetry.json and the
-# batched-kernel equivalence/overhead contract -> BENCH_kernel.json.
+# batched-kernel equivalence/overhead contract -> BENCH_kernel.json and
+# the serving-layer latency contract -> BENCH_serve.json.
 # Pre-existing artifacts are snapshotted to *.baseline and diffed with the
 # regression gate (generous tolerance: same-machine wall clocks still
 # wobble under load; the determinism fields are compared exactly
 # regardless).
-BENCH_ARTIFACTS := BENCH_obs.json BENCH_attacks.json BENCH_campaign.json BENCH_telemetry.json BENCH_kernel.json
+BENCH_ARTIFACTS := BENCH_obs.json BENCH_attacks.json BENCH_campaign.json BENCH_telemetry.json BENCH_kernel.json BENCH_serve.json
 
 bench:
 	@for f in $(BENCH_ARTIFACTS); do \
@@ -60,6 +61,7 @@ bench:
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --jobs 2
 	$(PYTHON) benchmarks/bench_telemetry.py --out BENCH_telemetry.json --jobs 2
 	$(PYTHON) benchmarks/bench_kernel.py --out BENCH_kernel.json
+	$(PYTHON) benchmarks/bench_serve.py --out BENCH_serve.json --jobs 2
 	@for f in $(BENCH_ARTIFACTS); do \
 		if [ -f $$f.baseline ]; then \
 			$(PYTHON) -m repro bench compare $$f.baseline $$f --tolerance 0.5 || exit 1; \
@@ -76,6 +78,25 @@ campaign:
 # hits with byte-identical aggregates (asserted inside the benchmark).
 campaign-smoke:
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json --campaign attacks-vs-noise --attacks variant1,sgx --rounds 3 --store campaign-smoke-store
+
+# Fleet fill in miniature (mirrors the CI `fleet-smoke` job): the 24-cell
+# attacks-vs-noise grid filled serially and by two --shard workers in
+# parallel, workers merged, and the two aggregates diffed byte-for-byte;
+# then the serving-layer latency contract over the merged store.
+FLEET_SMOKE_ARGS := attacks-vs-noise --repeats 1 --rounds 6
+fleet-smoke:
+	rm -rf fleet-smoke-store
+	$(PYTHON) -m repro.cli campaign run $(FLEET_SMOKE_ARGS) --store fleet-smoke-store/serial --jobs 2
+	$(PYTHON) -m repro.cli campaign run $(FLEET_SMOKE_ARGS) --shard 0/2 --store fleet-smoke-store/worker-0 --jobs 2 & \
+		$(PYTHON) -m repro.cli campaign run $(FLEET_SMOKE_ARGS) --shard 1/2 --store fleet-smoke-store/worker-1 --jobs 2 & \
+		wait
+	$(PYTHON) -m repro.cli campaign merge fleet-smoke-store/worker-0 fleet-smoke-store/worker-1 --store fleet-smoke-store/merged
+	$(PYTHON) -m repro.cli campaign aggregate $(FLEET_SMOKE_ARGS) --store fleet-smoke-store/serial -o fleet-smoke-store/serial.agg.json
+	$(PYTHON) -m repro.cli campaign aggregate $(FLEET_SMOKE_ARGS) --store fleet-smoke-store/merged -o fleet-smoke-store/merged.agg.json
+	cmp fleet-smoke-store/serial.agg.json fleet-smoke-store/merged.agg.json
+	@echo "fleet-smoke: sharded fill + merge is byte-identical to the serial run"
+	$(PYTHON) benchmarks/bench_serve.py --out BENCH_serve.ci.json --rounds 6 --attacks variant1,covert --readers 20 --requests-per-reader 3
+	@rm -f BENCH_serve.ci.json
 
 # The kernel refactor gate: the differential suite (golden traces +
 # batch-vs-serial equality), then a scaled batched-covert bench whose

@@ -1,0 +1,233 @@
+"""Serving-layer benchmark: cold vs. warm aggregate latency over HTTP.
+
+Fills a shrunk ``attacks-vs-noise`` campaign into a fresh store, boots
+the fleet daemon (:mod:`repro.fleet.server`) on a background event-loop
+thread, and measures the read path end to end — TCP connect, request
+parse, route, cache, serialize — the way a fleet reader would see it::
+
+    python benchmarks/bench_serve.py --out BENCH_serve.json
+
+Measured and written to ``BENCH_serve.json``:
+
+* **cold_aggregate_seconds** — first ``/aggregate`` after boot: store
+  read + merge + serialize (the cache-miss path).
+* **warm_aggregate_p50/p99_seconds** — repeated ``/aggregate`` once the
+  LRU holds the body.  The acceptance contract is p50 **< 10 ms**; the
+  document records the verdict and ``afterimage bench compare`` gates
+  on it.
+* **revalidate_p50_seconds** — ``If-None-Match`` answered 304, the
+  cheapest request the server can serve.
+* **concurrent.p50/p99_seconds** — latency distribution under
+  ``--readers`` threads (default 100) hammering warm aggregates at
+  once, plus the server-side cache hit ratio over the whole run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import statistics
+import sys
+import tempfile
+import threading
+from collections.abc import Sequence
+from time import perf_counter  # repro: noqa[RL003] — benchmark measures host wall-clock
+
+from repro.bench import provenance
+from repro.campaign import CampaignRunner, TrialStore, builtin_campaign
+from repro.fleet import FleetClient, FleetServer, start_in_thread
+
+#: Bump when the JSON layout changes so downstream diffing can gate on it.
+SCHEMA_VERSION = 2
+
+#: The acceptance contract: a warm aggregate answers in under 10 ms.
+WARM_BUDGET_SECONDS = 0.010
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    ordered = sorted(samples)
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return p50, p99
+
+
+def _timed(fn) -> float:
+    start = perf_counter()
+    fn()
+    return perf_counter() - start
+
+
+def bench_serve(
+    campaign: str,
+    store_dir: str,
+    rounds: int,
+    repeats: int,
+    attacks: str | None,
+    jobs: int,
+    warm_requests: int,
+    readers: int,
+    requests_per_reader: int,
+) -> dict:
+    """Fill, boot, measure; returns the JSON-ready result document."""
+    spec = builtin_campaign(campaign)
+    overrides: dict = {"rounds": rounds, "repeats": repeats}
+    if attacks:
+        overrides["attacks"] = tuple(attacks.split(","))
+    spec = dataclasses.replace(spec, **overrides)
+    fill = CampaignRunner(TrialStore(store_dir), jobs=jobs).run(spec)
+    if not fill.complete:
+        raise RuntimeError(f"fill failed: {len(fill.failed)} cells errored")
+
+    server = FleetServer(store_dir, campaigns={spec.name: spec})
+    with start_in_thread(server):
+        client = FleetClient(server.host, server.port)
+        path = f"/aggregate/{spec.name}"
+
+        cold_seconds = _timed(lambda: client.get(path))
+        etag = client.get(path).etag
+
+        warm = [_timed(lambda: client.get(path)) for _ in range(warm_requests)]
+        warm_p50, warm_p99 = _percentiles(warm)
+
+        revalidate = [
+            _timed(lambda: client.get(path, etag=etag))
+            for _ in range(warm_requests)
+        ]
+        revalidate_p50, _ = _percentiles(revalidate)
+        etag_revalidates = client.get(path, etag=etag).not_modified
+
+        concurrent: list[float] = []
+        lock = threading.Lock()
+
+        def reader() -> None:
+            local = FleetClient(server.host, server.port)
+            samples = [
+                _timed(lambda: local.get(path))
+                for _ in range(requests_per_reader)
+            ]
+            with lock:
+                concurrent.extend(samples)
+
+        threads = [threading.Thread(target=reader) for _ in range(readers)]
+        start = perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_wall = perf_counter() - start
+        concurrent_p50, concurrent_p99 = _percentiles(concurrent)
+
+        stats = server.cache.stats
+        aggregate_doc = client.get(path).json()
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "serve",
+        "provenance": provenance(),
+        "campaign": spec.name,
+        "n_cells": spec.n_cells,
+        "rounds": spec.rounds,
+        "repeats": spec.repeats,
+        "warm_requests": warm_requests,
+        "readers": readers,
+        "requests_per_reader": requests_per_reader,
+        "cold_aggregate_seconds": round(cold_seconds, 6),
+        "warm_aggregate_p50_seconds": round(warm_p50, 6),
+        "warm_aggregate_p99_seconds": round(warm_p99, 6),
+        "revalidate_p50_seconds": round(revalidate_p50, 6),
+        "warm_budget_seconds": WARM_BUDGET_SECONDS,
+        "concurrent": {
+            "wall_seconds": round(concurrent_wall, 4),
+            "requests": len(concurrent),
+            "p50_seconds": round(concurrent_p50, 6),
+            "p99_seconds": round(concurrent_p99, 6),
+            "requests_per_second": (
+                round(len(concurrent) / concurrent_wall, 1)
+                if concurrent_wall > 0
+                else None
+            ),
+        },
+        "cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_ratio": round(stats.hit_ratio, 4),
+        },
+        "verification": {
+            "fill_complete": fill.complete,
+            "aggregate_complete": aggregate_doc["complete"],
+            "warm_under_budget": warm_p50 < WARM_BUDGET_SECONDS,
+            "etag_revalidates": etag_revalidates,
+        },
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--campaign", default="attacks-vs-noise")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--attacks", default=None, help="override spec attacks (comma-separated)"
+    )
+    parser.add_argument("--warm-requests", type=int, default=50)
+    parser.add_argument("--readers", type=int, default=100)
+    parser.add_argument("--requests-per-reader", type=int, default=5)
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: a fresh temp dir, so the fill is cold)",
+    )
+    args = parser.parse_args(argv)
+
+    def run(store_dir: str) -> dict:
+        return bench_serve(
+            args.campaign,
+            store_dir,
+            args.rounds,
+            args.repeats,
+            args.attacks,
+            args.jobs,
+            args.warm_requests,
+            args.readers,
+            args.requests_per_reader,
+        )
+
+    if args.store is None:
+        with tempfile.TemporaryDirectory(prefix="bench-serve-") as store_dir:
+            document = run(store_dir)
+    else:
+        document = run(args.store)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    verification = document["verification"]
+    print(
+        f"{document['campaign']}: cold {document['cold_aggregate_seconds'] * 1e3:.1f}ms  "
+        f"warm p50 {document['warm_aggregate_p50_seconds'] * 1e3:.2f}ms  "
+        f"p99 {document['warm_aggregate_p99_seconds'] * 1e3:.2f}ms  "
+        f"304 p50 {document['revalidate_p50_seconds'] * 1e3:.2f}ms"
+    )
+    concurrent = document["concurrent"]
+    print(
+        f"{document['readers']} readers x {document['requests_per_reader']}: "
+        f"p50 {concurrent['p50_seconds'] * 1e3:.2f}ms  "
+        f"p99 {concurrent['p99_seconds'] * 1e3:.2f}ms  "
+        f"{concurrent['requests_per_second']} req/s  "
+        f"cache hit ratio {document['cache']['hit_ratio']:.2%}"
+    )
+    print(f"wrote {args.out}")
+    if not (
+        verification["warm_under_budget"]
+        and verification["etag_revalidates"]
+        and verification["aggregate_complete"]
+    ):
+        print("serving contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

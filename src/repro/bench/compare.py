@@ -22,6 +22,11 @@ kinds, different schema versions, different machines — unless
   recorded bound, deterministic lane totals (simulated cycles, retired
   loads, quality) must match exactly, and the wall clocks must stay
   within tolerance.
+* **serve** (``BENCH_serve.json``) — the warm-aggregate latency budget
+  (p50 under the recorded ``warm_budget_seconds``), ETag revalidation
+  and aggregate completeness must hold, the cache hit ratio must not
+  regress beyond tolerance, and the latency percentiles must stay
+  within tolerance.
 
 Exit codes are lint-style: 0 = no regression, 1 = regression found,
 2 = refusal/usage error (incomparable artifacts), 3 = internal error.
@@ -126,8 +131,10 @@ def artifact_kind(doc: dict[str, Any]) -> str | None:
     """Classify a ``BENCH_*.json`` document by its load-bearing keys."""
     if not isinstance(doc, dict):
         return None
-    if doc.get("kind") in ("obs", "attacks", "campaign", "telemetry", "kernel"):
+    if doc.get("kind") in ("obs", "attacks", "campaign", "telemetry", "kernel", "serve"):
         return str(doc["kind"])
+    if "warm_aggregate_p50_seconds" in doc:
+        return "serve"
     if "batched_wall_seconds" in doc:
         return "kernel"
     if "telemetry_overhead_ratio" in doc:
@@ -391,12 +398,71 @@ def _compare_kernel(
         _check_exact(findings, fld, baseline.get(fld), current.get(fld))
 
 
+def _compare_serve(
+    findings: list[CompareFinding],
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float,
+) -> None:
+    for fld in (
+        "cold_aggregate_seconds",
+        "warm_aggregate_p50_seconds",
+        "warm_aggregate_p99_seconds",
+        "revalidate_p50_seconds",
+    ):
+        _check_ratio(
+            findings, fld, baseline.get(fld), current.get(fld), tolerance,
+            higher_is_better=False,
+        )
+    warm = current.get("warm_aggregate_p50_seconds")
+    budget = current.get("warm_budget_seconds", 0.010)
+    findings.append(
+        CompareFinding(
+            "warm_aggregate_p50_seconds.budget",
+            baseline.get("warm_budget_seconds"),
+            warm,
+            warm is not None and float(warm) < float(budget),
+            f"warm aggregate p50 must stay < {budget}s",
+        )
+    )
+    concurrent_base = baseline.get("concurrent", {})
+    concurrent_cur = current.get("concurrent", {})
+    for fld in ("p50_seconds", "p99_seconds"):
+        _check_ratio(
+            findings,
+            f"concurrent.{fld}",
+            concurrent_base.get(fld),
+            concurrent_cur.get(fld),
+            tolerance,
+            higher_is_better=False,
+        )
+    _check_ratio(
+        findings,
+        "cache.hit_ratio",
+        baseline.get("cache", {}).get("hit_ratio"),
+        current.get("cache", {}).get("hit_ratio"),
+        tolerance,
+        higher_is_better=True,
+    )
+    verification_base = baseline.get("verification", {})
+    verification_cur = current.get("verification", {})
+    for flag in ("aggregate_complete", "warm_under_budget", "etag_revalidates"):
+        _check_flag(
+            findings,
+            f"verification.{flag}",
+            verification_base.get(flag),
+            verification_cur.get(flag),
+        )
+    _check_exact(findings, "campaign", baseline.get("campaign"), current.get("campaign"))
+
+
 _CHECKERS = {
     "obs": _compare_obs,
     "attacks": _compare_attacks,
     "campaign": _compare_campaign,
     "telemetry": _compare_telemetry,
     "kernel": _compare_kernel,
+    "serve": _compare_serve,
 }
 
 

@@ -24,10 +24,16 @@ def _text_table(rows: list[tuple], header: tuple[str, ...]) -> str:
 
 def render_status(status: CampaignStatus) -> str:
     """`afterimage campaign status` text output."""
+    scope = f" [shard {status.shard}]" if status.shard else ""
     lines = [
-        f"campaign {status.spec.name}: {len(status.cached)}/{status.total} "
+        f"campaign {status.spec.name}{scope}: {len(status.cached)}/{status.total} "
         f"cells cached, {len(status.pending)} pending"
     ]
+    if status.corrupt_lines:
+        lines.append(
+            f"store: {status.corrupt_lines} corrupt line(s) skipped — the "
+            "affected cells read as pending and will re-execute"
+        )
     if status.pending:
         lines.append("pending:")
         lines.extend(f"  {cell.label}" for cell in status.pending)
@@ -49,8 +55,9 @@ def render_result(result: CampaignResult) -> str:
             )
         )
     table = _text_table(rows, ("cell group", "quality", "trials", "detail"))
+    scope = f" [shard {result.shard}]" if result.shard else ""
     summary = (
-        f"{len(result.outcomes)} cells: {result.cached_count} cached, "
+        f"{len(result.outcomes)} cells{scope}: {result.cached_count} cached, "
         f"{result.executed_count} executed, {len(result.failed)} failed "
         f"(jobs={result.jobs}, wall {result.wall_seconds:.2f}s)"
     )

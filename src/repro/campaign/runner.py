@@ -34,13 +34,16 @@ import traceback
 from dataclasses import dataclass, field
 from functools import partial
 from time import perf_counter  # repro: noqa[RL003] — campaign measures host wall-clock
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.attacks.trial import TrialBatch
 from repro.campaign.experiments import experiment_names, run_cell
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import TrialStore
 from repro.obs.telemetry import TelemetryCollector, TelemetryEnvelope, Timeline, capture_worker
+
+if TYPE_CHECKING:
+    from repro.fleet.partition import Shard
 
 RunCellFn = Callable[[CampaignCell], TrialBatch]
 
@@ -86,6 +89,8 @@ class CampaignResult:
     wall_seconds: float
     jobs: int
     telemetry: Timeline | None = None
+    #: ``"i/n"`` when this invocation ran one fleet shard, else None.
+    shard: str | None = None
 
     @property
     def cached_count(self) -> int:
@@ -152,6 +157,7 @@ class CampaignResult:
     def as_dict(self) -> dict[str, Any]:
         data = {
             "campaign": self.spec.name,
+            "shard": self.shard,
             "n_cells": len(self.outcomes),
             "cached": self.cached_count,
             "executed": self.executed_count,
@@ -174,6 +180,10 @@ class CampaignStatus:
     spec: CampaignSpec
     cached: list[CampaignCell] = field(default_factory=list)
     pending: list[CampaignCell] = field(default_factory=list)
+    #: ``"i/n"`` when the status covers one fleet shard, else None.
+    shard: str | None = None
+    #: Unreadable store lines noticed while answering (see TrialStore).
+    corrupt_lines: int = 0
 
     @property
     def total(self) -> int:
@@ -186,19 +196,33 @@ class CampaignStatus:
     def as_dict(self) -> dict[str, Any]:
         return {
             "campaign": self.spec.name,
+            "shard": self.shard,
             "total": self.total,
             "cached": len(self.cached),
             "pending": len(self.pending),
             "all_cached": self.all_cached,
+            "corrupt_lines": self.corrupt_lines,
             "pending_cells": [cell.label for cell in self.pending],
         }
 
 
-def campaign_status(spec: CampaignSpec, store: TrialStore) -> CampaignStatus:
-    """Classify every cell of ``spec`` as cached or pending."""
-    status = CampaignStatus(spec=spec)
-    for cell in spec.cells():
+def campaign_status(
+    spec: CampaignSpec, store: TrialStore, shard: "Shard | None" = None
+) -> CampaignStatus:
+    """Classify every cell of ``spec`` (or one fleet shard of it).
+
+    Also surfaces the store's corrupt-line counter: classifying touches
+    every shard file a cell key maps to, so any unreadable line those
+    files carry has been counted by the time the loop finishes — silent
+    skipping stays silent in the *data* (the cell just reads as pending)
+    but not in the operator's status output.
+    """
+    from repro.fleet.partition import partition_cells
+
+    status = CampaignStatus(spec=spec, shard=str(shard) if shard else None)
+    for cell in partition_cells(spec.cells(), shard):
         (status.cached if cell.key in store else status.pending).append(cell)
+    status.corrupt_lines = store.corrupt_lines
     return status
 
 
@@ -253,7 +277,16 @@ class CampaignRunner:
         self.run_cell_fn: RunCellFn = run_cell_fn or run_cell
         self.telemetry = telemetry
 
-    def run(self, spec: CampaignSpec) -> CampaignResult:
+    def run(self, spec: CampaignSpec, shard: "Shard | None" = None) -> CampaignResult:
+        """Drive ``spec`` — or, with ``shard``, one fleet slice of it.
+
+        A sharded run is an ordinary run over the subset of cells the
+        shard owns (partitioned by cell content hash, see
+        :mod:`repro.fleet.partition`): same caching, same fault isolation,
+        same retries, same byte-identical aggregates for its slice.
+        """
+        from repro.fleet.partition import partition_cells
+
         start = perf_counter()
         known = set(experiment_names())
         unknown = sorted(set(spec.attacks) - known)
@@ -262,7 +295,7 @@ class CampaignRunner:
                 f"campaign {spec.name!r} names unknown experiment(s): "
                 f"{', '.join(unknown)}; known: {', '.join(sorted(known))}"
             )
-        cells = spec.cells()
+        cells = partition_cells(spec.cells(), shard)
         collector = TelemetryCollector(jobs=self.jobs) if self.telemetry else None
         outcomes: dict[str, CellOutcome] = {}
         pending: list[CampaignCell] = []
@@ -314,10 +347,11 @@ class CampaignRunner:
             telemetry=(
                 collector.finish(wall_seconds=wall) if collector is not None else None
             ),
+            shard=str(shard) if shard else None,
         )
 
-    def status(self, spec: CampaignSpec) -> CampaignStatus:
-        return campaign_status(spec, self.store)
+    def status(self, spec: CampaignSpec, shard: "Shard | None" = None) -> CampaignStatus:
+        return campaign_status(spec, self.store, shard=shard)
 
     # ----------------------------------------------------------------- #
     # Internals                                                          #

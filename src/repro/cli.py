@@ -17,8 +17,12 @@ Installed as the ``afterimage`` console script::
     afterimage run --suite --jobs 4
     afterimage campaign list
     afterimage campaign run attacks-vs-noise --jobs 4
+    afterimage campaign run attacks-vs-noise --shard 0/2 --store worker-a
+    afterimage campaign merge worker-a worker-b --store merged
     afterimage campaign status defense-matrix
     afterimage campaign report revng-table1 -o campaign.md
+    afterimage campaign aggregate attacks-vs-noise --store merged
+    afterimage serve merged --port 8314
     afterimage perf --suite --jobs 2 --format json
     afterimage bench compare BENCH_attacks.json BENCH_new.json
 
@@ -381,17 +385,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
-def _resolve_campaign_spec(name: str, args: argparse.Namespace):
-    """A builtin campaign by name, or a ``.toml``/``.json`` spec file,
-    shrunk by any ``--rounds``/``--repeats``/``--attacks`` overrides."""
-    import dataclasses
-
-    from repro.campaign import builtin_campaign, load_spec
-
-    if name.endswith((".toml", ".json")):
-        spec = load_spec(name)
-    else:
-        spec = builtin_campaign(name)
+def _spec_overrides(args: argparse.Namespace) -> dict:
+    """The ``--rounds``/``--repeats``/``--attacks``/``--base-seed`` shrinkers."""
     overrides: dict = {}
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
@@ -403,12 +398,50 @@ def _resolve_campaign_spec(name: str, args: argparse.Namespace):
         )
     if args.base_seed is not None:
         overrides["base_seed"] = args.base_seed
+    return overrides
+
+
+def _resolve_campaign_spec(name: str, args: argparse.Namespace):
+    """A builtin campaign by name, or a ``.toml``/``.json`` spec file,
+    shrunk by any ``--rounds``/``--repeats``/``--attacks`` overrides."""
+    import dataclasses
+
+    from repro.campaign import builtin_campaign, load_spec
+
+    if name.endswith((".toml", ".json")):
+        spec = load_spec(name)
+    else:
+        spec = builtin_campaign(name)
+    overrides = _spec_overrides(args)
     return dataclasses.replace(spec, **overrides) if overrides else spec
 
 
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    """`afterimage campaign merge <src>... --store <dest>`."""
+    from repro.fleet.merge import MergeConflictError, merge_stores
+
+    if not args.campaign:
+        print("specify at least one source store to merge", file=sys.stderr)
+        return 2
+    try:
+        report = merge_stores(args.store, list(args.campaign))
+    except MergeConflictError as exc:
+        print(f"campaign merge refused:\n{exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"campaign merge: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
-    """`afterimage campaign list|run|status|report` (early dispatch: specs
-    name their own machines, so the global ``--machine`` preset is unused)."""
+    """`afterimage campaign list|run|status|report|aggregate|merge` (early
+    dispatch: specs name their own machines, so the global ``--machine``
+    preset is unused)."""
     from repro.campaign import (
         BUILTIN_CAMPAIGNS,
         CampaignRunner,
@@ -428,25 +461,63 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             ("campaign", "cells", "description"),
         )
         return 0
-    if args.campaign is None:
+    if args.action == "merge":
+        return _cmd_campaign_merge(args)
+    if not args.campaign:
         print("specify a builtin campaign name or a spec file", file=sys.stderr)
         return 2
-    spec = _resolve_campaign_spec(args.campaign, args)
+    if len(args.campaign) > 1:
+        print(
+            f"campaign {args.action} takes one campaign, got "
+            f"{len(args.campaign)} (did you mean `campaign merge`?)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = _resolve_campaign_spec(args.campaign[0], args)
+    shard = None
+    if args.shard is not None:
+        if args.action not in ("run", "status"):
+            print(
+                "--shard applies to `run` and `status` only; aggregates and "
+                "reports always cover the whole campaign",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.fleet.partition import parse_shard
+
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(f"campaign --shard: {exc}", file=sys.stderr)
+            return 2
     store = TrialStore(args.store)
     if args.action == "status":
-        status = campaign_status(spec, store)
+        status = campaign_status(spec, store, shard=shard)
         if args.format == "json":
             print(json.dumps(status.as_dict(), indent=2))
         else:
             print(render_status(status))
         return 0
+    if args.action in ("report", "aggregate"):
+        # Read-only views: a partially filled store renders a misleading
+        # (or empty) table, so refuse with the fill count instead.
+        status = campaign_status(spec, store)
+        if status.pending:
+            print(
+                f"campaign {spec.name}: {len(status.cached)}/{status.total} "
+                "cells filled — run the campaign (or merge the workers' "
+                "stores) before asking for a "
+                f"{'report' if args.action == 'report' else 'aggregate'}",
+                file=sys.stderr,
+            )
+            return 1
     runner = CampaignRunner(
         store,
         jobs=args.jobs,
         max_attempts=args.max_attempts,
         telemetry=args.telemetry,
     )
-    result = runner.run(spec)
+    result = runner.run(spec, shard=shard)
     if args.telemetry and args.action == "run" and result.telemetry is not None:
         import os
 
@@ -457,6 +528,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             handle.write("\n")
         result.telemetry.write_chrome(trace_path)
         print(f"wrote {timeline_path} and {trace_path}")
+    if args.action == "aggregate":
+        from repro.campaign import canonical_json
+
+        text = canonical_json(result.aggregates())
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
     if args.action == "report":
         markdown = render_markdown(result)
         if args.output:
@@ -470,6 +552,54 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     else:
         print(render_result(result))
     return 0 if result.complete else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`afterimage serve <store>`: the fleet read-mostly HTTP daemon."""
+    import asyncio
+
+    from repro.campaign import BUILTIN_CAMPAIGNS, load_spec
+    from repro.fleet.server import FleetServer
+
+    import dataclasses
+
+    overrides = _spec_overrides(args)
+    campaigns = {}
+    for spec in BUILTIN_CAMPAIGNS.values():
+        campaigns[spec.name] = (
+            dataclasses.replace(spec, **overrides) if overrides else spec
+        )
+    for path in args.spec or []:
+        spec = load_spec(path)
+        campaigns[spec.name] = (
+            dataclasses.replace(spec, **overrides) if overrides else spec
+        )
+    try:
+        server = FleetServer(
+            args.store,
+            campaigns=campaigns,
+            host=args.host,
+            port=args.port,
+            cache_capacity=args.cache_size,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {args.store} on http://{server.host}:{server.port} "
+            f"({len(campaigns)} campaigns; /healthz /metrics /cells "
+            "/cell/<key> /aggregate/<campaign> /report/<campaign>)"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_trace(params: MachineParams, args: argparse.Namespace) -> None:
@@ -570,19 +700,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign = sub.add_parser(
         "campaign",
-        help="declarative cached sweeps (repro.campaign): list|run|status|report",
+        help=(
+            "declarative cached sweeps (repro.campaign): "
+            "list|run|status|report|aggregate|merge"
+        ),
     )
-    campaign.add_argument("action", choices=("list", "run", "status", "report"))
+    campaign.add_argument(
+        "action",
+        choices=("list", "run", "status", "report", "aggregate", "merge"),
+    )
     campaign.add_argument(
         "campaign",
-        nargs="?",
-        default=None,
-        help="builtin campaign name or a .toml/.json spec file",
+        nargs="*",
+        default=[],
+        help=(
+            "builtin campaign name or a .toml/.json spec file; "
+            "for `merge`, one or more source store directories"
+        ),
     )
     campaign.add_argument(
         "--store",
         default=".campaign-store",
-        help="trial store directory (default: .campaign-store)",
+        help="trial store directory (default: .campaign-store); `merge` destination",
+    )
+    campaign.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="fleet fill: run/status only this worker's slice of the cells",
     )
     campaign.add_argument("--jobs", type=int, default=1)
     campaign.add_argument("--max-attempts", type=int, default=3)
@@ -593,12 +738,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--base-seed", type=int, default=None)
     campaign.add_argument("--format", choices=("text", "json"), default="text")
-    campaign.add_argument("-o", "--output", default=None, help="report output file")
+    campaign.add_argument(
+        "-o", "--output", default=None, help="report/aggregate output file"
+    )
     campaign.add_argument(
         "--telemetry",
         action="store_true",
         help="collect cross-process telemetry; `run` writes a timeline next to the store",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="read-mostly HTTP daemon over a trial store (repro.fleet)",
+    )
+    serve.add_argument("store", help="trial store directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8314)
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="LRU cache entries (default 256)"
+    )
+    serve.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="additional .toml/.json campaign spec files to serve (repeatable)",
+    )
+    serve.add_argument("--rounds", type=int, default=None, help="override spec rounds")
+    serve.add_argument("--repeats", type=int, default=None, help="override spec repeats")
+    serve.add_argument(
+        "--attacks", default=None, help="override spec attacks (comma-separated)"
+    )
+    serve.add_argument("--base-seed", type=int, default=None)
     bench = sub.add_parser(
         "bench", help="benchmark artifact tools (repro.bench): compare"
     )
@@ -695,6 +865,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "campaign":
             # Campaign specs declare their own machines; early dispatch.
             return cmd_campaign(args)
+        if args.command == "serve":
+            # Serves stored results as-is; no machine model needed.
+            return cmd_serve(args)
         if args.command == "bench":
             # Artifacts carry their own machine identity; early dispatch.
             return cmd_bench(args)

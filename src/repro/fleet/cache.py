@@ -1,0 +1,99 @@
+"""LRU response cache keyed on content hashes, with ETag revalidation.
+
+Every response the fleet server builds is addressed by content: a cell
+body by its SHA-256 store key, an aggregate/report by the hash of the
+filled cell-key set it was computed from.  A change in any input changes
+the address, so a cached entry can never be wrong — the cache needs no
+TTLs, no invalidation protocol, and can honestly tell clients
+``immutable``.  The LRU bound exists only to cap memory, not to bound
+staleness.
+
+The ETag *is* the cache key: a client that sends ``If-None-Match`` with
+the entry's ETag gets a bodyless 304 from the same lookup that would have
+served the body, which is the cheapest request the server can answer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached response body plus its HTTP identity."""
+
+    etag: str
+    body: bytes
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class CacheStats:
+    """Counters the server's ``/metrics`` endpoint publishes."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    body_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "body_bytes": self.body_bytes,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+@dataclass
+class LruCache:
+    """A bounded mapping ``key -> CacheEntry`` with LRU eviction."""
+
+    capacity: int = 256
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {self.capacity}")
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    def get(self, key: str) -> CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        if key in self._entries:
+            old = self._entries.pop(key)
+            self.stats.body_bytes -= len(old.body)
+        self._entries[key] = entry
+        self.stats.body_bytes += len(entry.body)
+        while len(self._entries) > self.capacity:
+            _evicted_key, evicted = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self.stats.body_bytes -= len(evicted.body)
+        self.stats.entries = len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

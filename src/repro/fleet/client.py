@@ -1,0 +1,91 @@
+"""A small stdlib client for the fleet serving layer.
+
+Thin by design — ``http.client`` plus JSON decoding — so tests, the
+serve benchmark, and CI smoke steps can all talk to ``afterimage serve``
+without growing a dependency.  The one piece of real protocol it adds is
+ETag revalidation: pass the ``etag`` a previous response carried and a
+fresh request becomes ``If-None-Match``, answered with a bodyless 304
+when the content (by construction) has not changed.
+
+Each call opens its own connection (the server speaks
+``Connection: close``), which keeps the client safe to use from many
+threads at once — the shape the ``bench_serve`` concurrency measurement
+leans on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FleetResponse:
+    """One HTTP exchange: status, headers (lower-cased), raw body."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def etag(self) -> str | None:
+        value = self.headers.get("etag")
+        return value.strip('"') if value else None
+
+    @property
+    def not_modified(self) -> bool:
+        return self.status == 304
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode())
+
+    def text(self) -> str:
+        return self.body.decode()
+
+
+class FleetClient:
+    """Talk to one ``afterimage serve`` daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def get(self, path: str, etag: str | None = None) -> FleetResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"If-None-Match": f'"{etag}"'} if etag else {}
+            connection.request("GET", path, headers=headers)
+            response = connection.getresponse()
+            body = response.read()
+            return FleetResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                body=body,
+            )
+        finally:
+            connection.close()
+
+    # Convenience wrappers over the server's routes ---------------------- #
+
+    def healthz(self) -> dict[str, Any]:
+        return self.get("/healthz").json()
+
+    def metrics(self) -> dict[str, Any]:
+        return self.get("/metrics").json()
+
+    def cells(self) -> dict[str, Any]:
+        return self.get("/cells").json()
+
+    def cell(self, key: str, etag: str | None = None) -> FleetResponse:
+        return self.get(f"/cell/{key}", etag=etag)
+
+    def aggregate(self, campaign: str, etag: str | None = None) -> FleetResponse:
+        return self.get(f"/aggregate/{campaign}", etag=etag)
+
+    def report(self, campaign: str, etag: str | None = None) -> FleetResponse:
+        return self.get(f"/report/{campaign}", etag=etag)

@@ -1,0 +1,84 @@
+"""Deterministic cell partitioning: ``--shard i/n`` for fleet fill.
+
+A campaign cell's identity is its SHA-256 content hash
+(:attr:`repro.campaign.spec.CampaignCell.key`), so the hash itself is the
+partition function: shard ``i`` of ``n`` owns every cell whose key,
+read as an integer, is ``i`` modulo ``n``.  Consequences worth having:
+
+* **Disjoint and covering by construction.**  For any worker count ``n``,
+  the ``n`` shards partition the cell set exactly — no cell is run twice,
+  none is skipped (``tests/test_fleet.py`` proves both properties over
+  arbitrary counts).
+* **Stable.**  Ownership depends only on the cell's content hash and the
+  shard count — never on spec order, dispatch order, or which other cells
+  exist — so two invocations of ``--shard 1/4`` always agree, and adding
+  cells to a campaign never reassigns the old ones within a fixed ``n``.
+* **Uniform.**  SHA-256 output is uniform, so shards are balanced to
+  within sampling noise without any coordination between workers.
+
+Each worker fills its own store; :mod:`repro.fleet.merge` unions the
+stores afterwards.  (Workers *may* share one store directory — writes are
+atomic whole-shard replaces, so lines never interleave — but concurrent
+read-modify-write cycles can drop each other's fresh cells, which the
+next ``run`` simply re-executes.  Separate stores + merge is the
+lossless, recommended shape.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, TypeVar
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+#: Anything with a ``key`` content-hash attribute partitions; in practice
+#: that is :class:`repro.campaign.spec.CampaignCell`.
+_Cell = TypeVar("_Cell")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice of a fleet: ``index`` of ``total`` (0-based)."""
+
+    index: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise ValueError(f"shard count must be positive, got {self.total}")
+        if not 0 <= self.index < self.total:
+            raise ValueError(
+                f"shard index must be in [0, {self.total}), got {self.index}"
+            )
+
+    def owns(self, key: str) -> bool:
+        """Whether this shard owns the cell with content hash ``key``."""
+        return shard_of_key(key, self.total) == self.index
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.total}"
+
+
+def shard_of_key(key: str, total: int) -> int:
+    """The owning shard index for a hex content hash, given ``total`` shards."""
+    if total <= 0:
+        raise ValueError(f"shard count must be positive, got {total}")
+    return int(key, 16) % total
+
+
+def parse_shard(text: str) -> Shard:
+    """Parse a ``--shard i/n`` argument (0-based: ``0/2`` and ``1/2``)."""
+    match = _SHARD_RE.match(text.strip())
+    if match is None:
+        raise ValueError(
+            f"shard must look like 'i/n' with 0 <= i < n (e.g. '0/2'), got {text!r}"
+        )
+    return Shard(index=int(match.group(1)), total=int(match.group(2)))
+
+
+def partition_cells(cells: Iterable[_Cell], shard: Shard | None) -> list[_Cell]:
+    """The cells ``shard`` owns, in input order (all of them for ``None``)."""
+    if shard is None:
+        return list(cells)
+    return [cell for cell in cells if shard.owns(cell.key)]

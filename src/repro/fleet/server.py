@@ -1,0 +1,544 @@
+"""The fleet serving layer: a read-mostly asyncio HTTP daemon over a store.
+
+``afterimage serve <store>`` turns a (possibly still-filling) TrialStore
+into a long-lived service — the ROADMAP's "serve heavy traffic" shape —
+without any dependency beyond the standard library: requests are parsed
+and answered over raw ``asyncio`` streams (no ``http.server`` thread
+pool, no aiohttp).
+
+Endpoints::
+
+    GET /healthz                liveness + store shape (never cached)
+    GET /metrics                repro.obs MetricsRegistry snapshot (JSON/text)
+    GET /cells                  every stored cell key
+    GET /cell/<sha256>          one stored record (ETag = the key itself)
+    GET /aggregate/<campaign>   merged wall-clock-free aggregates
+    GET /report/<campaign>      the markdown report (complete campaigns only)
+
+Why this is cheap to serve hot: every response body is addressed by
+content.  A cell's ETag is its SHA-256 store key; an aggregate's ETag is
+the hash of the exact filled cell-key set it was computed from.  Bodies
+land in an :class:`~repro.fleet.cache.LruCache` keyed by that ETag, so a
+warm ``/aggregate`` is a stat-check plus a cache lookup, and a client
+revalidating with ``If-None-Match`` costs a bodyless 304.  Complete
+aggregates are marked ``immutable`` — they can never change without
+changing address.
+
+Degradation is graceful by construction: the store is re-``refresh``\\ ed
+per request (one ``stat`` per cached shard), and fills/merges replace
+whole shard files atomically, so a reader mid-merge sees a consistent
+mix of old and new shards.  A partially filled campaign serves its
+aggregate with ``complete: false`` (and ``no-cache`` so clients keep
+asking), while ``/report`` answers 503 with a ``filled/total`` count
+until the campaign is whole.
+
+Request handling is wired into :mod:`repro.obs`: the server keeps a
+metrics registry shape (request/status/cache counters plus a
+request-latency histogram) that ``/metrics`` renders exactly like
+``afterimage metrics`` does for a machine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+from pathlib import Path
+from time import perf_counter  # repro: noqa[RL003] — serving layer measures host request latency
+from typing import Any
+from urllib.parse import unquote, urlsplit
+
+from repro.campaign.runner import CampaignResult, CellOutcome
+from repro.campaign.spec import CampaignSpec, canonical_json
+from repro.campaign.store import TrialStore
+from repro.fleet.cache import CacheEntry, LruCache
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Request-latency histogram bounds, in microseconds: the acceptance
+#: contract is "warm aggregate < 10 ms", so the ladder straddles 10_000.
+LATENCY_BOUNDS_US = [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADERS = 64
+_READ_TIMEOUT_SECONDS = 30.0
+
+_STATUS_TEXT = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+    500: "Internal Server Error",
+}
+
+
+def canonical_body(document: Any) -> bytes:
+    """Deterministic JSON bytes: what makes equal content equal bytes."""
+    return (canonical_json(document) + "\n").encode()
+
+
+class FleetServer:
+    """Serve one TrialStore (and the campaigns defined over it) via HTTP."""
+
+    def __init__(
+        self,
+        store_root: str | Path,
+        campaigns: dict[str, CampaignSpec] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_capacity: int = 256,
+    ) -> None:
+        root = Path(store_root)
+        if not (root / "store.json").exists():
+            raise ValueError(
+                f"{root} is not a TrialStore (no store.json marker); "
+                "fill or merge a store there first"
+            )
+        self.store = TrialStore(root)
+        self.campaigns = dict(campaigns or {})
+        self.host = host
+        self.port = port
+        self.cache = LruCache(capacity=cache_capacity)
+        self._server: asyncio.AbstractServer | None = None
+        self.requests_total = 0
+        self.requests_by_endpoint: dict[str, int] = {}
+        self.responses_by_status: dict[int, int] = {}
+        self.not_modified_total = 0
+        self.bytes_sent_total = 0
+        self.errors_total = 0
+        self.latency_us = Histogram(LATENCY_BOUNDS_US)
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle                                                          #
+    # ----------------------------------------------------------------- #
+
+    async def start(self) -> None:
+        """Bind and start accepting (resolves ``port=0`` to the real port)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ----------------------------------------------------------------- #
+    # HTTP plumbing                                                      #
+    # ----------------------------------------------------------------- #
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        start = perf_counter()
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), timeout=_READ_TIMEOUT_SECONDS
+            )
+            if not request or len(request) > _MAX_REQUEST_LINE:
+                return
+            parts = request.decode("latin-1").split()
+            if len(parts) != 3:
+                await self._respond(writer, 400, self._error_body("bad request line"))
+                return
+            method, target, _version = parts
+            headers = await self._read_headers(reader)
+            if headers is None:
+                await self._respond(writer, 400, self._error_body("bad headers"))
+                return
+            if method not in ("GET", "HEAD"):
+                await self._respond(
+                    writer,
+                    405,
+                    self._error_body(f"method {method} not allowed"),
+                    extra=(("Allow", "GET, HEAD"),),
+                )
+                return
+            self.requests_total += 1
+            status, entry, cache_control = self._route(target)
+            etag_match = _etag_matches(headers.get("if-none-match"), entry.etag)
+            if status == 200 and etag_match:
+                self.not_modified_total += 1
+                await self._respond(
+                    writer,
+                    304,
+                    b"",
+                    content_type=entry.content_type,
+                    etag=entry.etag,
+                    cache_control=cache_control,
+                )
+                return
+            await self._respond(
+                writer,
+                status,
+                b"" if method == "HEAD" else entry.body,
+                content_type=entry.content_type,
+                etag=entry.etag,
+                cache_control=cache_control,
+                extra=entry.headers,
+                body_length=len(entry.body),
+            )
+        except (asyncio.TimeoutError, ConnectionError):
+            self.errors_total += 1
+        except Exception:
+            self.errors_total += 1
+            try:
+                await self._respond(
+                    writer, 500, self._error_body("internal server error")
+                )
+            except ConnectionError:
+                pass
+        finally:
+            self.latency_us.observe(int((perf_counter() - start) * 1e6))
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_headers(
+        self, reader: asyncio.StreamReader
+    ) -> dict[str, str] | None:
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=_READ_TIMEOUT_SECONDS
+            )
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return None
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        etag: str | None = None,
+        cache_control: str | None = None,
+        extra: tuple[tuple[str, str], ...] = (),
+        body_length: int | None = None,
+    ) -> None:
+        self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+        length = len(body) if body_length is None else body_length
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {length}",
+            "Connection: close",
+        ]
+        if etag:
+            lines.append(f'ETag: "{etag}"')
+        if cache_control:
+            lines.append(f"Cache-Control: {cache_control}")
+        lines += [f"{name}: {value}" for name, value in extra]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        self.bytes_sent_total += length
+        await writer.drain()
+
+    @staticmethod
+    def _error_body(message: str, **fields: Any) -> bytes:
+        return canonical_body({"error": message, **fields})
+
+    # ----------------------------------------------------------------- #
+    # Routing                                                            #
+    # ----------------------------------------------------------------- #
+
+    def _route(self, target: str) -> tuple[int, CacheEntry, str | None]:
+        """(status, entry, cache-control) for one request target."""
+        split = urlsplit(target)
+        segments = [unquote(part) for part in split.path.split("/") if part]
+        query = split.query
+        endpoint = segments[0] if segments else "/"
+        self.requests_by_endpoint[endpoint] = (
+            self.requests_by_endpoint.get(endpoint, 0) + 1
+        )
+        if not segments:
+            return 200, self._index_entry(), "no-cache"
+        if segments == ["healthz"]:
+            return 200, self._healthz_entry(), "no-cache"
+        if segments == ["metrics"]:
+            return 200, self._metrics_entry(query), "no-cache"
+        if segments == ["cells"]:
+            return 200, self._cells_entry(), "no-cache"
+        if len(segments) == 2 and segments[0] == "cell":
+            return self._cell_entry(segments[1])
+        if len(segments) == 2 and segments[0] == "aggregate":
+            return self._aggregate_entry(segments[1])
+        if len(segments) == 2 and segments[0] == "report":
+            return self._report_entry(segments[1])
+        return 404, CacheEntry(etag="", body=self._error_body("no such route")), None
+
+    def _index_entry(self) -> CacheEntry:
+        document = {
+            "service": "repro.fleet",
+            "campaigns": sorted(self.campaigns),
+            "endpoints": [
+                "/healthz",
+                "/metrics",
+                "/cells",
+                "/cell/<key>",
+                "/aggregate/<campaign>",
+                "/report/<campaign>",
+            ],
+        }
+        return CacheEntry(etag="", body=canonical_body(document))
+
+    def _healthz_entry(self) -> CacheEntry:
+        self.store.refresh()
+        shard_files = sum(1 for _ in self.store.shards_dir.glob("*.jsonl"))
+        document = {
+            "status": "ok",
+            "store": str(self.store.root),
+            "shard_files": shard_files,
+            "campaigns": sorted(self.campaigns),
+            "requests": self.requests_total,
+        }
+        return CacheEntry(etag="", body=canonical_body(document))
+
+    def _metrics_entry(self, query: str) -> CacheEntry:
+        registry = self.metrics_registry()
+        if "format=text" in query:
+            return CacheEntry(
+                etag="",
+                body=(registry.render_text() + "\n").encode(),
+                content_type="text/plain; charset=utf-8",
+            )
+        return CacheEntry(etag="", body=canonical_body(registry.as_dict()))
+
+    def _cells_entry(self) -> CacheEntry:
+        self.store.refresh()
+        keys = list(self.store.keys())
+        document = {"count": len(keys), "keys": keys}
+        return CacheEntry(etag="", body=canonical_body(document))
+
+    def _cell_entry(self, key: str) -> tuple[int, CacheEntry, str | None]:
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            return (
+                400,
+                CacheEntry(
+                    etag="", body=self._error_body("cell keys are 64 hex chars")
+                ),
+                None,
+            )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, cached, "public, max-age=31536000, immutable"
+        self.store.refresh()
+        record = None
+        if key in self.store:
+            batch = self.store.get(key)
+            if batch is not None:
+                record = batch.as_dict()
+        if record is None:
+            return (
+                404,
+                CacheEntry(etag="", body=self._error_body("no such cell", key=key)),
+                None,
+            )
+        entry = CacheEntry(etag=key, body=canonical_body({"key": key, "batch": record}))
+        self.cache.put(key, entry)
+        return 200, entry, "public, max-age=31536000, immutable"
+
+    # ----------------------------------------------------------------- #
+    # Campaign views                                                     #
+    # ----------------------------------------------------------------- #
+
+    def _campaign_view(
+        self, name: str
+    ) -> tuple[CampaignSpec, list[CellOutcome], int, str] | None:
+        """(spec, filled outcomes, total cells, etag) — None for unknown names."""
+        spec = self.campaigns.get(name)
+        if spec is None:
+            return None
+        self.store.refresh()
+        cells = spec.cells()
+        outcomes = []
+        for cell in cells:
+            batch = self.store.get(cell.key)
+            if batch is not None:
+                outcomes.append(CellOutcome(cell=cell, batch=batch, cached=True))
+        material = f"{name}:" + ",".join(
+            sorted(outcome.cell.key for outcome in outcomes)
+        )
+        etag = hashlib.sha256(material.encode()).hexdigest()
+        return spec, outcomes, len(cells), etag
+
+    def _result_for(
+        self, spec: CampaignSpec, outcomes: list[CellOutcome]
+    ) -> CampaignResult:
+        return CampaignResult(spec=spec, outcomes=outcomes, wall_seconds=0.0, jobs=0)
+
+    def _unknown_campaign(self, name: str) -> tuple[int, CacheEntry, str | None]:
+        return (
+            404,
+            CacheEntry(
+                etag="",
+                body=self._error_body(
+                    "no such campaign", campaign=name, known=sorted(self.campaigns)
+                ),
+            ),
+            None,
+        )
+
+    def _aggregate_entry(self, name: str) -> tuple[int, CacheEntry, str | None]:
+        view = self._campaign_view(name)
+        if view is None:
+            return self._unknown_campaign(name)
+        spec, outcomes, total, etag = view
+        complete = len(outcomes) == total
+        cache_control = (
+            "public, max-age=31536000, immutable" if complete else "no-cache"
+        )
+        cache_key = f"aggregate:{etag}"
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return 200, cached, cache_control
+        result = self._result_for(spec, outcomes)
+        document = {
+            "campaign": name,
+            "total": total,
+            "filled": len(outcomes),
+            "complete": complete,
+            "etag": etag,
+            "aggregates": result.aggregates(),
+        }
+        entry = CacheEntry(etag=etag, body=canonical_body(document))
+        self.cache.put(cache_key, entry)
+        return 200, entry, cache_control
+
+    def _report_entry(self, name: str) -> tuple[int, CacheEntry, str | None]:
+        from repro.campaign.render import render_markdown
+
+        view = self._campaign_view(name)
+        if view is None:
+            return self._unknown_campaign(name)
+        spec, outcomes, total, etag = view
+        if len(outcomes) < total:
+            return (
+                503,
+                CacheEntry(
+                    etag="",
+                    body=self._error_body(
+                        "campaign incomplete",
+                        campaign=name,
+                        filled=len(outcomes),
+                        total=total,
+                    ),
+                    headers=(("Retry-After", "5"),),
+                ),
+                "no-store",
+            )
+        cache_key = f"report:{etag}"
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return 200, cached, "public, max-age=31536000, immutable"
+        markdown = render_markdown(self._result_for(spec, outcomes))
+        entry = CacheEntry(
+            etag=etag,
+            body=(markdown + "\n").encode(),
+            content_type="text/markdown; charset=utf-8",
+        )
+        self.cache.put(cache_key, entry)
+        return 200, entry, "public, max-age=31536000, immutable"
+
+    # ----------------------------------------------------------------- #
+    # Metrics                                                            #
+    # ----------------------------------------------------------------- #
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The server's counters in the same registry shape machines use."""
+        registry = MetricsRegistry()
+        registry.set("server.requests", self.requests_total)
+        for endpoint in sorted(self.requests_by_endpoint):
+            registry.set(
+                f"server.requests.{endpoint}", self.requests_by_endpoint[endpoint]
+            )
+        for status in sorted(self.responses_by_status):
+            registry.set(
+                f"server.responses.{status}", self.responses_by_status[status]
+            )
+        registry.set("server.not_modified", self.not_modified_total)
+        registry.set("server.bytes_sent", self.bytes_sent_total)
+        registry.set("server.errors", self.errors_total)
+        for name, value in self.cache.stats.as_dict().items():
+            registry.set(f"cache.{name}", value)
+        registry.set("store.corrupt_lines", self.store.corrupt_lines)
+        if self.latency_us.total:
+            registry.set("server.latency_us", self.latency_us)
+        return registry
+
+
+def _etag_matches(header: str | None, etag: str) -> bool:
+    if header is None or not etag:
+        return False
+    if header.strip() == "*":
+        return True
+    candidates = {
+        candidate.strip().strip('"') for candidate in header.split(",")
+    }
+    return etag in candidates
+
+
+# --------------------------------------------------------------------- #
+# Thread harness (tests, benchmarks, and anything embedding the daemon)  #
+# --------------------------------------------------------------------- #
+
+
+class ServerHandle:
+    """A running server on a background event loop; ``stop()`` tears down."""
+
+    def __init__(
+        self, server: FleetServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
+            timeout=10
+        )
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+
+def start_in_thread(server: FleetServer) -> ServerHandle:
+    """Run ``server`` on a dedicated event-loop thread; returns when bound."""
+    loop = asyncio.new_event_loop()
+    bound = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        bound.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="fleet-server", daemon=True)
+    thread.start()
+    if not bound.wait(timeout=10):
+        raise RuntimeError("fleet server failed to bind within 10s")
+    return ServerHandle(server, loop, thread)

@@ -107,10 +107,35 @@ def kernel_doc(**overrides) -> dict:
     return doc
 
 
+def serve_doc(**overrides) -> dict:
+    doc = stamped(
+        {
+            "schema": 2,
+            "kind": "serve",
+            "campaign": "attacks-vs-noise",
+            "cold_aggregate_seconds": 0.006,
+            "warm_aggregate_p50_seconds": 0.002,
+            "warm_aggregate_p99_seconds": 0.004,
+            "revalidate_p50_seconds": 0.001,
+            "warm_budget_seconds": 0.010,
+            "concurrent": {"p50_seconds": 0.02, "p99_seconds": 0.05},
+            "cache": {"hit_ratio": 0.95},
+            "verification": {
+                "aggregate_complete": True,
+                "warm_under_budget": True,
+                "etag_revalidates": True,
+            },
+        }
+    )
+    doc.update(overrides)
+    return doc
+
+
 class TestArtifactKind:
     def test_kind_field_wins(self):
         assert artifact_kind({"kind": "telemetry"}) == "telemetry"
         assert artifact_kind({"kind": "kernel"}) == "kernel"
+        assert artifact_kind({"kind": "serve"}) == "serve"
 
     def test_load_bearing_keys(self):
         assert artifact_kind({"telemetry_overhead_ratio": 0.0}) == "telemetry"
@@ -118,6 +143,7 @@ class TestArtifactKind:
         assert artifact_kind({"cold_wall_seconds": 1.0}) == "campaign"
         assert artifact_kind({"results": []}) == "obs"
         assert artifact_kind({"batched_wall_seconds": 1.0}) == "kernel"
+        assert artifact_kind({"warm_aggregate_p50_seconds": 0.002}) == "serve"
 
     def test_unrecognized(self):
         assert artifact_kind({"foo": 1}) is None
@@ -146,6 +172,20 @@ class TestSelfCompare:
         assert report.refusal is None
         assert report.exit_code == EXIT_OK
         assert report.regressions == []
+
+    def test_serve_self_compare_ok(self):
+        doc = serve_doc()
+        report = compare_documents(doc, doc)
+        assert report.refusal is None
+        assert report.exit_code == EXIT_OK
+        assert report.regressions == []
+
+    def test_committed_serve_artifact_self_compares(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+        if not path.exists():
+            return
+        doc = json.loads(path.read_text())
+        assert compare_documents(doc, doc).exit_code == EXIT_OK
 
 
 class TestRegressions:
@@ -215,6 +255,48 @@ class TestRegressions:
     def test_kernel_speedup_regression(self):
         report = compare_documents(kernel_doc(), kernel_doc(batch_speedup=0.5))
         assert report.exit_code == EXIT_REGRESSION
+
+    def test_serve_latency_blowup_regression(self):
+        report = compare_documents(
+            serve_doc(), serve_doc(warm_aggregate_p50_seconds=0.004)
+        )
+        assert report.exit_code == EXIT_REGRESSION
+        assert any(
+            "warm_aggregate_p50_seconds" == f.field for f in report.regressions
+        )
+
+    def test_serve_budget_is_absolute_not_relative(self):
+        # Within tolerance of the (slow) baseline but over the 10 ms
+        # budget: the absolute contract must still fail it.
+        baseline = serve_doc(
+            warm_aggregate_p50_seconds=0.011,
+            verification={
+                "aggregate_complete": True,
+                "warm_under_budget": False,
+                "etag_revalidates": True,
+            },
+        )
+        report = compare_documents(baseline, baseline)
+        fields = {f.field for f in report.regressions}
+        assert "warm_aggregate_p50_seconds.budget" in fields
+        assert "verification.warm_under_budget" in fields
+
+    def test_serve_cache_ratio_drop_regression(self):
+        report = compare_documents(serve_doc(), serve_doc(cache={"hit_ratio": 0.5}))
+        assert report.exit_code == EXIT_REGRESSION
+
+    def test_serve_revalidation_flag_must_hold(self):
+        broken = serve_doc(
+            verification={
+                "aggregate_complete": True,
+                "warm_under_budget": True,
+                "etag_revalidates": False,
+            }
+        )
+        report = compare_documents(serve_doc(), broken)
+        assert any(
+            f.field == "verification.etag_revalidates" for f in report.regressions
+        )
 
     def test_wall_seconds_blowup_regression(self):
         report = compare_documents(

@@ -199,6 +199,8 @@ class TestCampaign:
 
     def test_campaign_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "campaign.md"
+        assert main(self.run_args(tmp_path, "run", "revng-table1")) == 0
+        capsys.readouterr()
         assert main(
             self.run_args(tmp_path, "report", "revng-table1") + ["-o", str(target)]
         ) == 0
@@ -206,6 +208,90 @@ class TestCampaign:
         text = target.read_text()
         assert text.startswith("## Campaign `revng-table1`")
         assert "| experiment |" in text
+
+    def test_campaign_report_on_unfilled_store_exits_1(self, tmp_path, capsys):
+        assert main(self.run_args(tmp_path, "report", "revng-table1")) == 1
+        err = capsys.readouterr().err
+        assert "0/2 cells filled" in err
+
+    def test_campaign_aggregate_on_partial_store_exits_1(self, tmp_path, capsys):
+        assert main(
+            self.run_args(tmp_path, "run", "attacks-vs-noise", "--shard", "0/2")
+        ) == 0
+        capsys.readouterr()
+        assert main(self.run_args(tmp_path, "aggregate", "attacks-vs-noise")) == 1
+        assert "cells filled" in capsys.readouterr().err
+
+    def test_campaign_takes_one_name_outside_merge(self, tmp_path, capsys):
+        assert main(self.run_args(tmp_path, "run", "revng-table1", "extra")) == 2
+        assert "campaign merge" in capsys.readouterr().err
+
+
+class TestFleetCli:
+    def run_args(self, store, *extra):
+        return [
+            "campaign", *extra,
+            "--store", str(store),
+            "--attacks", "variant1",
+            "--repeats", "2",
+            "--rounds", "3",
+        ]
+
+    def test_bad_shard_spec_exits_2(self, tmp_path, capsys):
+        assert main(
+            self.run_args(tmp_path / "s", "run", "attacks-vs-noise", "--shard", "2/2")
+        ) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_shard_rejected_for_report(self, tmp_path, capsys):
+        assert main(
+            self.run_args(tmp_path / "s", "report", "attacks-vs-noise", "--shard", "0/2")
+        ) == 2
+        assert "run" in capsys.readouterr().err
+
+    def test_sharded_fill_merge_aggregate_round_trip(self, tmp_path, capsys):
+        # The fleet-smoke shape, in miniature: serial vs 2-way sharded
+        # fill + merge must agree byte-for-byte at the aggregate level.
+        assert main(self.run_args(tmp_path / "serial", "run", "attacks-vs-noise")) == 0
+        for i in range(2):
+            assert main(
+                self.run_args(
+                    tmp_path / f"w{i}", "run", "attacks-vs-noise", "--shard", f"{i}/2"
+                )
+            ) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "merge", str(tmp_path / "w0"), str(tmp_path / "w1"),
+            "--store", str(tmp_path / "merged"),
+        ]) == 0
+        assert "merged" in capsys.readouterr().out
+        assert main(
+            self.run_args(tmp_path / "serial", "aggregate", "attacks-vs-noise")
+            + ["-o", str(tmp_path / "serial.json")]
+        ) == 0
+        assert main(
+            self.run_args(tmp_path / "merged", "aggregate", "attacks-vs-noise")
+            + ["-o", str(tmp_path / "merged.json")]
+        ) == 0
+        assert (
+            (tmp_path / "serial.json").read_bytes()
+            == (tmp_path / "merged.json").read_bytes()
+        )
+
+    def test_merge_without_sources_exits_2(self, capsys):
+        assert main(["campaign", "merge"]) == 2
+        assert "at least one source" in capsys.readouterr().err
+
+    def test_merge_of_non_store_exits_2(self, tmp_path, capsys):
+        assert main([
+            "campaign", "merge", str(tmp_path / "nope"),
+            "--store", str(tmp_path / "dest"),
+        ]) == 2
+        assert "not a TrialStore" in capsys.readouterr().err
+
+    def test_serve_refuses_missing_store(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nowhere")]) == 2
+        assert "not a TrialStore" in capsys.readouterr().err
 
     def test_campaign_spec_file(self, tmp_path, capsys):
         spec_path = tmp_path / "mini.json"

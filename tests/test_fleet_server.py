@@ -1,0 +1,291 @@
+"""Tests for the fleet serving layer: HTTP daemon, cache, client.
+
+The serving contract: every completed response is addressed by content
+(cell key or filled-cell-set hash), so caching is safe to call
+``immutable`` and ``If-None-Match`` revalidation is a bodyless 304; a
+store being filled or merged underneath the daemon degrades gracefully
+(partial aggregates say so, reports answer 503 + Retry-After) and heals
+on the next request via ``TrialStore.refresh``.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.campaign import AxisPoint, CampaignRunner, CampaignSpec, TrialStore
+from repro.fleet import FleetClient, FleetServer, LruCache, start_in_thread
+from repro.fleet.cache import CacheEntry
+from repro.fleet.server import _etag_matches, canonical_body
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        name="served",
+        attacks=("variant1",),
+        machines=("i7-9700",),
+        axes=(AxisPoint(name="baseline"),),
+        repeats=2,
+        rounds=3,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+FILLED = small_spec()
+#: Same shape, different rounds — disjoint keys, so it reads as unfilled.
+EMPTY = small_spec(name="unfilled", rounds=4)
+
+
+@pytest.fixture(scope="module")
+def filled_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet") / "store"
+    result = CampaignRunner(TrialStore(root)).run(FILLED)
+    assert result.complete
+    return root
+
+
+@pytest.fixture(scope="module")
+def handle(filled_store):
+    server = FleetServer(
+        filled_store, campaigns={"served": FILLED, "unfilled": EMPTY}
+    )
+    with start_in_thread(server) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(handle):
+    return FleetClient(handle.server.host, handle.server.port)
+
+
+class TestConstruction:
+    def test_requires_a_store_marker(self, tmp_path):
+        with pytest.raises(ValueError, match="not a TrialStore"):
+            FleetServer(tmp_path / "nowhere")
+
+
+class TestPlainEndpoints:
+    def test_index_lists_endpoints(self, client):
+        doc = client.get("/").json()
+        assert doc["service"] == "repro.fleet"
+        assert "/aggregate/<campaign>" in doc["endpoints"]
+
+    def test_healthz(self, client):
+        doc = client.healthz()
+        assert doc["status"] == "ok"
+        assert doc["shard_files"] >= 1
+        assert sorted(doc["campaigns"]) == ["served", "unfilled"]
+
+    def test_cells_lists_every_stored_key(self, client, filled_store):
+        doc = client.cells()
+        assert doc["count"] == FILLED.n_cells
+        assert sorted(doc["keys"]) == sorted(TrialStore(filled_store).keys())
+
+    def test_unknown_route_404(self, client):
+        response = client.get("/no/such/route")
+        assert response.status == 404
+
+    def test_post_rejected_405(self, handle):
+        connection = http.client.HTTPConnection(
+            handle.server.host, handle.server.port, timeout=10
+        )
+        try:
+            connection.request("POST", "/cells")
+            response = connection.getresponse()
+            assert response.status == 405
+            assert response.getheader("Allow") == "GET, HEAD"
+        finally:
+            connection.close()
+
+    def test_head_sends_headers_only(self, handle):
+        connection = http.client.HTTPConnection(
+            handle.server.host, handle.server.port, timeout=10
+        )
+        try:
+            connection.request("HEAD", "/cells")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert int(response.getheader("Content-Length")) > 0
+            assert response.read() == b""
+        finally:
+            connection.close()
+
+
+class TestCellEndpoint:
+    def test_cell_round_trips_with_immutable_etag(self, client):
+        key = client.cells()["keys"][0]
+        response = client.cell(key)
+        assert response.status == 200
+        assert response.etag == key
+        assert "immutable" in response.headers["cache-control"]
+        doc = response.json()
+        assert doc["key"] == key
+        assert doc["batch"]["attack"] == "variant1"
+
+    def test_etag_revalidation_is_a_bodyless_304(self, client):
+        key = client.cells()["keys"][0]
+        first = client.cell(key)
+        second = client.cell(key, etag=first.etag)
+        assert second.not_modified
+        assert second.body == b""
+        assert second.etag == key
+
+    def test_bad_key_400(self, client):
+        assert client.cell("not-a-hash").status == 400
+
+    def test_missing_key_404(self, client):
+        assert client.cell("f" * 64).status == 404
+
+
+class TestAggregateEndpoint:
+    def test_complete_aggregate_matches_runner(self, client, filled_store):
+        response = client.aggregate("served")
+        assert response.status == 200
+        doc = response.json()
+        assert doc["complete"] is True
+        assert doc["filled"] == doc["total"] == FILLED.n_cells
+        expected = CampaignRunner(TrialStore(filled_store)).run(FILLED).aggregates()
+        assert doc["aggregates"] == json.loads(json.dumps(expected))
+        assert "immutable" in response.headers["cache-control"]
+
+    def test_warm_aggregate_is_a_cache_hit(self, handle, client):
+        before = handle.server.cache.stats.hits
+        first = client.aggregate("served")
+        second = client.aggregate("served")
+        assert handle.server.cache.stats.hits > before
+        assert second.body == first.body
+        assert second.etag == first.etag
+
+    def test_aggregate_revalidation_304(self, client):
+        etag = client.aggregate("served").etag
+        assert client.aggregate("served", etag=etag).not_modified
+
+    def test_partial_aggregate_degrades_not_fails(self, client):
+        response = client.aggregate("unfilled")
+        assert response.status == 200
+        doc = response.json()
+        assert doc["complete"] is False
+        assert doc["filled"] == 0
+        assert doc["aggregates"] == {}
+        assert response.headers["cache-control"] == "no-cache"
+
+    def test_unknown_campaign_404(self, client):
+        response = client.aggregate("moonshot")
+        assert response.status == 404
+        assert "served" in response.json()["known"]
+
+
+class TestReportEndpoint:
+    def test_complete_report_is_markdown(self, client):
+        response = client.report("served")
+        assert response.status == 200
+        assert response.headers["content-type"].startswith("text/markdown")
+        assert response.text().startswith("## Campaign `served`")
+        assert "immutable" in response.headers["cache-control"]
+
+    def test_incomplete_report_503_with_retry_after(self, client):
+        response = client.report("unfilled")
+        assert response.status == 503
+        assert response.headers["retry-after"] == "5"
+        doc = response.json()
+        assert doc["filled"] == 0
+        assert doc["total"] == EMPTY.n_cells
+
+
+class TestMetricsEndpoint:
+    def test_metrics_counts_requests_and_cache(self, client):
+        client.aggregate("served")
+        doc = client.metrics()
+        counters = doc["counters"] if "counters" in doc else doc
+        flat = json.dumps(doc)
+        assert "server.requests" in flat
+        assert "cache.hits" in flat
+        assert "store.corrupt_lines" in flat
+        assert counters is not None
+
+    def test_metrics_text_format(self, client):
+        response = client.get("/metrics?format=text")
+        assert response.headers["content-type"].startswith("text/plain")
+        assert "server.requests" in response.text()
+
+
+class TestLiveStoreRefresh:
+    def test_daemon_sees_cells_filled_after_boot(self, tmp_path):
+        # Boot the server over an empty store, then fill the campaign
+        # from another handle (an atomic shard replace, like a fleet
+        # worker or a merge would): the daemon's next request must see it.
+        root = tmp_path / "store"
+        spec = small_spec(name="late", repeats=1)
+        TrialStore(root)  # create the marker so the server boots
+        server = FleetServer(root, campaigns={"late": spec})
+        with start_in_thread(server) as running:
+            client = FleetClient(running.server.host, running.server.port)
+            before = client.aggregate("late").json()
+            assert before["complete"] is False
+            stale_etag = client.aggregate("late").etag
+
+            CampaignRunner(TrialStore(root)).run(spec)
+
+            after = client.aggregate("late").json()
+            assert after["complete"] is True
+            assert after["filled"] == spec.n_cells
+            # The address changed with the content: the old ETag no
+            # longer revalidates, and the report now renders.
+            assert not client.aggregate("late", etag=stale_etag).not_modified
+            assert client.report("late").status == 200
+
+
+class TestLruCache:
+    def entry(self, body: bytes = b"x") -> CacheEntry:
+        return CacheEntry(etag="e", body=body)
+
+    def test_hit_miss_accounting(self):
+        cache = LruCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", self.entry())
+        assert cache.get("a") is not None
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", self.entry())
+        cache.put("b", self.entry())
+        cache.get("a")  # now "b" is least recently used
+        cache.put("c", self.entry())
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_body_bytes_tracks_contents(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", self.entry(b"xxxx"))
+        cache.put("a", self.entry(b"yy"))
+        assert cache.stats.body_bytes == 2
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LruCache(capacity=0)
+
+
+class TestEtagMatching:
+    def test_exact_and_quoted(self):
+        assert _etag_matches('"abc"', "abc")
+        assert _etag_matches("abc", "abc")
+
+    def test_list_and_star(self):
+        assert _etag_matches('"x", "abc"', "abc")
+        assert _etag_matches("*", "abc")
+
+    def test_no_match(self):
+        assert not _etag_matches(None, "abc")
+        assert not _etag_matches('"abc"', "def")
+        assert not _etag_matches('"abc"', "")
+
+
+class TestCanonicalBody:
+    def test_sorted_and_newline_terminated(self):
+        body = canonical_body({"b": 1, "a": 2})
+        assert body == b'{"a":2,"b":1}\n'
